@@ -1,0 +1,207 @@
+(* mpicd-bench: command-line front end for the reproduction benchmarks.
+
+   Unlike bench/main.exe (which regenerates the paper's artifacts with
+   the calibrated default cost model), this CLI also exposes the
+   cost-model parameters for per-kernel what-if runs, e.g.
+
+     mpicd_bench list
+     mpicd_bench figure fig7 --csv results
+     mpicd_bench kernel NAS_MG_x --iov-entry-ns 40 --eager-limit 16384 *)
+
+open Cmdliner
+module Config = Mpicd_simnet.Config
+module Report = Mpicd_harness.Report
+module H = Mpicd_harness.Harness
+module Figures = Mpicd_figures
+module Registry = Mpicd_ddtbench.Registry
+module Kernel = Mpicd_ddtbench.Kernel
+
+let all_series_figures =
+  Figures.Fig_rust.all @ Figures.Fig_python.all @ Figures.Ablations.all
+
+(* --- cost-model flags --- *)
+
+let config_term =
+  let eager =
+    Arg.(
+      value
+      & opt int Config.default.link.eager_limit
+      & info [ "eager-limit" ] ~docv:"BYTES"
+          ~doc:"Eager/rendezvous protocol switch point.")
+  in
+  let iov =
+    Arg.(
+      value
+      & opt float Config.default.link.iov_entry_ns
+      & info [ "iov-entry-ns" ] ~docv:"NS"
+          ~doc:"Per-scatter/gather-entry cost of the iov path.")
+  in
+  let ddt =
+    Arg.(
+      value
+      & opt float Config.default.cpu.ddt_block_ns
+      & info [ "ddt-block-ns" ] ~docv:"NS"
+          ~doc:"Per-typemap-block cost of the classic datatype engine.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt float Config.default.link.latency_ns
+      & info [ "latency-ns" ] ~docv:"NS" ~doc:"One-way link latency.")
+  in
+  let bw =
+    Arg.(
+      value
+      & opt float Config.default.link.ns_per_byte
+      & info [ "ns-per-byte" ] ~docv:"NS" ~doc:"Inverse link bandwidth.")
+  in
+  let make eager_limit iov_entry_ns ddt_block_ns latency_ns ns_per_byte =
+    {
+      Config.link =
+        {
+          Config.default.link with
+          eager_limit;
+          iov_entry_ns;
+          latency_ns;
+          ns_per_byte;
+        };
+      cpu = { Config.default.cpu with ddt_block_ns };
+      gpu = Config.default.gpu;
+    }
+  in
+  Term.(const make $ eager $ iov $ ddt $ latency $ bw)
+
+(* The figure generators bake in Config.default; for the CLI we re-run
+   single kernels/methods under the chosen config instead. *)
+
+let list_cmd =
+  let run () =
+    print_endline "figures / tables:";
+    print_endline "  table1";
+    List.iter (fun (k, title, _, _) -> Printf.printf "  %-18s %s\n" k title)
+      all_series_figures;
+    print_endline "  fig10";
+    print_endline "  fig10-extras";
+    print_endline "  ablation-objmsg";
+    print_endline "  ablation-threads";
+    print_endline "  ablation-device";
+    print_endline "";
+    print_endline "kernels (for `mpicd_bench kernel`):";
+    List.iter
+      (fun (module K : Kernel.KERNEL) ->
+        Printf.printf "  %-18s %7s wire, %s\n" K.name
+          (Report.human_bytes K.wire_bytes)
+          K.datatypes_desc)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available figures and kernels.")
+    Term.(const run $ const ())
+
+let figure_cmd =
+  let key =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE" ~doc:"Figure key (see `mpicd_bench list`).")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV output into $(docv).")
+  in
+  let run key csv_dir =
+    (match csv_dir with
+    | Some dir -> (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    | None -> ());
+    match key with
+    | "table1" -> Figures.Fig_ddtbench.print_table1 ()
+    | "fig10" ->
+        Figures.Fig_ddtbench.print_fig10 ();
+        Option.iter
+          (fun dir ->
+            Figures.Fig_ddtbench.fig10_csv
+              ~path:(Filename.concat dir "fig10.csv") ())
+          csv_dir
+    | "fig10-extras" ->
+        Figures.Fig_ddtbench.print_fig10 ~kernels:Registry.extra_kernels ()
+    | "ablation-objmsg" -> Figures.Ablations.print_objmsg_costs ()
+    | "ablation-threads" -> Figures.Ablations.print_threading ()
+    | "ablation-device" -> Figures.Ablations.print_device ()
+    | key -> (
+        match List.find_opt (fun (k, _, _, _) -> k = key) all_series_figures with
+        | Some (key, title, ylabel, f) ->
+            let series = f () in
+            Report.print ~ylabel ~title ~xlabel:"size" series;
+            Option.iter
+              (fun dir ->
+                Report.to_csv
+                  ~path:(Filename.concat dir (key ^ ".csv"))
+                  ~xlabel:"size" series)
+              csv_dir
+        | None ->
+            Printf.eprintf "unknown figure %S (try `mpicd_bench list`)\n" key;
+            exit 2)
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one figure/table of the paper.")
+    Term.(const run $ key $ csv)
+
+let kernel_cmd =
+  let kernel_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KERNEL" ~doc:"DDTBench kernel name.")
+  in
+  let reps_arg =
+    Arg.(value & opt int 4 & info [ "reps" ] ~docv:"N" ~doc:"Measured rounds.")
+  in
+  let run config name reps =
+    match Registry.find name with
+    | None ->
+        Printf.eprintf "unknown kernel %S (try `mpicd_bench list`)\n" name;
+        exit 2
+    | Some (module K : Kernel.KERNEL) ->
+        let k = (module K : Kernel.KERNEL) in
+        let bw make =
+          (H.pingpong ~config ~reps ~bytes:K.wire_bytes make).H.bandwidth_mib_s
+        in
+        Format.printf "kernel %s: %s wire bytes, %d blocks@."
+          K.name
+          (Report.human_bytes K.wire_bytes)
+          (Mpicd_ddtbench.Blocks.count K.blocks);
+        Format.printf "cost model: %a@.@." Config.pp config;
+        let rows =
+          [
+            ("reference", Some (bw (Figures.Methods.k_reference k)));
+            ("manual-pack", Some (bw (Figures.Methods.k_manual k)));
+            ("mpi-ddt", Some (bw (Figures.Methods.k_ddt_direct k)));
+            ("mpi-pack-ddt", Some (bw (Figures.Methods.k_ddt_pack k)));
+            ("custom-pack", Some (bw (Figures.Methods.k_custom_pack k)));
+            ( "custom-regions",
+              match Figures.Methods.k_custom_regions k () with
+              | None -> None
+              | Some _ ->
+                  Some
+                    (bw (fun () ->
+                         Option.get (Figures.Methods.k_custom_regions k ()))) );
+          ]
+        in
+        Report.print_kv_table
+          ~title:(Printf.sprintf "%s bandwidth (MiB/s)" K.name)
+          ~header:[ "method"; "MiB/s" ]
+          (List.map
+             (fun (m, bw) ->
+               [ m; (match bw with None -> "-" | Some b -> Printf.sprintf "%.0f" b) ])
+             rows)
+  in
+  Cmd.v
+    (Cmd.info "kernel"
+       ~doc:"Run one DDTBench kernel under a configurable cost model.")
+    Term.(const run $ config_term $ kernel_arg $ reps_arg)
+
+let () =
+  let doc = "mpicd reproduction benchmarks" in
+  let info = Cmd.info "mpicd_bench" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; kernel_cmd ]))

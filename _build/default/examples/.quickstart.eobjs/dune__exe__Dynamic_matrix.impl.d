@@ -1,0 +1,1 @@
+examples/dynamic_matrix.ml: Array Int32 Mpicd Mpicd_buf Mpicd_collectives Printf

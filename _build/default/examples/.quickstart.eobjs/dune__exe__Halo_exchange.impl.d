@@ -1,0 +1,1 @@
+examples/halo_exchange.ml: Array Float Mpicd Mpicd_buf Mpicd_collectives Mpicd_datatype Mpicd_simnet Option Printf

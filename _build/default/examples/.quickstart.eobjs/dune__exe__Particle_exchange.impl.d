@@ -1,0 +1,1 @@
+examples/particle_exchange.ml: Array Fun Int32 List Mpicd Mpicd_buf Printf

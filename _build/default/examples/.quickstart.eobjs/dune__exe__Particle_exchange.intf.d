@@ -1,0 +1,1 @@
+examples/particle_exchange.mli:

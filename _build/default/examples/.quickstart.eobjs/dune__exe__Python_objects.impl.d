@@ -1,0 +1,1 @@
+examples/python_objects.ml: List Mpicd Mpicd_buf Mpicd_objmsg Mpicd_pickle Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Int32 List Mpicd Mpicd_buf Printf String

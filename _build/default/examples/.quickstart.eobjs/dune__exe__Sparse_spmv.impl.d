@@ -1,0 +1,1 @@
+examples/sparse_spmv.ml: Array Float Hashtbl List Mpicd Mpicd_buf Mpicd_collectives Mpicd_datatype Mpicd_serde Mpicd_typed_mpi Printf

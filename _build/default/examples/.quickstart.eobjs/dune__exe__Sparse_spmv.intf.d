@@ -1,0 +1,1 @@
+examples/sparse_spmv.mli:

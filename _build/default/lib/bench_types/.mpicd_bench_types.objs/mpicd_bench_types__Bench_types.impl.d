@@ -1,0 +1,1 @@
+lib/bench_types/bench_types.ml: Array Int32 List Mpicd Mpicd_buf Mpicd_datatype Mpicd_derive

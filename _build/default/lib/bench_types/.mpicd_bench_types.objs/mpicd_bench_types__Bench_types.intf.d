@@ -1,0 +1,1 @@
+lib/bench_types/bench_types.mli: Mpicd Mpicd_buf Mpicd_datatype Mpicd_derive

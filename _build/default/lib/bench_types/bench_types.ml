@@ -1,0 +1,344 @@
+module Buf = Mpicd_buf.Buf
+module Datatype = Mpicd_datatype.Datatype
+module Derive = Mpicd_derive.Derive
+module Custom = Mpicd.Custom
+
+let fill_pattern ?(seed = 0) b =
+  for i = 0 to Buf.length b - 1 do
+    Buf.set_u8 b i ((i * 31 + seed + 11) land 0xff)
+  done
+
+module Double_vec = struct
+  type t = Buf.t array
+
+  let generate ~subvec_bytes ~total_bytes =
+    if subvec_bytes <= 0 || total_bytes <= 0 then
+      invalid_arg "Double_vec.generate: sizes must be positive";
+    if total_bytes < subvec_bytes then begin
+      let b = Buf.create total_bytes in
+      fill_pattern b;
+      [| b |]
+    end
+    else begin
+      let n = total_bytes / subvec_bytes in
+      Array.init n (fun i ->
+          let b = Buf.create subvec_bytes in
+          fill_pattern ~seed:i b;
+          b)
+    end
+
+  let make_sink ~subvec_bytes ~total_bytes =
+    if total_bytes < subvec_bytes then [| Buf.create total_bytes |]
+    else Array.init (total_bytes / subvec_bytes) (fun _ -> Buf.create subvec_bytes)
+
+  let total_bytes t = Array.fold_left (fun a b -> a + Buf.length b) 0 t
+
+  let equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> Buf.equal x y) a b
+
+  (* The packed header: one little-endian i32 length per subvector. *)
+  let header_of (t : t) =
+    let h = Buf.create (4 * Array.length t) in
+    Array.iteri (fun i b -> Buf.set_i32 h (4 * i) (Int32.of_int (Buf.length b))) t;
+    h
+
+  let custom_dt : t Custom.t =
+    Custom.create
+      ~pack_pieces:(fun _ ~count:_ -> 1)
+      {
+        (* state holds the serialized length header; on the receive side
+           it is the expected header, verified as data arrives. *)
+        state = (fun t ~count:_ -> header_of t);
+        state_free = ignore;
+        query = (fun h _ ~count:_ -> Buf.length h);
+        pack =
+          (fun h _ ~count:_ ~offset ~dst ->
+            let len = min (Buf.length dst) (Buf.length h - offset) in
+            Buf.blit ~src:h ~src_pos:offset ~dst ~dst_pos:0 ~len;
+            len);
+        unpack =
+          (fun h _ ~count:_ ~offset ~src ->
+            (* announced subvector lengths must match the local shape *)
+            for i = 0 to Buf.length src - 1 do
+              if Buf.get src i <> Buf.get h (offset + i) then
+                raise (Custom.Error 86)
+            done);
+        region_count = Some (fun _ t ~count:_ -> Array.length t);
+        regions = Some (fun _ t ~count:_ -> t);
+      }
+
+  let manual_pack_size t = 4 + (4 * Array.length t) + total_bytes t
+
+  let manual_pack t ~dst =
+    if Buf.length dst < manual_pack_size t then
+      invalid_arg "Double_vec.manual_pack: destination too small";
+    Buf.set_i32 dst 0 (Int32.of_int (Array.length t));
+    let pos = ref (4 + (4 * Array.length t)) in
+    Array.iteri
+      (fun i b ->
+        Buf.set_i32 dst (4 + (4 * i)) (Int32.of_int (Buf.length b));
+        Buf.blit ~src:b ~src_pos:0 ~dst ~dst_pos:!pos ~len:(Buf.length b);
+        pos := !pos + Buf.length b)
+      t
+
+  let manual_unpack ~src t =
+    let n = Int32.to_int (Buf.get_i32 src 0) in
+    if n <> Array.length t then
+      invalid_arg "Double_vec.manual_unpack: shape mismatch";
+    let pos = ref (4 + (4 * n)) in
+    Array.iteri
+      (fun i b ->
+        let len = Int32.to_int (Buf.get_i32 src (4 + (4 * i))) in
+        if len <> Buf.length b then
+          invalid_arg "Double_vec.manual_unpack: subvector length mismatch";
+        Buf.blit ~src ~src_pos:!pos ~dst:b ~dst_pos:0 ~len;
+        pos := !pos + len)
+      t
+end
+
+module type STRUCT = sig
+  val layout : Derive.layout
+  val sizeof : int
+  val packed_elem_size : int
+  val pieces_per_elem : int
+  val generate : count:int -> Buf.t
+  val make_sink : count:int -> Buf.t
+  val count_for_packed_bytes : int -> int
+  val equal_elems : Buf.t -> Buf.t -> count:int -> bool
+  val derived : Datatype.t
+  val custom_dt : Buf.t Custom.t
+  val manual_pack : Buf.t -> count:int -> dst:Buf.t -> unit
+  val manual_unpack : src:Buf.t -> Buf.t -> count:int -> unit
+end
+
+(* Shared machinery for the struct types: a C-layout struct array whose
+   scalar fields are packed and whose (optional) trailing array field is
+   exposed as one zero-copy region per element.  When there are no
+   scalar segments at all, the whole array is a single region. *)
+module Make_struct (S : sig
+  val layout : Derive.layout
+  val region_field : string option
+  val whole_region : bool
+  (* when true (only valid for gap-free layouts) the custom datatype
+     exposes the entire array as a single zero-copy region and packs
+     nothing — "should require no packing" (paper, Listing 8) *)
+end) : STRUCT = struct
+  let layout = S.layout
+  let sizeof = Derive.size_of S.layout
+
+  (* (packed_off, elem_off, len) of each scalar segment, adjacent
+     segments merged. *)
+  let scalar_segments, scalar_packed, region_off, region_len =
+    if S.whole_region then begin
+      if Derive.has_padding S.layout then
+        invalid_arg "Make_struct: whole_region requires a gap-free layout";
+      ([||], 0, 0, 0)
+    end
+    else
+    let fields = Derive.fields_of S.layout in
+    let segs = ref [] and packed = ref 0 in
+    let r_off = ref 0 and r_len = ref 0 in
+    List.iter
+      (fun (name, off, bytes) ->
+        if Some name = S.region_field then begin
+          r_off := off;
+          r_len := bytes
+        end
+        else begin
+          (match !segs with
+          | (p0, e0, l0) :: rest when e0 + l0 = off ->
+              segs := (p0, e0, l0 + bytes) :: rest
+          | _ -> segs := (!packed, off, bytes) :: !segs);
+          packed := !packed + bytes
+        end)
+      fields;
+    (Array.of_list (List.rev !segs), !packed, !r_off, !r_len)
+
+  let has_region = region_len > 0
+  let packed_elem_size = scalar_packed + region_len
+
+  let generate ~count =
+    let b = Buf.create (count * sizeof) in
+    fill_pattern b;
+    b
+
+  let make_sink ~count = Buf.create (count * sizeof)
+
+  let packed_elem_size = if S.whole_region then sizeof else packed_elem_size
+
+  let pieces_per_elem =
+    if S.whole_region then 0
+    else Array.length scalar_segments + (if has_region then 1 else 0)
+
+  let count_for_packed_bytes bytes = max 1 (bytes / packed_elem_size)
+
+  (* Map a packed-stream byte range to scalar-field memory:
+     [f ~elem_off ~pos ~len] is called per contiguous piece.  Used by
+     both pack and unpack of the custom datatype. *)
+  let map_scalar_range ~offset ~window ~f =
+    if scalar_packed = 0 then 0
+    else begin
+      let remaining = ref window and off = ref offset and done_ = ref 0 in
+      while !remaining > 0 do
+        let e = !off / scalar_packed and r = !off mod scalar_packed in
+        (* find the segment containing packed offset r *)
+        let rec seg i =
+          let p0, e0, l0 = scalar_segments.(i) in
+          if r < p0 + l0 then (p0, e0, l0) else seg (i + 1)
+        in
+        let p0, e0, l0 = seg 0 in
+        let within = r - p0 in
+        let n = min !remaining (l0 - within) in
+        f ~elem_off:((e * sizeof) + e0 + within) ~pos:!done_ ~len:n;
+        off := !off + n;
+        remaining := !remaining - n;
+        done_ := !done_ + n
+      done;
+      !done_
+    end
+
+  let custom_dt : Buf.t Custom.t =
+    Custom.create
+      ~pack_pieces:(fun _ ~count -> Array.length scalar_segments * count)
+      {
+        state = (fun _ ~count:_ -> ());
+        state_free = ignore;
+        query = (fun () _ ~count -> scalar_packed * count);
+        pack =
+          (fun () base ~count ~offset ~dst ->
+            let window =
+              min (Buf.length dst) ((scalar_packed * count) - offset)
+            in
+            map_scalar_range ~offset ~window ~f:(fun ~elem_off ~pos ~len ->
+                Buf.blit ~src:base ~src_pos:elem_off ~dst ~dst_pos:pos ~len));
+        unpack =
+          (fun () base ~count:_ ~offset ~src ->
+            ignore
+              (map_scalar_range ~offset ~window:(Buf.length src)
+                 ~f:(fun ~elem_off ~pos ~len ->
+                   Buf.blit ~src ~src_pos:pos ~dst:base ~dst_pos:elem_off ~len)));
+        region_count =
+          (if has_region then Some (fun () _ ~count -> count)
+           else if scalar_packed = 0 then Some (fun () _ ~count:_ -> 1)
+           else None);
+        regions =
+          (if has_region then
+             Some
+               (fun () base ~count ->
+                 Array.init count (fun e ->
+                     Buf.sub base ~pos:((e * sizeof) + region_off) ~len:region_len))
+           else if scalar_packed = 0 then
+             Some
+               (fun () base ~count ->
+                 [| Buf.sub base ~pos:0 ~len:(count * sizeof) |])
+           else None);
+      }
+
+  let derived = Derive.equivalence S.layout
+
+  let manual_pack base ~count ~dst =
+    if S.whole_region then
+      Buf.blit ~src:base ~src_pos:0 ~dst ~dst_pos:0 ~len:(count * sizeof)
+    else
+    let pos = ref 0 in
+    for e = 0 to count - 1 do
+      Array.iter
+        (fun (_, e0, l0) ->
+          Buf.blit ~src:base ~src_pos:((e * sizeof) + e0) ~dst ~dst_pos:!pos ~len:l0;
+          pos := !pos + l0)
+        scalar_segments;
+      if has_region then begin
+        Buf.blit ~src:base ~src_pos:((e * sizeof) + region_off) ~dst
+          ~dst_pos:!pos ~len:region_len;
+        pos := !pos + region_len
+      end
+    done
+
+  let manual_unpack ~src base ~count =
+    if S.whole_region then
+      Buf.blit ~src ~src_pos:0 ~dst:base ~dst_pos:0 ~len:(count * sizeof)
+    else
+    let pos = ref 0 in
+    for e = 0 to count - 1 do
+      Array.iter
+        (fun (_, e0, l0) ->
+          Buf.blit ~src ~src_pos:!pos ~dst:base ~dst_pos:((e * sizeof) + e0) ~len:l0;
+          pos := !pos + l0)
+        scalar_segments;
+      if has_region then begin
+        Buf.blit ~src ~src_pos:!pos ~dst:base ~dst_pos:((e * sizeof) + region_off)
+          ~len:region_len;
+        pos := !pos + region_len
+      end
+    done
+
+  let equal_elems a b ~count =
+    if S.whole_region then
+      Buf.equal (Buf.sub a ~pos:0 ~len:(count * sizeof))
+        (Buf.sub b ~pos:0 ~len:(count * sizeof))
+    else
+    let ok = ref true in
+    for e = 0 to count - 1 do
+      Array.iter
+        (fun (_, e0, l0) ->
+          let off = (e * sizeof) + e0 in
+          if
+            not
+              (Buf.equal (Buf.sub a ~pos:off ~len:l0) (Buf.sub b ~pos:off ~len:l0))
+          then ok := false)
+        scalar_segments;
+      if has_region then begin
+        let off = (e * sizeof) + region_off in
+        if
+          not
+            (Buf.equal
+               (Buf.sub a ~pos:off ~len:region_len)
+               (Buf.sub b ~pos:off ~len:region_len))
+        then ok := false
+      end
+    done;
+    !ok
+end
+
+module Struct_vec = Make_struct (struct
+  let layout =
+    Derive.c_layout
+      [
+        Derive.field "a" Datatype.Int32;
+        Derive.field "b" Datatype.Int32;
+        Derive.field "c" Datatype.Int32;
+        Derive.field "d" Datatype.Float64;
+        Derive.field "data" ~count:2048 Datatype.Int32;
+      ]
+
+  let region_field = Some "data"
+  let whole_region = false
+end)
+
+module Struct_simple = Make_struct (struct
+  let layout =
+    Derive.c_layout
+      [
+        Derive.field "a" Datatype.Int32;
+        Derive.field "b" Datatype.Int32;
+        Derive.field "c" Datatype.Int32;
+        Derive.field "d" Datatype.Float64;
+      ]
+
+  let region_field = None
+  let whole_region = false
+end)
+
+module Struct_simple_no_gap = Make_struct (struct
+  let layout =
+    Derive.c_layout
+      [
+        Derive.field "a" Datatype.Int32;
+        Derive.field "b" Datatype.Int32;
+        Derive.field "c" Datatype.Float64;
+      ]
+
+  let region_field = None
+  let whole_region = true
+end)

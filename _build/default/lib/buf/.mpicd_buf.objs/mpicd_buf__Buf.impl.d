@@ -1,0 +1,1 @@
+lib/buf/buf.ml: Bigarray Buffer Bytes Char Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/buf/buf.mli: Bigarray Bytes

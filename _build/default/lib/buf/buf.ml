@@ -1,0 +1,190 @@
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { base : bigstring; off : int; len : int }
+
+let create n =
+  if n < 0 then invalid_arg "Buf.create: negative length";
+  let base = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+  Bigarray.Array1.fill base '\000';
+  { base; off = 0; len = n }
+
+let of_bigstring base = { base; off = 0; len = Bigarray.Array1.dim base }
+
+let length t = t.len
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg
+      (Printf.sprintf "Buf.sub: pos=%d len=%d out of range (buffer len %d)"
+         pos len t.len);
+  { base = t.base; off = t.off + pos; len }
+
+let is_empty t = t.len = 0
+
+let check t i n =
+  if i < 0 || i + n > t.len then
+    invalid_arg
+      (Printf.sprintf "Buf: offset %d (+%d) out of range (len %d)" i n t.len)
+
+let get t i =
+  check t i 1;
+  Bigarray.Array1.unsafe_get t.base (t.off + i)
+
+let set t i c =
+  check t i 1;
+  Bigarray.Array1.unsafe_set t.base (t.off + i) c
+
+let get_u8 t i = Char.code (get t i)
+let set_u8 t i v = set t i (Char.chr (v land 0xff))
+
+let get_i32 t i =
+  check t i 4;
+  let b k = Int32.of_int (Char.code (Bigarray.Array1.unsafe_get t.base (t.off + i + k))) in
+  let ( ||| ) = Int32.logor and ( <<< ) = Int32.shift_left in
+  b 0 ||| (b 1 <<< 8) ||| (b 2 <<< 16) ||| (b 3 <<< 24)
+
+let set_i32 t i v =
+  check t i 4;
+  let put k x =
+    Bigarray.Array1.unsafe_set t.base (t.off + i + k)
+      (Char.unsafe_chr (Int32.to_int x land 0xff))
+  in
+  put 0 v;
+  put 1 (Int32.shift_right_logical v 8);
+  put 2 (Int32.shift_right_logical v 16);
+  put 3 (Int32.shift_right_logical v 24)
+
+let get_i64 t i =
+  check t i 8;
+  let b k = Int64.of_int (Char.code (Bigarray.Array1.unsafe_get t.base (t.off + i + k))) in
+  let ( ||| ) = Int64.logor and ( <<< ) = Int64.shift_left in
+  b 0 ||| (b 1 <<< 8) ||| (b 2 <<< 16) ||| (b 3 <<< 24)
+  ||| (b 4 <<< 32) ||| (b 5 <<< 40) ||| (b 6 <<< 48) ||| (b 7 <<< 56)
+
+let set_i64 t i v =
+  check t i 8;
+  let put k x =
+    Bigarray.Array1.unsafe_set t.base (t.off + i + k)
+      (Char.unsafe_chr (Int64.to_int x land 0xff))
+  in
+  put 0 v;
+  put 1 (Int64.shift_right_logical v 8);
+  put 2 (Int64.shift_right_logical v 16);
+  put 3 (Int64.shift_right_logical v 24);
+  put 4 (Int64.shift_right_logical v 32);
+  put 5 (Int64.shift_right_logical v 40);
+  put 6 (Int64.shift_right_logical v 48);
+  put 7 (Int64.shift_right_logical v 56)
+
+let get_f64 t i = Int64.float_of_bits (get_i64 t i)
+let set_f64 t i v = set_i64 t i (Int64.bits_of_float v)
+let get_f32 t i = Int32.float_of_bits (get_i32 t i)
+let set_f32 t i v = set_i32 t i (Int32.bits_of_float v)
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  check src src_pos len;
+  check dst dst_pos len;
+  (* Small copies dominate the pack loops of the benchmark kernels; a
+     byte loop avoids the cost of materialising two Bigarray views.
+     The byte loop copies forward, which is only memmove-correct when
+     the destination does not overlap the source from above. *)
+  let so = src.off + src_pos and d_o = dst.off + dst_pos in
+  if len <= 64 && (src.base != dst.base || d_o <= so || d_o >= so + len) then
+    for i = 0 to len - 1 do
+      Bigarray.Array1.unsafe_set dst.base (d_o + i)
+        (Bigarray.Array1.unsafe_get src.base (so + i))
+    done
+  else begin
+    let s = Bigarray.Array1.sub src.base so len in
+    let d = Bigarray.Array1.sub dst.base d_o len in
+    Bigarray.Array1.blit s d
+  end
+
+let fill t c =
+  let s = Bigarray.Array1.sub t.base t.off t.len in
+  Bigarray.Array1.fill s c
+
+let copy t =
+  let dst = create t.len in
+  blit ~src:t ~src_pos:0 ~dst ~dst_pos:0 ~len:t.len;
+  dst
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec loop i =
+    i >= a.len
+    || Bigarray.Array1.unsafe_get a.base (a.off + i)
+         = Bigarray.Array1.unsafe_get b.base (b.off + i)
+       && loop (i + 1)
+  in
+  loop 0
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri (fun i c -> Bigarray.Array1.unsafe_set t.base i c) s;
+  t
+
+let to_string t =
+  String.init t.len (fun i -> Bigarray.Array1.unsafe_get t.base (t.off + i))
+
+let blit_from_string s ~src_pos ~dst ~dst_pos ~len =
+  if src_pos < 0 || len < 0 || src_pos + len > String.length s then
+    invalid_arg "Buf.blit_from_string: source range";
+  check dst dst_pos len;
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set dst.base (dst.off + dst_pos + i)
+      (String.unsafe_get s (src_pos + i))
+  done
+
+let blit_to_bytes ~src ~src_pos ~dst ~dst_pos ~len =
+  check src src_pos len;
+  if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg "Buf.blit_to_bytes: destination range";
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_pos + i)
+      (Bigarray.Array1.unsafe_get src.base (src.off + src_pos + i))
+  done
+
+let concat parts =
+  let total = List.fold_left (fun acc p -> acc + p.len) 0 parts in
+  let dst = create total in
+  let pos = ref 0 in
+  List.iter
+    (fun p ->
+      blit ~src:p ~src_pos:0 ~dst ~dst_pos:!pos ~len:p.len;
+      pos := !pos + p.len)
+    parts;
+  dst
+
+let hexdump ?(max_bytes = 256) t =
+  let n = min t.len max_bytes in
+  let buf = Buffer.create (n * 4) in
+  for row = 0 to (n - 1) / 16 do
+    Buffer.add_string buf (Printf.sprintf "%08x  " (row * 16));
+    for col = 0 to 15 do
+      let i = (row * 16) + col in
+      if i < n then Buffer.add_string buf (Printf.sprintf "%02x " (get_u8 t i))
+      else Buffer.add_string buf "   "
+    done;
+    Buffer.add_char buf ' ';
+    for col = 0 to 15 do
+      let i = (row * 16) + col in
+      if i < n then begin
+        let c = get t i in
+        Buffer.add_char buf (if c >= ' ' && c <= '~' then c else '.')
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  if t.len > max_bytes then
+    Buffer.add_string buf (Printf.sprintf "... (%d more bytes)\n" (t.len - max_bytes));
+  Buffer.contents buf
+
+let same_memory a b = a.base == b.base && a.off = b.off && a.len = b.len
+
+let overlaps a b =
+  a.base == b.base && a.len > 0 && b.len > 0
+  && a.off < b.off + b.len
+  && b.off < a.off + a.len

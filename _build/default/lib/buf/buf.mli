@@ -1,0 +1,82 @@
+(** Raw memory buffers for the mpicd stack.
+
+    All message payloads, packed representations and zero-copy regions in
+    this repository are slices of off-heap [Bigarray] byte buffers
+    ("bigstrings").  This mirrors the role of raw [void*] memory in the
+    paper's C/Rust prototype: regions can alias each other, can be
+    sub-sliced without copying, and carry explicit lengths. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** A [t] is a view (offset + length) into a bigstring.  Slicing is O(1)
+    and never copies. *)
+type t = { base : bigstring; off : int; len : int }
+
+val create : int -> t
+(** [create n] allocates a fresh zero-filled buffer of [n] bytes. *)
+
+val of_bigstring : bigstring -> t
+
+val length : t -> int
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub b ~pos ~len] is the slice [b.[pos .. pos+len-1]].
+    @raise Invalid_argument if the range does not fit. *)
+
+val is_empty : t -> bool
+
+(** {1 Byte access} *)
+
+val get : t -> int -> char
+val set : t -> int -> char -> unit
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+(** {1 Little-endian scalar access}
+
+    Multibyte accessors use little-endian order, matching the x86-64
+    testbed of the paper.  Offsets are in bytes and need not be
+    aligned. *)
+
+val get_i32 : t -> int -> int32
+val set_i32 : t -> int -> int32 -> unit
+val get_i64 : t -> int -> int64
+val set_i64 : t -> int -> int64 -> unit
+val get_f64 : t -> int -> float
+val set_f64 : t -> int -> float -> unit
+val get_f32 : t -> int -> float
+val set_f32 : t -> int -> float -> unit
+
+(** {1 Bulk operations} *)
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Copy [len] bytes.  Overlapping ranges behave like [memmove]. *)
+
+val fill : t -> char -> unit
+
+val copy : t -> t
+(** Deep copy into a fresh buffer of the same length. *)
+
+val equal : t -> t -> bool
+(** Byte-wise equality of contents. *)
+
+val of_string : string -> t
+val to_string : t -> string
+
+val blit_from_string : string -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+val blit_to_bytes : src:t -> src_pos:int -> dst:Bytes.t -> dst_pos:int -> len:int -> unit
+
+val concat : t list -> t
+(** Fresh buffer holding the concatenation of the slices. *)
+
+val hexdump : ?max_bytes:int -> t -> string
+(** Human-readable hex dump, for debugging and error messages. *)
+
+val same_memory : t -> t -> bool
+(** [same_memory a b] is [true] iff the two slices denote exactly the
+    same byte range of the same underlying bigstring (used by tests to
+    assert zero-copy behaviour). *)
+
+val overlaps : t -> t -> bool
+(** Whether the two slices share at least one byte of storage. *)

@@ -1,0 +1,1 @@
+lib/capi/capi.ml: Array Mpicd Mpicd_buf Option

@@ -1,0 +1,1 @@
+lib/capi/capi.mli: Mpicd Mpicd_buf

@@ -1,0 +1,168 @@
+(** C-ABI-shaped façade over the custom datatype API.
+
+    The paper proposes the interface as C prototypes
+    ([MPI_Type_create_custom], Listings 2–5): every callback returns an
+    [int] status code ([MPI_SUCCESS] or an error) and produces results
+    through out-parameters.  This module mirrors those signatures as
+    directly as OCaml allows — the analog of the prototype's
+    [mpicd-capi] crate, and evidence that the proposal is expressible
+    behind a C ABI:
+
+    - [void *] message buffers are {!Buf.t} (raw memory);
+    - [void *state] / [void *context] are {!Univ.t} universal values
+      (the type-safe OCaml stand-in for a C void pointer);
+    - out-parameters are [ref] cells, arrays filled in place, and
+      mutable status records;
+    - all functions return [MPI_SUCCESS] or an [MPI_ERR_*] code instead
+      of raising. *)
+
+module Buf = Mpicd_buf.Buf
+module Mpi = Mpicd.Mpi
+
+(** Universal values: a typed [void *]. *)
+module Univ : sig
+  type t
+
+  val embed : unit -> ('a -> t) * (t -> 'a option)
+  (** [embed ()] returns an injection/projection pair for one type. *)
+end
+
+(** {1 Status codes} *)
+
+val mpi_success : int
+val mpi_err_arg : int
+val mpi_err_truncate : int
+val mpi_err_type : int
+val mpi_err_other : int
+
+(** {1 Callback prototypes (paper Listings 3–5)} *)
+
+type count = int
+(** [MPI_Count]. *)
+
+type state_function =
+  context:Univ.t option ->
+  src:Buf.t ->
+  src_count:count ->
+  state:Univ.t option ref ->
+  int
+(** [MPI_Type_custom_state_function] (Listing 3). *)
+
+type state_free_function = state:Univ.t option -> int
+
+type query_function =
+  state:Univ.t option -> buf:Buf.t -> count:count -> packed_size:count ref -> int
+(** [MPI_Type_custom_query_function] (Listing 4). *)
+
+type pack_function =
+  state:Univ.t option ->
+  buf:Buf.t ->
+  count:count ->
+  offset:count ->
+  dst:Buf.t ->
+  used:count ref ->
+  int
+(** [MPI_Type_custom_pack_function]: fill (part of) [dst] with packed
+    bytes from virtual offset [offset]; report bytes produced in
+    [used]. *)
+
+type unpack_function =
+  state:Univ.t option ->
+  buf:Buf.t ->
+  count:count ->
+  offset:count ->
+  src:Buf.t ->
+  int
+
+type region_count_function =
+  state:Univ.t option -> buf:Buf.t -> count:count -> region_count:count ref -> int
+(** [MPI_Type_custom_region_count_function] (Listing 5). *)
+
+type region_function =
+  state:Univ.t option ->
+  buf:Buf.t ->
+  count:count ->
+  region_count:count ->
+  reg_bases:Buf.t option array ->
+  reg_lens:count array ->
+  int
+(** [MPI_Type_custom_region_function]: fill [reg_bases]/[reg_lens]
+    (all regions are byte-typed in this façade, i.e. [reg_types] is
+    implicitly [MPI_BYTE]). *)
+
+(** {1 Datatypes} *)
+
+type datatype
+(** An [MPI_Datatype] handle. *)
+
+val mpi_byte : datatype
+
+val mpi_type_create_custom :
+  statefn:state_function ->
+  freefn:state_free_function ->
+  queryfn:query_function ->
+  packfn:pack_function ->
+  unpackfn:unpack_function ->
+  region_countfn:region_count_function option ->
+  regionfn:region_function option ->
+  context:Univ.t option ->
+  inorder:int ->
+  datatype ref ->
+  int
+(** The paper's Listing 2.  On success writes the new handle into the
+    out-parameter and returns [MPI_SUCCESS]. *)
+
+val mpi_type_free : datatype ref -> int
+
+(** {1 Point-to-point} *)
+
+type mpi_status = {
+  mutable st_source : int;
+  mutable st_tag : int;
+  mutable st_len : count;
+  mutable st_error : int;
+}
+
+val mpi_status_ignore : unit -> mpi_status
+
+val mpi_send :
+  buf:Buf.t -> count:count -> datatype:datatype -> dest:int -> tag:int ->
+  comm:Mpi.comm -> int
+
+val mpi_recv :
+  buf:Buf.t -> count:count -> datatype:datatype -> source:int -> tag:int ->
+  comm:Mpi.comm -> status:mpi_status -> int
+(** [source] may be {!Mpi.any_source} and [tag] {!Mpi.any_tag}. *)
+
+(** {1 Nonblocking operations} *)
+
+type mpi_request
+
+val mpi_request_null : unit -> mpi_request ref
+
+val mpi_isend :
+  buf:Buf.t -> count:count -> datatype:datatype -> dest:int -> tag:int ->
+  comm:Mpi.comm -> request:mpi_request ref -> int
+
+val mpi_irecv :
+  buf:Buf.t -> count:count -> datatype:datatype -> source:int -> tag:int ->
+  comm:Mpi.comm -> request:mpi_request ref -> int
+
+val mpi_wait : request:mpi_request ref -> status:mpi_status -> int
+(** Completes the request (the handle becomes the null request, as in
+    MPI).  Waiting on the null request returns [MPI_SUCCESS] with an
+    empty status. *)
+
+val mpi_test :
+  request:mpi_request ref -> flag:int ref -> status:mpi_status -> int
+(** [flag] is set to 1 and the request freed once complete. *)
+
+val mpi_probe :
+  source:int -> tag:int -> comm:Mpi.comm -> status:mpi_status -> int
+
+val mpi_iprobe :
+  source:int -> tag:int -> comm:Mpi.comm -> flag:int ref -> status:mpi_status -> int
+
+val mpi_comm_rank : comm:Mpi.comm -> rank:int ref -> int
+val mpi_comm_size : comm:Mpi.comm -> size:int ref -> int
+val mpi_barrier : comm:Mpi.comm -> int

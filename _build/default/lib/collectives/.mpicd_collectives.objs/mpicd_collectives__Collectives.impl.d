@@ -1,0 +1,1 @@
+lib/collectives/collectives.ml: Array Float List Mpicd Mpicd_buf

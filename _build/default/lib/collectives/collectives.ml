@@ -1,0 +1,182 @@
+module Buf = Mpicd_buf.Buf
+module Mpi = Mpicd.Mpi
+module K = Mpi.Internal
+
+(* Internal tag layout: seq * 4096 + opcode * 1024 + round.  Sequence
+   numbers come from the shared per-communicator counter, so SPMD
+   ordering keeps all ranks in agreement; per-channel FIFO matching
+   makes residual numeric collisions harmless. *)
+let op_barrier = 0
+let op_bcast = 1
+let op_move = 2 (* gather / scatter / allgather rounds *)
+let op_reduce = 3
+
+let tag_of ~seq ~op ~round =
+  if round >= 1024 then invalid_arg "Collectives: too many rounds";
+  (seq * 4096) + (op * 1024) + round
+
+let barrier comm =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  let seq = K.fresh_seq comm in
+  if n > 1 then begin
+    let empty () = Mpi.Bytes (Buf.create 0) in
+    let round = ref 0 in
+    let dist = ref 1 in
+    while !dist < n do
+      let to_ = (me + !dist) mod n in
+      let from = (me - !dist + n) mod n in
+      let tag = tag_of ~seq ~op:op_barrier ~round:!round in
+      let s = K.isend_k comm K.Internal ~dst:to_ ~tag (empty ()) in
+      ignore (K.recv_k comm K.Internal ~source:from ~tag (empty ()));
+      ignore (Mpi.wait s);
+      incr round;
+      dist := !dist * 2
+    done
+  end
+
+let bcast comm ~root buf =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  if root < 0 || root >= n then invalid_arg "Collectives.bcast: bad root";
+  let seq = K.fresh_seq comm in
+  if n > 1 then begin
+    let tag = tag_of ~seq ~op:op_bcast ~round:0 in
+    let vrank = (me - root + n) mod n in
+    (* find the lowest set bit of vrank (or the first power >= n for
+       the root), receiving from the parent on the way *)
+    let mask = ref 1 in
+    while !mask < n && vrank land !mask = 0 do
+      mask := !mask * 2
+    done;
+    if vrank <> 0 then begin
+      let parent = (vrank - !mask + root) mod n in
+      ignore (K.recv_k comm K.Internal ~source:parent ~tag buf)
+    end;
+    (* forward to children *)
+    mask := !mask / 2;
+    while !mask >= 1 do
+      let vchild = vrank + !mask in
+      if vchild < n then begin
+        let child = (vchild + root) mod n in
+        K.send_k comm K.Internal ~dst:child ~tag buf
+      end;
+      mask := !mask / 2
+    done
+  end
+
+let gather comm ~root ~send ~recv =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  if root < 0 || root >= n then invalid_arg "Collectives.gather: bad root";
+  let seq = K.fresh_seq comm in
+  let tag = tag_of ~seq ~op:op_move ~round:0 in
+  if me = root then
+    for i = 0 to n - 1 do
+      if i <> root then ignore (K.recv_k comm K.Internal ~source:i ~tag (recv i))
+    done
+  else K.send_k comm K.Internal ~dst:root ~tag send
+
+let scatter comm ~root ~send ~recv =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  if root < 0 || root >= n then invalid_arg "Collectives.scatter: bad root";
+  let seq = K.fresh_seq comm in
+  let tag = tag_of ~seq ~op:op_move ~round:0 in
+  if me = root then
+    for i = 0 to n - 1 do
+      if i <> root then K.send_k comm K.Internal ~dst:i ~tag (send i)
+    done
+  else ignore (K.recv_k comm K.Internal ~source:root ~tag recv)
+
+let allgather comm ~send ~recv =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  let seq = K.fresh_seq comm in
+  if n > 1 then begin
+    let right = (me + 1) mod n and left = (me - 1 + n) mod n in
+    (* ring: in round s we forward the contribution of rank
+       (me - s) mod n and receive that of (me - s - 1) mod n *)
+    for s = 0 to n - 2 do
+      let tag = tag_of ~seq ~op:op_move ~round:s in
+      let outgoing_owner = (me - s + n) mod n in
+      let incoming_owner = (me - s - 1 + n) mod n in
+      let out = if outgoing_owner = me then send else recv outgoing_owner in
+      let inc = recv incoming_owner in
+      let sreq = K.isend_k comm K.Internal ~dst:right ~tag out in
+      ignore (K.recv_k comm K.Internal ~source:left ~tag inc);
+      ignore (Mpi.wait sreq)
+    done
+  end
+
+let alltoall comm ~send ~recv =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  let seq = K.fresh_seq comm in
+  let tag = tag_of ~seq ~op:op_move ~round:1 in
+  (* pairwise exchange schedule: in round r, partner = me xor r (for
+     power-of-two sizes) falling back to shifted pairing otherwise *)
+  let reqs = ref [] in
+  for peer = 0 to n - 1 do
+    if peer <> me then
+      reqs := K.isend_k comm K.Internal ~dst:peer ~tag (send peer) :: !reqs
+  done;
+  for peer = 0 to n - 1 do
+    if peer <> me then
+      ignore (K.irecv_k comm K.Internal ~source:peer ~tag (recv peer) |> Mpi.wait)
+  done;
+  List.iter (fun r -> ignore (Mpi.wait r)) !reqs
+
+(* --- float64 reductions --- *)
+
+let buf_of_floats fs =
+  let b = Buf.create (8 * Array.length fs) in
+  Array.iteri (fun i v -> Buf.set_f64 b (8 * i) v) fs;
+  b
+
+let floats_into b fs =
+  for i = 0 to Array.length fs - 1 do
+    fs.(i) <- Buf.get_f64 b (8 * i)
+  done
+
+let apply_op op a incoming =
+  let f =
+    match op with
+    | `Sum -> ( +. )
+    | `Max -> Float.max
+    | `Min -> Float.min
+  in
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- f a.(i) incoming.(i)
+  done
+
+let reduce_f64 comm ~root ~op data =
+  let n = Mpi.size comm and me = Mpi.rank comm in
+  if root < 0 || root >= n then invalid_arg "Collectives.reduce_f64: bad root";
+  let seq = K.fresh_seq comm in
+  if n > 1 then begin
+    let vrank = (me - root + n) mod n in
+    let scratch = Array.make (Array.length data) 0. in
+    let inbuf = Buf.create (8 * Array.length data) in
+    let mask = ref 1 in
+    let continue = ref true in
+    while !continue && !mask < n do
+      if vrank land !mask = 0 then begin
+        let vchild = vrank + !mask in
+        if vchild < n then begin
+          let child = (vchild + root) mod n in
+          let tag = tag_of ~seq ~op:op_reduce ~round:0 in
+          ignore (K.recv_k comm K.Internal ~source:child ~tag (Mpi.Bytes inbuf));
+          floats_into inbuf scratch;
+          apply_op op data scratch
+        end
+      end
+      else begin
+        let parent = ((vrank - !mask) + root) mod n in
+        let tag = tag_of ~seq ~op:op_reduce ~round:0 in
+        K.send_k comm K.Internal ~dst:parent ~tag (Mpi.Bytes (buf_of_floats data));
+        continue := false
+      end;
+      mask := !mask * 2
+    done
+  end
+
+let allreduce_f64 comm ~op data =
+  reduce_f64 comm ~root:0 ~op data;
+  let b = buf_of_floats data in
+  bcast comm ~root:0 (Mpi.Bytes b);
+  floats_into b data

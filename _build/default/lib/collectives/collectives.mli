@@ -1,0 +1,57 @@
+(** Collective operations over mpicd buffers — including custom
+    datatypes.
+
+    The paper leaves "integration with collective operations as future
+    work, which we acknowledge as a requirement for standardization"
+    (§VIII) and notes that collectives would need boundaries between
+    minimum chunks of data processed by the callbacks (§VI).  This
+    module implements that future work in a simplified form: every
+    collective treats one {!Mpi.buffer} as an indivisible chunk, so all
+    algorithms (binomial trees, dissemination barrier, rounds of
+    broadcasts) only ever forward whole buffers — which is exactly the
+    chunk-boundary discipline the paper asks for.
+
+    Collectives are SPMD: every rank of the communicator must call the
+    same operation in the same order.  All traffic runs in the internal
+    tag space and cannot collide with user point-to-point messages. *)
+
+module Buf = Mpicd_buf.Buf
+module Mpi = Mpicd.Mpi
+
+val barrier : Mpi.comm -> unit
+(** Dissemination barrier: ceil(log2 n) rounds (the linear
+    {!Mpi.barrier} is kept for comparison in the ablation bench). *)
+
+val bcast : Mpi.comm -> root:int -> Mpi.buffer -> unit
+(** Binomial-tree broadcast.  At the root the buffer supplies the data;
+    at other ranks it receives it.  Works for [Bytes], [Typed] and
+    [Custom] buffers: intermediate tree nodes receive into their buffer
+    and forward from it. *)
+
+val gather : Mpi.comm -> root:int -> send:Mpi.buffer -> recv:(int -> Mpi.buffer) -> unit
+(** Linear gather.  At the root, [recv i] must yield the buffer for
+    rank [i]'s contribution, for every [i <> root]; the root's own
+    contribution stays in place (as in MPI_IN_PLACE).  [recv] is not
+    called on non-root ranks. *)
+
+val scatter : Mpi.comm -> root:int -> send:(int -> Mpi.buffer) -> recv:Mpi.buffer -> unit
+(** Linear scatter, dual of {!gather}. *)
+
+val allgather : Mpi.comm -> send:Mpi.buffer -> recv:(int -> Mpi.buffer) -> unit
+(** Every rank contributes [send] and receives every other rank's
+    contribution into [recv i].  ([recv] is not called for the caller's
+    own rank.)  Implemented as n-1 rounds of a ring exchange. *)
+
+val alltoall : Mpi.comm -> send:(int -> Mpi.buffer) -> recv:(int -> Mpi.buffer) -> unit
+(** Personalized all-to-all: rank i's [send j] buffer is delivered into
+    rank j's [recv i] buffer.  Neither function is called for the
+    caller's own rank (local data stays in place). *)
+
+val reduce_f64 :
+  Mpi.comm -> root:int -> op:[ `Sum | `Max | `Min ] -> float array -> unit
+(** Binomial-tree reduction of a float64 vector; the result replaces
+    the root's array contents.  Non-root arrays are used as scratch. *)
+
+val allreduce_f64 :
+  Mpi.comm -> op:[ `Sum | `Max | `Min ] -> float array -> unit
+(** {!reduce_f64} to rank 0 followed by {!bcast}. *)

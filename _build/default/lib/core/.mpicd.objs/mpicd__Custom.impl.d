@@ -1,0 +1,1 @@
+lib/core/custom.ml: Mpicd_buf

@@ -1,0 +1,1 @@
+lib/core/custom.mli: Mpicd_buf

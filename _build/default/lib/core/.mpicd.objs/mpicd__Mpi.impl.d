@@ -1,0 +1,1 @@
+lib/core/mpi.ml: Array Custom Fun Int64 List Mpicd_buf Mpicd_datatype Mpicd_simnet Mpicd_ucx Option Printf

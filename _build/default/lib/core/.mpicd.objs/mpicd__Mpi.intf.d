@@ -1,0 +1,1 @@
+lib/core/mpi.mli: Custom Mpicd_buf Mpicd_datatype Mpicd_simnet

@@ -1,0 +1,642 @@
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Rng = Mpicd_simnet.Rng
+module Datatype = Mpicd_datatype.Datatype
+module Ucx = Mpicd_ucx.Ucx
+
+type world = {
+  engine : Engine.t;
+  config : Config.t;
+  stats : Stats.t;
+  ucx : Ucx.context;
+  workers : Ucx.worker array;
+  eps : Ucx.endpoint array array;  (* eps.(src).(dst) *)
+  mutable shuffle : Rng.t option;
+  mutable next_cid : int;  (* communicator-id allocator (rank 0 side) *)
+}
+
+type comm = {
+  w : world;
+  c_rank : int;  (* rank within this communicator *)
+  group : int array;  (* comm rank -> world rank *)
+  cid : int;  (* communicator id, part of the tag space *)
+  mutable bar_seq : int;
+}
+
+let create_world ?(config = Config.default) ~size () =
+  if size < 1 then invalid_arg "Mpi.create_world: size must be >= 1";
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ucx = Ucx.create_context ~engine ~config ~stats in
+  let workers = Array.init size (fun _ -> Ucx.create_worker ucx) in
+  let eps =
+    Array.init size (fun s ->
+        Array.init size (fun d -> Ucx.connect workers.(s) workers.(d)))
+  in
+  { engine; config; stats; ucx; workers; eps; shuffle = None; next_cid = 1 }
+
+let world_engine w = w.engine
+let world_stats w = w.stats
+let world_config w = w.config
+let world_size w = Array.length w.workers
+let set_unpack_shuffle w ~seed = w.shuffle <- Option.map Rng.create seed
+let set_trace w t = Ucx.set_trace w.ucx t
+
+let comm_for_rank w r =
+  if r < 0 || r >= world_size w then invalid_arg "Mpi.comm_for_rank: bad rank";
+  { w; c_rank = r; group = Array.init (world_size w) Fun.id; cid = 0; bar_seq = 0 }
+
+let spawn_rank w r f =
+  let comm = comm_for_rank w r in
+  Engine.spawn w.engine ~name:(Printf.sprintf "rank%d" r) (fun () -> f comm)
+
+let run w f =
+  for r = 0 to world_size w - 1 do
+    spawn_rank w r f
+  done;
+  Engine.run w.engine
+
+let rank c = c.c_rank
+let size c = Array.length c.group
+let world_of c = c.w
+let world_rank_of c r = c.group.(r)
+
+let any_source = -1
+let any_tag = -1
+
+(* --- tag encoding ---
+   bit layout of the 64-bit transport tag:
+     [62..48] source rank  (15 bits)
+     [45..44] kind         (2 bits)
+     [43..0]  user tag     (44 bits) *)
+
+module Internal0 = struct
+  type kind = User | Internal | Objmsg | Objmsg_aux
+end
+
+let kind_code : Internal0.kind -> int = function
+  | User -> 0
+  | Internal -> 1
+  | Objmsg -> 2
+  | Objmsg_aux -> 3
+
+let src_shift = 48
+let kind_shift = 44
+let cid_shift = 38
+let user_mask = 0x3F_FFFF_FFFFL (* 38 bits *)
+let max_user_tag = 0x3F_FFFF_FFFF (* 2^38 - 1 *)
+let max_cid = 63
+
+let encode_tag ~src ~kind ~cid ~utag =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int src) src_shift)
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int (kind_code kind)) kind_shift)
+       (Int64.logor
+          (Int64.shift_left (Int64.of_int cid) cid_shift)
+          (Int64.of_int utag)))
+
+let decode_source t64 = Int64.to_int (Int64.shift_right_logical t64 src_shift)
+let decode_utag t64 = Int64.to_int (Int64.logand t64 user_mask)
+
+let check_user_tag tag =
+  if tag < 0 || tag > max_user_tag then
+    invalid_arg (Printf.sprintf "Mpi: tag %d out of range" tag)
+
+(* Receive-side tag and mask for a (source, tag) filter.  [source] is a
+   WORLD rank here; communicator translation happens in the callers. *)
+let recv_tag_mask ~kind ~cid ~source ~tag =
+  let base_mask =
+    Int64.logor
+      (Int64.shift_left 3L kind_shift)
+      (Int64.shift_left 0x3FL cid_shift)
+  in
+  let src_part, src_mask =
+    if source = any_source then (0L, 0L)
+    else
+      ( Int64.shift_left (Int64.of_int source) src_shift,
+        Int64.shift_left 0x7FFFL src_shift )
+  in
+  let tag_part, tag_mask =
+    if tag = any_tag then (0L, 0L)
+    else begin
+      check_user_tag tag;
+      (Int64.of_int tag, user_mask)
+    end
+  in
+  let t =
+    Int64.logor src_part
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int (kind_code kind)) kind_shift)
+         (Int64.logor (Int64.shift_left (Int64.of_int cid) cid_shift) tag_part))
+  in
+  let m = Int64.logor base_mask (Int64.logor src_mask tag_mask) in
+  (t, m)
+
+(* --- buffers --- *)
+
+type buffer =
+  | Bytes of Buf.t
+  | Typed of { dt : Datatype.t; count : int; base : Buf.t }
+  | Custom : { dt : 'o Custom.t; obj : 'o; count : int } -> buffer
+
+type error =
+  | Truncated of { expected : int; capacity : int }
+  | Callback_failed of int
+
+exception Mpi_error of error
+
+type status = { source : int; tag : int; len : int }
+
+let charge c t = Engine.sleep c.w.engine t
+let cpu c = c.w.config.cpu
+
+(* Wrap callback execution so Custom.Error surfaces as Mpi_error. *)
+let guard f =
+  try f () with Custom.Error code -> raise (Mpi_error (Callback_failed code))
+
+(* Run the query (+ optional region) callbacks of a custom op, charging
+   their fixed costs. *)
+let custom_query c op =
+  let psize = guard (fun () -> Custom.packed_size op) in
+  Stats.record_query_cb c.w.stats;
+  charge c (cpu c).pack_cb_overhead_ns;
+  let regs =
+    if guard (fun () -> Custom.region_count op) > 0 then begin
+      Stats.record_region_query c.w.stats;
+      charge c (cpu c).pack_cb_overhead_ns;
+      guard (fun () -> Custom.regions op)
+    end
+    else [||]
+  in
+  (psize, regs)
+
+(* Pack the packed part of a custom op into a fresh bounce buffer,
+   fragment by fragment (exercising partial packing). *)
+let custom_pack_bounce c op psize =
+  let frag = c.w.config.link.frag_size in
+  let b = Buf.create psize in
+  Stats.record_alloc c.w.stats psize;
+  charge c (Config.alloc_time (cpu c) psize);
+  let off = ref 0 and ncb = ref 0 in
+  while !off < psize do
+    let want = min frag (psize - !off) in
+    let used =
+      guard (fun () -> Custom.pack op ~offset:!off ~dst:(Buf.sub b ~pos:!off ~len:want))
+    in
+    Stats.record_pack_cb c.w.stats;
+    incr ncb;
+    if used <= 0 || used > want then
+      raise (Mpi_error (Callback_failed (-1)));
+    off := !off + used
+  done;
+  Stats.record_copy c.w.stats psize;
+  charge c
+    (Config.memcpy_time (cpu c) psize
+    +. (float_of_int !ncb *. (cpu c).pack_cb_overhead_ns)
+    +. (float_of_int (Custom.pack_pieces op) *. (cpu c).pack_piece_ns));
+  b
+
+(* Unpack the packed part after receive, honouring the inorder flag. *)
+let custom_unpack_bounce c op b =
+  let psize = Buf.length b in
+  let frag = c.w.config.link.frag_size in
+  let nfrags = (psize + frag - 1) / frag in
+  let order = Array.init nfrags (fun i -> i) in
+  (match c.w.shuffle with
+  | Some rng when not (Custom.op_inorder op) -> Rng.shuffle rng order
+  | _ -> ());
+  Array.iter
+    (fun i ->
+      let off = i * frag in
+      let len = min frag (psize - off) in
+      guard (fun () -> Custom.unpack op ~offset:off ~src:(Buf.sub b ~pos:off ~len));
+      Stats.record_unpack_cb c.w.stats)
+    order;
+  Stats.record_copy c.w.stats psize;
+  charge c
+    (Config.memcpy_time (cpu c) psize
+    +. (float_of_int nfrags *. (cpu c).pack_cb_overhead_ns)
+    +. (float_of_int (Custom.pack_pieces op) *. (cpu c).pack_piece_ns))
+
+let typed_overheads c dt count =
+  let blocks = Datatype.blocks_per_element dt * count in
+  Stats.record_ddt_blocks c.w.stats blocks;
+  float_of_int blocks *. (cpu c).ddt_block_ns
+
+let buffer_size = function
+  | Bytes b -> Buf.length b
+  | Typed { dt; count; _ } -> Datatype.packed_size dt ~count
+  | Custom { dt; obj; count } ->
+      let op = Custom.start dt obj ~count in
+      let psize = Custom.packed_size op in
+      let regs = if Custom.region_count op > 0 then Custom.regions op else [||] in
+      let rbytes = Array.fold_left (fun a r -> a + Buf.length r) 0 regs in
+      Custom.finish op;
+      psize + rbytes
+
+(* Build the transport descriptors.  Returns the descriptor plus a
+   cleanup to run (in the waiting fiber) once the operation completes. *)
+let make_send_dt c = function
+  | Bytes b -> (Ucx.Sd_contig b, fun _ -> ())
+  | Typed { dt; count; base } ->
+      let psize = Datatype.packed_size dt ~count in
+      if psize = 0 || Datatype.is_contiguous dt then
+        (Ucx.Sd_contig (Buf.sub base ~pos:0 ~len:psize), fun _ -> ())
+      else
+        let overhead = typed_overheads c dt count in
+        ( Ucx.Sd_generic
+            {
+              sg_packed_size = psize;
+              sg_pack =
+                (fun ~offset ~dst ->
+                  Datatype.pack_range dt ~count ~src:base ~packed_off:offset ~dst);
+              sg_finish = ignore;
+              sg_overhead_ns = overhead;
+            },
+          fun _ -> () )
+  | Custom { dt; obj; count } ->
+      let op = Custom.start dt obj ~count in
+      let psize, regs =
+        try custom_query c op
+        with e ->
+          Custom.finish op;
+          raise e
+      in
+      let packed =
+        if psize > 0 then begin
+          match custom_pack_bounce c op psize with
+          | b -> [ b ]
+          | exception e ->
+              Custom.finish op;
+              raise e
+        end
+        else []
+      in
+      let iov = packed @ Array.to_list regs in
+      ( Ucx.Sd_iov iov,
+        fun _ ->
+          if psize > 0 then Stats.record_free c.w.stats psize;
+          Custom.finish op )
+
+let make_recv_dt c = function
+  | Bytes b -> (Ucx.Rd_contig b, fun _ -> ())
+  | Typed { dt; count; base } ->
+      let psize = Datatype.packed_size dt ~count in
+      if psize = 0 || Datatype.is_contiguous dt then
+        (Ucx.Rd_contig (Buf.sub base ~pos:0 ~len:psize), fun _ -> ())
+      else
+        let overhead = typed_overheads c dt count in
+        ( Ucx.Rd_generic
+            {
+              rg_capacity = psize;
+              rg_unpack =
+                (fun ~offset ~src ->
+                  Datatype.unpack_range dt ~count ~src ~packed_off:offset
+                    ~dst:base);
+              rg_finish = ignore;
+              rg_overhead_ns = overhead;
+            },
+          fun _ -> () )
+  | Custom { dt; obj; count } ->
+      let op = Custom.start dt obj ~count in
+      let psize, regs =
+        try custom_query c op
+        with e ->
+          Custom.finish op;
+          raise e
+      in
+      let packed =
+        if psize > 0 then begin
+          let b = Buf.create psize in
+          Stats.record_alloc c.w.stats psize;
+          charge c (Config.alloc_time (cpu c) psize);
+          [ b ]
+        end
+        else []
+      in
+      let iov = packed @ Array.to_list regs in
+      ( Ucx.Rd_iov iov,
+        fun (st : Ucx.status) ->
+          (match (st.error, packed) with
+          | None, [ b ] -> custom_unpack_bounce c op b
+          | _ -> ());
+          if psize > 0 then Stats.record_free c.w.stats psize;
+          Custom.finish op )
+
+(* --- requests --- *)
+
+type request = {
+  ucx_req : Ucx.request;
+  finalize : Ucx.status -> status;
+  mutable result : status option;
+  r_engine : Engine.t;
+}
+
+let lift_error : Ucx.error -> error = function
+  | Ucx.Truncated { expected; capacity } -> Truncated { expected; capacity }
+  | Ucx.Callback_failed code -> Callback_failed code
+
+(* Statuses report communicator-relative source ranks: translate the
+   world rank in the wire tag back through the group. *)
+let comm_source c world_rank =
+  let n = Array.length c.group in
+  let rec find i = if i >= n then -1 else if c.group.(i) = world_rank then i else find (i + 1) in
+  find 0
+
+let decode_status c (st : Ucx.status) =
+  { source = comm_source c (decode_source st.tag); tag = decode_utag st.tag; len = st.len }
+
+let wait r =
+  match r.result with
+  | Some s -> s
+  | None ->
+      let u = Ucx.wait r.ucx_req in
+      let s = r.finalize u in
+      r.result <- Some s;
+      s
+
+let waitall rs = List.map wait rs
+
+let test r =
+  match r.result with
+  | Some s -> Some s
+  | None -> (
+      match Ucx.peek r.ucx_req with
+      | None -> None
+      | Some u ->
+          let s = r.finalize u in
+          r.result <- Some s;
+          Some s)
+
+let waitany rs =
+  if rs = [] then invalid_arg "Mpi.waitany: empty request list";
+  (* fast path: something already done *)
+  let rec find i = function
+    | [] -> None
+    | r :: rest -> (
+        match test r with Some s -> Some (i, s) | None -> find (i + 1) rest)
+  in
+  match find 0 rs with
+  | Some hit -> hit
+  | None ->
+      (* race: one helper fiber per request; the first to complete
+         resumes the caller, the others notice and stand down *)
+      let engine = (List.hd rs).r_engine in
+      let outcome =
+        Engine.suspend engine (fun resume ->
+            let fired = ref false in
+            List.iteri
+              (fun i r ->
+                Engine.spawn engine ~name:"waitany" (fun () ->
+                    let res =
+                      match wait r with
+                      | s -> Ok (i, s)
+                      | exception e -> Error e
+                    in
+                    if not !fired then begin
+                      fired := true;
+                      resume res
+                    end))
+              rs)
+      in
+      (match outcome with Ok hit -> hit | Error e -> raise e)
+
+let make_request c ucx_req cleanup =
+  {
+    ucx_req;
+    finalize =
+      (fun (u : Ucx.status) ->
+        cleanup u;
+        match u.error with
+        | Some e -> raise (Mpi_error (lift_error e))
+        | None -> decode_status c u);
+    result = None;
+    r_engine = c.w.engine;
+  }
+
+let check_dst c r name =
+  if r < 0 || r >= size c then
+    invalid_arg (Printf.sprintf "Mpi.%s: bad rank %d" name r)
+
+let isend_k c kind ~dst ~tag buf =
+  check_dst c dst "isend";
+  check_user_tag tag;
+  let dt, cleanup = make_send_dt c buf in
+  let me = c.group.(c.c_rank) and peer = c.group.(dst) in
+  let t64 = encode_tag ~src:me ~kind ~cid:c.cid ~utag:tag in
+  let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
+  make_request c req cleanup
+
+let irecv_k c kind ?(source = any_source) ?(tag = any_tag) buf =
+  if source <> any_source then check_dst c source "irecv";
+  let dt, cleanup = make_recv_dt c buf in
+  let source = if source = any_source then any_source else c.group.(source) in
+  let t64, mask = recv_tag_mask ~kind ~cid:c.cid ~source ~tag in
+  let req = Ucx.tag_recv c.w.workers.(c.group.(c.c_rank)) ~tag:t64 ~mask dt in
+  make_request c req cleanup
+
+let send_k c kind ~dst ~tag buf = ignore (wait (isend_k c kind ~dst ~tag buf))
+let recv_k c kind ?source ?tag buf = wait (irecv_k c kind ?source ?tag buf)
+
+let isend c ~dst ~tag buf = isend_k c Internal0.User ~dst ~tag buf
+let irecv c ?source ?tag buf = irecv_k c Internal0.User ?source ?tag buf
+let send c ~dst ~tag buf = send_k c Internal0.User ~dst ~tag buf
+let recv c ?source ?tag buf = recv_k c Internal0.User ?source ?tag buf
+
+(* --- probing --- *)
+
+type message = Ucx.message
+
+let probe_status c (info : Ucx.probe_info) =
+  {
+    source = comm_source c (decode_source info.p_tag);
+    tag = decode_utag info.p_tag;
+    len = info.p_len;
+  }
+
+let probe_args c kind source tag =
+  let source = if source = any_source then any_source else c.group.(source) in
+  recv_tag_mask ~kind ~cid:c.cid ~source ~tag
+
+let my_worker c = c.w.workers.(c.group.(c.c_rank))
+
+let iprobe_k c kind ?(source = any_source) ?(tag = any_tag) () =
+  let t64, mask = probe_args c kind source tag in
+  Ucx.tag_probe (my_worker c) ~tag:t64 ~mask |> Option.map (probe_status c)
+
+let probe_k c kind ?(source = any_source) ?(tag = any_tag) () =
+  let t64, mask = probe_args c kind source tag in
+  probe_status c (Ucx.tag_probe_wait (my_worker c) ~tag:t64 ~mask)
+
+let improbe_k c kind ?(source = any_source) ?(tag = any_tag) () =
+  let t64, mask = probe_args c kind source tag in
+  Ucx.tag_mprobe (my_worker c) ~tag:t64 ~mask
+  |> Option.map (fun (info, msg) -> (probe_status c info, msg))
+
+let mprobe_k c kind ?(source = any_source) ?(tag = any_tag) () =
+  let t64, mask = probe_args c kind source tag in
+  let info, msg = Ucx.tag_mprobe_wait (my_worker c) ~tag:t64 ~mask in
+  (probe_status c info, msg)
+
+let mrecv_k c _kind msg buf =
+  let dt, cleanup = make_recv_dt c buf in
+  let req = Ucx.msg_recv (my_worker c) msg dt in
+  wait (make_request c req cleanup)
+
+let iprobe c ?source ?tag () = iprobe_k c Internal0.User ?source ?tag ()
+let probe c ?source ?tag () = probe_k c Internal0.User ?source ?tag ()
+let improbe c ?source ?tag () = improbe_k c Internal0.User ?source ?tag ()
+let mprobe c ?source ?tag () = mprobe_k c Internal0.User ?source ?tag ()
+let mrecv c msg buf = mrecv_k c Internal0.User msg buf
+
+(* --- barrier (linear; the harness only needs correctness) --- *)
+
+let empty () = Bytes (Buf.create 0)
+
+let fresh_seq c =
+  let seq = c.bar_seq in
+  c.bar_seq <- seq + 1;
+  seq
+
+let barrier c =
+  let seq = fresh_seq c in
+  let tag = seq * 16 in
+  if c.c_rank = 0 then begin
+    for _ = 1 to size c - 1 do
+      ignore (recv_k c Internal0.Internal ~tag (empty ()))
+    done;
+    for r = 1 to size c - 1 do
+      send_k c Internal0.Internal ~dst:r ~tag:(tag + 1) (empty ())
+    done
+  end
+  else begin
+    send_k c Internal0.Internal ~dst:0 ~tag (empty ());
+    ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (empty ()))
+  end
+
+(* --- communicator management --- *)
+
+let alloc_cid w =
+  let cid = w.next_cid in
+  if cid > max_cid then failwith "Mpi.comm_split: communicator id space exhausted";
+  w.next_cid <- cid + 1;
+  cid
+
+let comm_split c ~color ~key =
+  let seq = fresh_seq c in
+  let tag = (seq * 16) + 2 in
+  let n = size c in
+  let me = c.c_rank in
+  (* phase 1: gather (color, key) at comm rank 0; phase 2: rank 0
+     allocates one fresh cid per colour and broadcasts the full table *)
+  let table = Array.make n (0, 0, 0) (* color, key, cid *) in
+  if me = 0 then begin
+    table.(0) <- (color, key, 0);
+    for i = 1 to n - 1 do
+      let b = Buf.create 16 in
+      ignore (recv_k c Internal0.Internal ~source:i ~tag (Bytes b));
+      table.(i) <-
+        (Int64.to_int (Buf.get_i64 b 0), Int64.to_int (Buf.get_i64 b 8), 0)
+    done;
+    let colors =
+      Array.to_list table |> List.map (fun (c, _, _) -> c) |> List.sort_uniq compare
+    in
+    let cid_of_color = List.map (fun col -> (col, alloc_cid c.w)) colors in
+    Array.iteri
+      (fun i (col, k, _) -> table.(i) <- (col, k, List.assoc col cid_of_color))
+      table;
+    let out = Buf.create (24 * n) in
+    Array.iteri
+      (fun i (col, k, cid) ->
+        Buf.set_i64 out (24 * i) (Int64.of_int col);
+        Buf.set_i64 out ((24 * i) + 8) (Int64.of_int k);
+        Buf.set_i64 out ((24 * i) + 16) (Int64.of_int cid))
+      table;
+    for i = 1 to n - 1 do
+      send_k c Internal0.Internal ~dst:i ~tag:(tag + 1) (Bytes out)
+    done
+  end
+  else begin
+    let b = Buf.create 16 in
+    Buf.set_i64 b 0 (Int64.of_int color);
+    Buf.set_i64 b 8 (Int64.of_int key);
+    send_k c Internal0.Internal ~dst:0 ~tag (Bytes b);
+    let inc = Buf.create (24 * n) in
+    ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (Bytes inc));
+    for i = 0 to n - 1 do
+      table.(i) <-
+        ( Int64.to_int (Buf.get_i64 inc (24 * i)),
+          Int64.to_int (Buf.get_i64 inc ((24 * i) + 8)),
+          Int64.to_int (Buf.get_i64 inc ((24 * i) + 16)) )
+    done
+  end;
+  (* members of my colour, ordered by (key, old rank) *)
+  let my_color, _, my_cid = table.(me) in
+  let members =
+    Array.to_list (Array.mapi (fun i (col, k, _) -> (col, k, i)) table)
+    |> List.filter (fun (col, _, _) -> col = my_color)
+    |> List.sort (fun (_, k1, r1) (_, k2, r2) -> compare (k1, r1) (k2, r2))
+    |> List.map (fun (_, _, r) -> r)
+  in
+  let group = Array.of_list (List.map (fun r -> c.group.(r)) members) in
+  let new_rank =
+    let rec idx i = function
+      | [] -> assert false
+      | r :: rest -> if r = me then i else idx (i + 1) rest
+    in
+    idx 0 members
+  in
+  { w = c.w; c_rank = new_rank; group; cid = my_cid; bar_seq = 0 }
+
+let comm_dup c = comm_split c ~color:0 ~key:c.c_rank
+
+module Internal = struct
+  include Internal0
+
+  let send_k = send_k
+  let recv_k = recv_k
+  let isend_k = isend_k
+  let irecv_k = irecv_k
+  let iprobe_k = iprobe_k
+  let probe_k = probe_k
+  let mprobe_k = mprobe_k
+  let mrecv_k = mrecv_k
+  let fresh_seq = fresh_seq
+end
+
+let sendrecv c ~dst ~send_tag sbuf ?source ?recv_tag rbuf =
+  let sreq = isend c ~dst ~tag:send_tag sbuf in
+  let st = recv c ?source ?tag:recv_tag rbuf in
+  ignore (wait sreq);
+  st
+
+(* --- explicit packing --- *)
+
+let pack_size dt ~count = Datatype.packed_size dt ~count
+
+let pack c dt ~count ~src ~dst ~position =
+  let bytes = Datatype.packed_size dt ~count in
+  if position < 0 || position + bytes > Buf.length dst then
+    invalid_arg "Mpi.pack: destination range";
+  let n =
+    Datatype.pack dt ~count ~src ~dst:(Buf.sub dst ~pos:position ~len:bytes)
+  in
+  Stats.record_copy c.w.stats bytes;
+  charge c
+    (Config.memcpy_time (cpu c) bytes
+    +. typed_overheads c dt count);
+  position + n
+
+let unpack c dt ~count ~src ~position ~dst =
+  let bytes = Datatype.packed_size dt ~count in
+  if position < 0 || position + bytes > Buf.length src then
+    invalid_arg "Mpi.unpack: source range";
+  Datatype.unpack dt ~count ~src:(Buf.sub src ~pos:position ~len:bytes) ~dst;
+  Stats.record_copy c.w.stats bytes;
+  charge c
+    (Config.memcpy_time (cpu c) bytes
+    +. typed_overheads c dt count);
+  position + bytes

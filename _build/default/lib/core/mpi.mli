@@ -1,0 +1,213 @@
+(** mpicd point-to-point layer.
+
+    The OCaml analog of the paper's [mpicd] crate: communicators and
+    point-to-point operations over the simulated UCX transport, where a
+    message buffer is described by one of three descriptor kinds
+    (the Rust prototype's buffer trait):
+
+    - [Bytes] — a raw contiguous byte buffer ([MPI_BYTE]);
+    - [Typed] — a classic derived datatype + count + base address
+      (what RSMPI / Open MPI offer today);
+    - [Custom] — a buffer of a {!Custom.t} datatype (the paper's new
+      API); sent as a single scatter/gather message whose first entry
+      is the packed data and whose remaining entries are the type's
+      zero-copy memory regions.
+
+    Every rank of a world runs as one simulation fiber; all blocking
+    calls ([send], [recv], [wait], [probe], [barrier]) suspend the
+    calling fiber on the virtual clock. *)
+
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Datatype = Mpicd_datatype.Datatype
+
+(** {1 Worlds} *)
+
+type world
+
+val create_world : ?config:Config.t -> size:int -> unit -> world
+(** A simulated cluster of [size] ranks (fully connected). *)
+
+val world_engine : world -> Engine.t
+val world_stats : world -> Stats.t
+val world_config : world -> Config.t
+val world_size : world -> int
+
+type comm
+
+val comm_for_rank : world -> int -> comm
+(** The world communicator as seen by rank [i]. *)
+
+val spawn_rank : world -> int -> (comm -> unit) -> unit
+(** Spawn one rank's program as a fiber (does not run the engine). *)
+
+val run : world -> (comm -> unit) -> unit
+(** SPMD convenience: spawn [f] on every rank and run the simulation to
+    completion.  @raise Engine.Deadlock if ranks block forever. *)
+
+val set_trace : world -> Mpicd_simnet.Trace.t option -> unit
+(** Attach a protocol-event trace to the world's transport. *)
+
+val set_unpack_shuffle : world -> seed:int option -> unit
+(** Test knob: when set, unpack fragments of custom datatypes created
+    with [~inorder:false] are presented out of order (the paper's
+    out-of-order optimization that the [inorder] flag would inhibit). *)
+
+(** {1 Communicator queries} *)
+
+val rank : comm -> int
+val size : comm -> int
+val world_of : comm -> world
+
+val world_rank_of : comm -> int -> int
+(** Translate a communicator rank to the underlying world rank. *)
+
+val comm_split : comm -> color:int -> key:int -> comm
+(** MPI_Comm_split (collective over the parent communicator): ranks
+    with equal [color] form a new communicator, ordered by [(key, old
+    rank)].  The new communicator's traffic lives in its own tag
+    sub-space and cannot collide with the parent's. *)
+
+val comm_dup : comm -> comm
+(** MPI_Comm_dup: same group, fresh isolated tag space. *)
+
+val any_source : int
+val any_tag : int
+
+(** {1 Buffers} *)
+
+type buffer =
+  | Bytes of Buf.t
+  | Typed of { dt : Datatype.t; count : int; base : Buf.t }
+  | Custom : { dt : 'o Custom.t; obj : 'o; count : int } -> buffer
+
+val buffer_size : buffer -> int
+(** Wire footprint of the buffer: byte length, packed datatype size, or
+    packed size + region bytes for custom buffers (runs the query and
+    region callbacks on a throwaway state). *)
+
+(** {1 Errors and status} *)
+
+type error =
+  | Truncated of { expected : int; capacity : int }
+  | Callback_failed of int
+
+exception Mpi_error of error
+
+type status = { source : int; tag : int; len : int }
+
+(** {1 Point-to-point} *)
+
+val send : comm -> dst:int -> tag:int -> buffer -> unit
+val recv : comm -> ?source:int -> ?tag:int -> buffer -> status
+(** [source]/[tag] default to {!any_source}/{!any_tag}. *)
+
+type request
+
+val isend : comm -> dst:int -> tag:int -> buffer -> request
+val irecv : comm -> ?source:int -> ?tag:int -> buffer -> request
+val wait : request -> status
+val waitall : request list -> status list
+
+val test : request -> status option
+(** Non-blocking completion check (MPI_Test).  Returns the status once
+    the operation completed; repeated calls after completion keep
+    returning it. *)
+
+val waitany : request list -> int * status
+(** Block until some request completes; returns its index
+    (MPI_Waitany).  As in MPI, the remaining requests stay outstanding
+    and must eventually be completed with {!wait}/{!test} — a request
+    that never completes leaves its progress fiber blocked and shows up
+    as a deadlock when the simulation drains.
+    @raise Invalid_argument on an empty list. *)
+
+val sendrecv :
+  comm ->
+  dst:int ->
+  send_tag:int ->
+  buffer ->
+  ?source:int ->
+  ?recv_tag:int ->
+  buffer ->
+  status
+(** Combined send + receive without deadlock (MPI_Sendrecv); returns
+    the receive status. *)
+
+(** {1 Explicit packing (MPI_Pack / MPI_Unpack)}
+
+    The classic byte-stream escape hatch the paper's benchmarks call
+    "mpi-pack-ddt": serialize typed data into a caller-provided buffer
+    with an explicit position cursor, then send it as [Bytes]. *)
+
+val pack :
+  comm ->
+  Datatype.t ->
+  count:int ->
+  src:Buf.t ->
+  dst:Buf.t ->
+  position:int ->
+  int
+(** [pack comm dt ~count ~src ~dst ~position] appends the packed bytes
+    at [position] in [dst] and returns the new position.  Charges the
+    datatype engine's costs to the calling rank's clock. *)
+
+val unpack :
+  comm ->
+  Datatype.t ->
+  count:int ->
+  src:Buf.t ->
+  position:int ->
+  dst:Buf.t ->
+  int
+(** Inverse of {!pack}: consumes packed bytes from [src] at [position],
+    scatters into the typed layout [dst], returns the new position. *)
+
+val pack_size : Datatype.t -> count:int -> int
+(** Upper bound on the packed size (MPI_Pack_size). *)
+
+(** {1 Probing} *)
+
+val iprobe : comm -> ?source:int -> ?tag:int -> unit -> status option
+val probe : comm -> ?source:int -> ?tag:int -> unit -> status
+
+type message
+
+val improbe : comm -> ?source:int -> ?tag:int -> unit -> (status * message) option
+val mprobe : comm -> ?source:int -> ?tag:int -> unit -> status * message
+val mrecv : comm -> message -> buffer -> status
+
+(** {1 Simple collectives}
+
+    A minimal barrier lives here because the benchmark harness needs
+    it; richer collectives (including over custom datatypes) are in
+    {!Mpicd_collectives}. *)
+
+val barrier : comm -> unit
+
+(** {1 Internals shared with sibling libraries}
+
+    Tag-space plumbing used by the collectives and object-messaging
+    layers so their traffic cannot collide with user point-to-point
+    messages (the multi-channel locking problem the paper discusses). *)
+
+module Internal : sig
+  type kind = User | Internal | Objmsg | Objmsg_aux
+
+  val send_k : comm -> kind -> dst:int -> tag:int -> buffer -> unit
+  val recv_k : comm -> kind -> ?source:int -> ?tag:int -> buffer -> status
+  val isend_k : comm -> kind -> dst:int -> tag:int -> buffer -> request
+  val irecv_k : comm -> kind -> ?source:int -> ?tag:int -> buffer -> request
+  val iprobe_k : comm -> kind -> ?source:int -> ?tag:int -> unit -> status option
+  val probe_k : comm -> kind -> ?source:int -> ?tag:int -> unit -> status
+  val mprobe_k : comm -> kind -> ?source:int -> ?tag:int -> unit -> status * message
+  val mrecv_k : comm -> kind -> message -> buffer -> status
+
+  val fresh_seq : comm -> int
+  (** Per-communicator operation sequence number.  All ranks execute
+      collectives in the same order (SPMD), so equal sequence numbers
+      identify the same collective across ranks; used to build
+      collision-free internal tag spaces. *)
+end

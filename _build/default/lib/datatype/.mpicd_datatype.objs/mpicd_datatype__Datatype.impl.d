@@ -1,0 +1,1 @@
+lib/datatype/datatype.ml: Array Buffer Char Format Int64 List Mpicd_buf Mpicd_simnet Printf

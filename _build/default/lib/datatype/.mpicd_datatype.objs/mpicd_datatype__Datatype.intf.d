@@ -1,0 +1,1 @@
+lib/datatype/datatype.mli: Format Mpicd_buf Mpicd_simnet

@@ -1,0 +1,182 @@
+(** Classic MPI derived datatypes.
+
+    This is a full reimplementation of the MPI-4.1 derived-datatype model
+    (type maps of predefined types and byte displacements, built with the
+    standard constructors) together with a pack/unpack engine.  It plays
+    the role Open MPI's datatype engine plays in the paper: the baseline
+    that the custom serialization API is compared against (RSMPI's
+    [#\[derive(Equivalence)\]] lowers onto exactly these constructors).
+
+    Datatypes are immutable values.  Displacements and strides follow the
+    MPI conventions: [Vector]/[Indexed] count in multiples of the element
+    extent, the [h*] variants count in bytes.
+
+    The engine also reports how many contiguous blocks it touches; the
+    simulator charges {!Mpicd_simnet.Config.cpu.ddt_block_ns} per block,
+    reproducing the per-block overhead that makes gapped struct types
+    slow in Open MPI (paper Figs. 5/6). *)
+
+type predefined =
+  | Byte
+  | Char
+  | Int8
+  | Uint8
+  | Int16
+  | Int32
+  | Int64
+  | Float32
+  | Float64
+
+type t
+
+(** {1 Constructors}
+
+    All constructors validate their arguments and raise
+    [Invalid_argument] on negative counts/blocklengths or mismatched
+    array lengths. *)
+
+val predefined : predefined -> t
+val byte : t
+val char : t
+val int8 : t
+val uint8 : t
+val int16 : t
+val int32 : t
+val int64 : t
+val float32 : t
+val float64 : t
+
+val contiguous : int -> t -> t
+(** [contiguous count elem] — MPI_Type_contiguous. *)
+
+val vector : count:int -> blocklength:int -> stride:int -> t -> t
+(** MPI_Type_vector; [stride] in element extents. *)
+
+val hvector : count:int -> blocklength:int -> stride_bytes:int -> t -> t
+(** MPI_Type_create_hvector; stride in bytes. *)
+
+val indexed : blocklengths:int array -> displacements:int array -> t -> t
+(** MPI_Type_indexed; displacements in element extents. *)
+
+val hindexed : blocklengths:int array -> displacements_bytes:int array -> t -> t
+(** MPI_Type_create_hindexed; displacements in bytes. *)
+
+val indexed_block : blocklength:int -> displacements:int array -> t -> t
+(** MPI_Type_create_indexed_block. *)
+
+val struct_ :
+  blocklengths:int array -> displacements_bytes:int array -> types:t array -> t
+(** MPI_Type_create_struct. *)
+
+val resized : lb:int -> extent:int -> t -> t
+(** MPI_Type_create_resized. *)
+
+val subarray :
+  sizes:int array ->
+  subsizes:int array ->
+  starts:int array ->
+  order:[ `C | `Fortran ] ->
+  t ->
+  t
+(** MPI_Type_create_subarray.  Lowered internally onto hvector/hindexed
+    chains; the resulting type's extent covers the full array. *)
+
+(** {1 Queries} *)
+
+val size : t -> int
+(** Number of data bytes (MPI_Type_size). *)
+
+val extent : t -> int
+(** MPI_Type_get_extent: ub - lb. *)
+
+val lb : t -> int
+val ub : t -> int
+
+val predefined_size : predefined -> int
+
+val is_contiguous : t -> bool
+(** True iff one element occupies a single gap-free block starting at
+    displacement 0 with extent = size (the case where Open MPI sends the
+    user buffer directly, Fig. 6). *)
+
+val blocks_per_element : t -> int
+(** Number of maximal contiguous blocks the pack engine touches for one
+    element (after merging adjacent blocks). *)
+
+val signature : t -> predefined list
+(** Type signature: the sequence of predefined types in typemap order.
+    Two datatypes match for communication iff their signatures (times
+    count) are equal.  Intended for tests and small types — the list is
+    proportional to [size]. *)
+
+val equal_signature : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Marshalling}
+
+    Serialize a datatype description itself (cf. Kimpe, Goodell, Ross:
+    "MPI datatype marshalling", EuroMPI'10) — lets a receiver
+    reconstruct a sender's type at runtime, e.g. for validation. *)
+
+exception Corrupt_datatype of string
+
+val serialize : t -> Mpicd_buf.Buf.t
+val deserialize : Mpicd_buf.Buf.t -> t
+(** @raise Corrupt_datatype on malformed input. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the (lowered) type representation — finer
+    than {!equal_signature}, which ignores displacements. *)
+
+(** {1 Block iteration}
+
+    One element of a datatype denotes a list of (byte displacement,
+    byte length) blocks relative to the element base; [count] elements
+    tile with stride [extent]. *)
+
+val iter_blocks : t -> count:int -> f:(disp:int -> len:int -> unit) -> unit
+(** Iterate the merged contiguous blocks of [count] elements in typemap
+    order. *)
+
+val block_list : t -> count:int -> (int * int) list
+(** Blocks of [count] elements as (disp, len) pairs. *)
+
+(** {1 Pack / unpack} *)
+
+val packed_size : t -> count:int -> int
+(** = [count * size t]. *)
+
+val pack :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  dst:Mpicd_buf.Buf.t -> int
+(** [pack t ~count ~src ~dst] gathers [count] elements from the typed
+    layout in [src] into a contiguous stream in [dst]; returns the number
+    of bytes written ([packed_size]).  [src] must cover
+    [lb + count*extent] bytes and [dst] at least [packed_size] bytes. *)
+
+val unpack :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  dst:Mpicd_buf.Buf.t -> unit
+(** Inverse of {!pack}: scatter the contiguous stream [src] back into the
+    typed layout in [dst]. *)
+
+val pack_range :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  packed_off:int -> dst:Mpicd_buf.Buf.t -> int
+(** Partial pack for fragmenting transports: write bytes
+    [packed_off .. packed_off + length dst - 1] of the packed stream into
+    [dst]; returns bytes written (short only at end of stream). *)
+
+val unpack_range :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  packed_off:int -> dst:Mpicd_buf.Buf.t -> unit
+(** Partial unpack: scatter the fragment [src], which starts at virtual
+    offset [packed_off] of the packed stream, into the typed layout
+    [dst]. *)
+
+val iovec : t -> count:int -> base:Mpicd_buf.Buf.t -> Mpicd_buf.Buf.t list
+(** Zero-copy region list for [count] elements laid out in [base]: one
+    slice per merged contiguous block (the MPICH-style datatype-to-iovec
+    flattening the paper cites as the dual of its proposal). *)

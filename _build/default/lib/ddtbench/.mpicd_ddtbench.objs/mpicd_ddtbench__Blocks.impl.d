@@ -1,0 +1,1 @@
+lib/ddtbench/blocks.ml: Array List Mpicd_buf

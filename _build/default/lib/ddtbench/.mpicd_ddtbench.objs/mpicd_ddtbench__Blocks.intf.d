@@ -1,0 +1,1 @@
+lib/ddtbench/blocks.mli: Mpicd_buf

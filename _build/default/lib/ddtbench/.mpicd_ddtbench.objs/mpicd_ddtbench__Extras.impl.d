@@ -1,0 +1,1 @@
+lib/ddtbench/extras.ml: Array Blocks Fun Kernel List Mpicd_buf Mpicd_datatype

@@ -1,0 +1,1 @@
+lib/ddtbench/extras.mli: Kernel

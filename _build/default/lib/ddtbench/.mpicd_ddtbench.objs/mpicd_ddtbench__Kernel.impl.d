@@ -1,0 +1,1 @@
+lib/ddtbench/kernel.ml: Array Blocks Mpicd Mpicd_buf Mpicd_datatype Printf

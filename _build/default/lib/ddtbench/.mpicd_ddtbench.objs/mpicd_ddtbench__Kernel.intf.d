@@ -1,0 +1,1 @@
+lib/ddtbench/kernel.mli: Blocks Mpicd Mpicd_buf Mpicd_datatype

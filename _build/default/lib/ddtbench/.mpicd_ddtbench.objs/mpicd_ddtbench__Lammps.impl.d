@@ -1,0 +1,1 @@
+lib/ddtbench/lammps.ml: Array Blocks Kernel List Mpicd_buf Mpicd_datatype Printf

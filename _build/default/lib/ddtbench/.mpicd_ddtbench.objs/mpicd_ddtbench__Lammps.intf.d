@@ -1,0 +1,1 @@
+lib/ddtbench/lammps.mli: Kernel

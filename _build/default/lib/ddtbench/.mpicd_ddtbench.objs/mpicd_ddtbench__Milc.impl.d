@@ -1,0 +1,1 @@
+lib/ddtbench/milc.ml: Blocks Fun Kernel List Mpicd_buf Mpicd_datatype

@@ -1,0 +1,1 @@
+lib/ddtbench/milc.mli: Kernel

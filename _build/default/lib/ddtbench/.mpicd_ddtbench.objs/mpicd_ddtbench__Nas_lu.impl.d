@@ -1,0 +1,1 @@
+lib/ddtbench/nas_lu.ml: Blocks Kernel List Mpicd_buf Mpicd_datatype

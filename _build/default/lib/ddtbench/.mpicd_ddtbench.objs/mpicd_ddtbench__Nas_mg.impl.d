@@ -1,0 +1,1 @@
+lib/ddtbench/nas_mg.ml: Blocks Fun Kernel List Mpicd_buf Mpicd_datatype

@@ -1,0 +1,1 @@
+lib/ddtbench/nas_mg.mli: Kernel

@@ -1,0 +1,1 @@
+lib/ddtbench/registry.ml: Extras Kernel Lammps List Milc Nas_lu Nas_mg Wrf

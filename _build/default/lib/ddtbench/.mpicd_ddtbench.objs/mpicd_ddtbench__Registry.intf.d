@@ -1,0 +1,1 @@
+lib/ddtbench/registry.mli: Kernel

@@ -1,0 +1,1 @@
+lib/ddtbench/wrf.mli: Kernel

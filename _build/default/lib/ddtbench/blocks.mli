@@ -1,0 +1,38 @@
+(** Resumable block cursors.
+
+    A DDTBench kernel's exchange is, at bottom, an ordered list of
+    (slab offset, length) blocks.  The paper packs such lists with C++
+    coroutines ([std::generator]) so the pack callback can suspend
+    mid-loop-nest when its destination fragment fills up; this module is
+    the equivalent explicit state machine: the prefix-sum table lets a
+    pack/unpack callback resume at any virtual offset of the packed
+    stream in O(log n_blocks) — no coroutine (and no vectorization bug)
+    required. *)
+
+module Buf = Mpicd_buf.Buf
+
+type t
+
+val of_list : (int * int) list -> t
+(** [(slab_offset, len)] blocks in packed-stream order.
+    @raise Invalid_argument on negative lengths. *)
+
+val total : t -> int
+(** Packed size: sum of block lengths. *)
+
+val count : t -> int
+
+val pack_range : t -> base:Buf.t -> offset:int -> dst:Buf.t -> int
+(** Copy packed-stream bytes [offset .. offset + length dst) out of the
+    slab; returns the bytes produced (short only at end of stream). *)
+
+val unpack_range : t -> base:Buf.t -> offset:int -> src:Buf.t -> unit
+(** Scatter a fragment starting at packed-stream [offset] into the slab. *)
+
+val regions : t -> base:Buf.t -> Buf.t array
+(** One zero-copy slice per block. *)
+
+val equal_typed : t -> Buf.t -> Buf.t -> bool
+(** Compare the block-covered bytes of two slabs. *)
+
+val iter : t -> f:(off:int -> len:int -> unit) -> unit

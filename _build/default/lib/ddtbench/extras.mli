@@ -1,0 +1,14 @@
+(** Kernels beyond the paper's Fig. 10 subset, for suite completeness. *)
+
+module Fft2 : Kernel.KERNEL
+(** 2-D FFT transpose: a block of columns of a complex matrix. *)
+
+module Specfem3d_oc : Kernel.KERNEL
+(** Outer-core coupling: single float32 values at irregular indices. *)
+
+module Specfem3d_mt : Kernel.KERNEL
+(** Mantle coupling: 3-component float32 vectors at irregular points. *)
+
+module Milc_su3_xdown : Kernel.KERNEL
+(** The x-direction MILC face: every site isolated — the many-small-
+    regions counterpart of {!Milc}'s zdown face. *)

@@ -1,0 +1,99 @@
+module Buf = Mpicd_buf.Buf
+module Datatype = Mpicd_datatype.Datatype
+module Custom = Mpicd.Custom
+
+module type SPEC = sig
+  val name : string
+  val datatypes_desc : string
+  val loop_desc : string
+  val regions_sensible : bool
+  val slab_bytes : int
+  val blocks : Blocks.t
+  val manual_pack : Buf.t -> dst:Buf.t -> unit
+  val manual_unpack : src:Buf.t -> Buf.t -> unit
+  val derived : Datatype.t
+end
+
+module type KERNEL = sig
+  include SPEC
+
+  val wire_bytes : int
+  val create : unit -> Buf.t
+  val create_sink : unit -> Buf.t
+  val equal : Buf.t -> Buf.t -> bool
+  val custom_pack : Buf.t Custom.t
+  val custom_regions : Buf.t Custom.t option
+end
+
+let fill b =
+  for i = 0 to Buf.length b - 1 do
+    Buf.set_u8 b i ((i * 131 + 17) land 0xff)
+  done
+
+let hindexed_bytes_of_blocks blocks =
+  let n = Blocks.count blocks in
+  let blocklengths = Array.make n 0 in
+  let displacements_bytes = Array.make n 0 in
+  let i = ref 0 in
+  Blocks.iter blocks ~f:(fun ~off ~len ->
+      blocklengths.(!i) <- len;
+      displacements_bytes.(!i) <- off;
+      incr i);
+  Datatype.hindexed ~blocklengths ~displacements_bytes Datatype.byte
+
+module Make (S : SPEC) : KERNEL = struct
+  include S
+
+  let wire_bytes = Blocks.total S.blocks
+  let () =
+    (* the derived datatype must describe the same packed stream *)
+    if Datatype.size S.derived <> wire_bytes then
+      invalid_arg
+        (Printf.sprintf "Kernel %s: derived size %d <> blocks total %d" S.name
+           (Datatype.size S.derived) wire_bytes)
+
+  let create () =
+    let b = Buf.create S.slab_bytes in
+    fill b;
+    b
+
+  let create_sink () = Buf.create S.slab_bytes
+
+  let equal a b = Blocks.equal_typed S.blocks a b
+
+  (* Custom datatype, packing everything through resumable callbacks. *)
+  let custom_pack : Buf.t Custom.t =
+    Custom.create
+      ~pack_pieces:(fun _ ~count:_ -> Blocks.count S.blocks)
+      {
+        state = (fun _ ~count:_ -> ());
+        state_free = ignore;
+        query = (fun () _ ~count -> count * Blocks.total S.blocks);
+        pack =
+          (fun () base ~count:_ ~offset ~dst ->
+            Blocks.pack_range S.blocks ~base ~offset ~dst);
+        unpack =
+          (fun () base ~count:_ ~offset ~src ->
+            Blocks.unpack_range S.blocks ~base ~offset ~src);
+        region_count = None;
+        regions = None;
+      }
+
+  (* Custom datatype exposing every block as a zero-copy region. *)
+  let custom_regions : Buf.t Custom.t option =
+    if not S.regions_sensible then None
+    else
+      Some
+        (Custom.create
+           {
+             state = (fun _ ~count:_ -> ());
+             state_free = ignore;
+             query = (fun () _ ~count:_ -> 0);
+             pack = (fun () _ ~count:_ ~offset:_ ~dst:_ -> 0);
+             unpack = (fun () _ ~count:_ ~offset:_ ~src:_ -> ());
+             region_count = Some (fun () _ ~count:_ -> Blocks.count S.blocks);
+             regions = Some (fun () base ~count:_ -> Blocks.regions S.blocks ~base);
+           })
+end
+
+type kernel = (module KERNEL)

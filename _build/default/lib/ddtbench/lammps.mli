@@ -1,0 +1,10 @@
+(** LAMMPS particle-exchange kernels: boundary migration gathering
+    per-particle fields from structure-of-arrays storage through a
+    non-unit-stride index list (Table I row 1). *)
+
+module Full : Kernel.KERNEL
+(** The full atom style: x, v (3 x f64 each), tag/type/mask (i32), q
+    (f64) — six arrays, one pack loop. *)
+
+module Atomic : Kernel.KERNEL
+(** The atomic style: x, tag, type, mask. *)

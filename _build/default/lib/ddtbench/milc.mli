@@ -1,0 +1,6 @@
+(** MILC su3_zdown: the z-direction halo of a 4-D lattice of su3
+    matrices (3x3 complex float32).  The face decomposes into a modest
+    number of contiguous x-runs — the "few large regions" case where
+    the paper finds the memory-region path profitable. *)
+
+include Kernel.KERNEL

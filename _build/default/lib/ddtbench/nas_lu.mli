@@ -1,0 +1,8 @@
+(** NAS LU boundary exchanges of the g[ny][nx][5] f64 field. *)
+
+module X : Kernel.KERNEL
+(** The fully contiguous x-direction line (one large region). *)
+
+module Y : Kernel.KERNEL
+(** The strided y-direction line: many 40-byte blocks (the case where
+    iovec lists lose, paper Fig. 10). *)

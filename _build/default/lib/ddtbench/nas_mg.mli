@@ -1,0 +1,10 @@
+(** NAS MG face exchanges of the u[nz][ny][nx] f64 grid. *)
+
+module X : Kernel.KERNEL
+(** x-face: one 8-byte element per (k, j) — thousands of tiny blocks. *)
+
+module Y : Kernel.KERNEL
+(** y-face: nz contiguous rows — few large blocks. *)
+
+module Z : Kernel.KERNEL
+(** z-face: a single contiguous slab (extra kernel). *)

@@ -1,0 +1,37 @@
+let paper_kernels : Kernel.kernel list =
+  [
+    (module Lammps.Full);
+    (module Milc);
+    (module Nas_lu.X);
+    (module Nas_lu.Y);
+    (module Nas_mg.X);
+    (module Nas_mg.Y);
+    (module Wrf.X_vec);
+    (module Wrf.Y_vec);
+  ]
+
+let extra_kernels : Kernel.kernel list =
+  [
+    (module Lammps.Atomic);
+    (module Nas_mg.Z);
+    (module Wrf.X_sa);
+    (module Wrf.Y_sa);
+    (module Extras.Fft2);
+    (module Extras.Specfem3d_oc);
+    (module Extras.Specfem3d_mt);
+    (module Extras.Milc_su3_xdown);
+  ]
+
+let all = paper_kernels @ extra_kernels
+
+let find name =
+  List.find_opt (fun (module K : Kernel.KERNEL) -> K.name = name) all
+
+let table1 kernels =
+  List.map
+    (fun (module K : Kernel.KERNEL) ->
+      ( K.name,
+        K.datatypes_desc,
+        K.loop_desc,
+        if K.regions_sensible then "yes" else "" ))
+    kernels

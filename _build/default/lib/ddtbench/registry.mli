@@ -1,0 +1,19 @@
+(** Kernel registry: the paper's Fig. 10 / Table I subset plus the
+    extra kernels this reproduction adds for completeness. *)
+
+val paper_kernels : Kernel.kernel list
+(** The eight kernels evaluated in the paper's Fig. 10, in its order:
+    LAMMPS_full, MILC_su3_zdown, NAS_LU_x, NAS_LU_y, NAS_MG_x,
+    NAS_MG_y, WRF_x_vec, WRF_y_vec. *)
+
+val extra_kernels : Kernel.kernel list
+(** LAMMPS_atomic, NAS_MG_z, WRF_x_sa, WRF_y_sa, FFT2, SPECFEM3D_oc. *)
+
+val all : Kernel.kernel list
+
+val find : string -> Kernel.kernel option
+(** Lookup by kernel name (case-sensitive). *)
+
+val table1 : Kernel.kernel list -> (string * string * string * string) list
+(** Rows of the paper's Table I: (benchmark, MPI datatypes, loop
+    structure, memory-regions checkmark). *)

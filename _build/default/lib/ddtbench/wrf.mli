@@ -1,0 +1,11 @@
+(** WRF multi-field halo exchanges: four 3-D float32 fields exchanged
+    in one operation (struct of strided vectors / subarrays).  Regions
+    are impracticable (Table I): thousands of 16-byte pieces. *)
+
+module X_vec : Kernel.KERNEL
+module Y_vec : Kernel.KERNEL
+
+module X_sa : Kernel.KERNEL
+(** Subarray-datatype variant of the x halo. *)
+
+module Y_sa : Kernel.KERNEL

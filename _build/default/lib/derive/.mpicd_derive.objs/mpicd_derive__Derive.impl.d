@@ -1,0 +1,1 @@
+lib/derive/derive.ml: Array Format List Mpicd_datatype

@@ -1,0 +1,1 @@
+lib/derive/derive.mli: Format Mpicd_datatype

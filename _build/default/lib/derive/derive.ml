@@ -1,0 +1,92 @@
+module Datatype = Mpicd_datatype.Datatype
+
+type field = { f_name : string; f_ty : Datatype.predefined; f_count : int }
+
+let field name ?(count = 1) ty =
+  if count < 1 then invalid_arg "Derive.field: count must be >= 1";
+  { f_name = name; f_ty = ty; f_count = count }
+
+type placed = { p_field : field; p_offset : int }
+
+type layout = {
+  placed : placed list;
+  l_size : int;
+  l_packed : int;
+  mutable cached : Datatype.t option;
+}
+
+(* Natural alignment on x86-64 equals the scalar size for all the
+   predefined types we model. *)
+let alignment_of (p : Datatype.predefined) = Datatype.predefined_size p
+
+let round_up v a = (v + a - 1) / a * a
+
+let c_layout fields =
+  if fields = [] then invalid_arg "Derive.c_layout: empty struct";
+  let off = ref 0 and max_align = ref 1 and packed = ref 0 in
+  let placed =
+    List.map
+      (fun f ->
+        let a = alignment_of f.f_ty in
+        if a > !max_align then max_align := a;
+        let o = round_up !off a in
+        let bytes = Datatype.predefined_size f.f_ty * f.f_count in
+        off := o + bytes;
+        packed := !packed + bytes;
+        { p_field = f; p_offset = o })
+      fields
+  in
+  {
+    placed;
+    l_size = round_up !off !max_align;
+    l_packed = !packed;
+    cached = None;
+  }
+
+let size_of l = l.l_size
+let packed_size_of l = l.l_packed
+let has_padding l = l.l_packed <> l.l_size
+
+let offset_of l name =
+  match List.find_opt (fun p -> p.p_field.f_name = name) l.placed with
+  | Some p -> p.p_offset
+  | None -> raise Not_found
+
+let fields_of l =
+  List.map
+    (fun p ->
+      ( p.p_field.f_name,
+        p.p_offset,
+        Datatype.predefined_size p.p_field.f_ty * p.p_field.f_count ))
+    l.placed
+
+let equivalence l =
+  match l.cached with
+  | Some dt -> dt
+  | None ->
+      let n = List.length l.placed in
+      let blocklengths = Array.make n 0 in
+      let displacements_bytes = Array.make n 0 in
+      let types = Array.make n Datatype.byte in
+      List.iteri
+        (fun i p ->
+          blocklengths.(i) <- p.p_field.f_count;
+          displacements_bytes.(i) <- p.p_offset;
+          types.(i) <- Datatype.predefined p.p_field.f_ty)
+        l.placed;
+      let s = Datatype.struct_ ~blocklengths ~displacements_bytes ~types in
+      (* Pin the extent to sizeof(struct) so arrays of elements tile the
+         way a C array does (MPI_Type_create_resized). *)
+      let dt = Datatype.resized ~lb:0 ~extent:l.l_size s in
+      l.cached <- Some dt;
+      dt
+
+let pp ppf l =
+  Format.fprintf ppf "@[<v>struct (size=%d, packed=%d)%s@,"
+    l.l_size l.l_packed
+    (if has_padding l then " [padded]" else "");
+  List.iter
+    (fun (name, off, bytes) ->
+      Format.fprintf ppf "  %s @@ %d (%d B)@," name off bytes)
+    (fields_of l);
+  Format.fprintf ppf "@]"

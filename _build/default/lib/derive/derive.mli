@@ -1,0 +1,47 @@
+(** RSMPI-style automatic derived datatypes.
+
+    RSMPI's [#\[derive(Equivalence)\]] proc-macro turns a Rust
+    [#\[repr(C)\]] struct definition into the MPI type-creation calls,
+    lazily on first use.  This module is the OCaml analog: describe the
+    struct's fields, and {!equivalence} computes the C layout (offsets,
+    alignment padding, trailing padding) and builds the corresponding
+    {!Mpicd_datatype.Datatype} — including the inter-field gaps that
+    make Open MPI slow in the paper's Fig. 5.
+
+    The resulting datatype is cached on the layout, mirroring RSMPI's
+    create-once-on-first-use behaviour. *)
+
+module Datatype = Mpicd_datatype.Datatype
+
+type field
+
+val field : string -> ?count:int -> Datatype.predefined -> field
+(** [field name ty] — a scalar field; [count > 1] declares an inline
+    fixed-size array field ([\[i32; 2048\]] in the paper's struct-vec). *)
+
+type layout
+
+val c_layout : field list -> layout
+(** Compute x86-64 C struct layout: each field at the next multiple of
+    its natural alignment; total size rounded up to the widest
+    alignment.  @raise Invalid_argument on an empty field list. *)
+
+val size_of : layout -> int
+(** sizeof(struct), including padding. *)
+
+val offset_of : layout -> string -> int
+(** offsetof(struct, field).  @raise Not_found for unknown fields. *)
+
+val packed_size_of : layout -> int
+(** Sum of field data sizes (excludes padding). *)
+
+val has_padding : layout -> bool
+
+val equivalence : layout -> Datatype.t
+(** The derived datatype for one struct element (cached; repeated calls
+    return the same value).  Its extent equals [size_of]. *)
+
+val fields_of : layout -> (string * int * int) list
+(** [(name, offset, byte_size)] per field, for debugging and tests. *)
+
+val pp : Format.formatter -> layout -> unit

@@ -1,0 +1,1 @@
+lib/device/device.ml: Mpicd Mpicd_buf Mpicd_ddtbench Mpicd_harness Mpicd_simnet Printf

@@ -1,0 +1,1 @@
+lib/device/device.mli: Mpicd Mpicd_buf Mpicd_ddtbench Mpicd_harness

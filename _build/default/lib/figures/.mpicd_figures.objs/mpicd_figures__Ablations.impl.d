@@ -1,0 +1,1 @@
+lib/figures/ablations.ml: List Methods Mpicd Mpicd_bench_types Mpicd_buf Mpicd_collectives Mpicd_ddtbench Mpicd_device Mpicd_harness Mpicd_objmsg Mpicd_pickle Mpicd_simnet Option Printf

@@ -1,0 +1,1 @@
+lib/figures/fig_ddtbench.ml: Fun List Methods Mpicd_ddtbench Mpicd_harness Option Printf String

@@ -1,0 +1,1 @@
+lib/figures/fig_ddtbench.mli: Mpicd_ddtbench

@@ -1,0 +1,1 @@
+lib/figures/fig_python.ml: Int64 List Methods Mpicd_buf Mpicd_harness Mpicd_objmsg Mpicd_pickle

@@ -1,0 +1,1 @@
+lib/figures/fig_python.mli: Mpicd_harness

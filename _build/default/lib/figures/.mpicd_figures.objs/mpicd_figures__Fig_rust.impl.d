@@ -1,0 +1,1 @@
+lib/figures/fig_rust.ml: List Methods Mpicd_bench_types Mpicd_harness

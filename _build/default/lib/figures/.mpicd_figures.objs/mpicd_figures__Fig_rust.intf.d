@@ -1,0 +1,1 @@
+lib/figures/fig_rust.mli: Mpicd_harness

@@ -1,0 +1,1 @@
+lib/figures/methods.ml: Array Mpicd Mpicd_bench_types Mpicd_buf Mpicd_datatype Mpicd_ddtbench Mpicd_harness

@@ -1,0 +1,1 @@
+lib/figures/methods.mli: Mpicd_bench_types Mpicd_buf Mpicd_ddtbench Mpicd_harness

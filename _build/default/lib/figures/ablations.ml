@@ -1,0 +1,230 @@
+(* Ablation benchmarks for the design choices DESIGN.md calls out:
+   each sweeps one cost-model parameter or algorithm choice and shows
+   how the headline effects move with it. *)
+
+module Buf = Mpicd_buf.Buf
+module Config = Mpicd_simnet.Config
+module Engine = Mpicd_simnet.Engine
+module Mpi = Mpicd.Mpi
+module Coll = Mpicd_collectives.Collectives
+module P = Mpicd_pickle.Pickle
+module Objmsg = Mpicd_objmsg.Objmsg
+module H = Mpicd_harness.Harness
+module Report = Mpicd_harness.Report
+module B = Mpicd_bench_types.Bench_types
+
+let reps = 4
+
+(* A1: the Fig. 7 dip is the eager->rendezvous switch: sweeping the
+   eager limit moves the dip. *)
+let eager_limit_sweep () =
+  let sizes = List.init 10 (fun i -> 1 lsl (i + 12)) in
+  List.map
+    (fun limit ->
+      let config =
+        { Config.default with link = { Config.default.link with eager_limit = limit } }
+      in
+      {
+        Report.label = Printf.sprintf "manual-pack(eager<=%s)" (Report.human_bytes limit);
+        points =
+          List.map
+            (fun n ->
+              let count = B.Struct_simple.count_for_packed_bytes n in
+              let bytes = count * B.Struct_simple.packed_elem_size in
+              ( n,
+                (H.pingpong ~config ~reps ~bytes
+                   (Methods.st_manual (module B.Struct_simple) ~count))
+                  .bandwidth_mib_s ))
+            sizes;
+      })
+    [ 8 * 1024; 32 * 1024; 128 * 1024 ]
+
+(* A2: the custom path's sensitivity to the per-iov-entry cost (the
+   Fig. 1 small-subvector penalty). *)
+let iov_entry_sweep () =
+  let total = 1 lsl 20 in
+  let subvecs = [ 64; 128; 256; 512; 1024; 2048; 4096 ] in
+  List.map
+    (fun entry_ns ->
+      let config =
+        {
+          Config.default with
+          link = { Config.default.link with iov_entry_ns = float_of_int entry_ns };
+        }
+      in
+      {
+        Report.label = Printf.sprintf "custom(iov=%dns/entry)" entry_ns;
+        points =
+          List.map
+            (fun subvec ->
+              ( subvec,
+                (H.pingpong ~config ~reps ~bytes:total
+                   (Methods.dv_custom ~subvec ~total))
+                  .bandwidth_mib_s ))
+            subvecs;
+      })
+    [ 0; 120; 480 ]
+
+(* A3: the per-typemap-block cost drives the Fig. 5 gap between the
+   derived-datatype baseline and everything else. *)
+let ddt_block_sweep () =
+  let sizes = List.init 9 (fun i -> 1 lsl (i + 8)) in
+  List.map
+    (fun block_ns ->
+      let config =
+        {
+          Config.default with
+          cpu = { Config.default.cpu with ddt_block_ns = float_of_int block_ns };
+        }
+      in
+      {
+        Report.label = Printf.sprintf "rsmpi(ddt=%dns/block)" block_ns;
+        points =
+          List.map
+            (fun n ->
+              let count = B.Struct_simple.count_for_packed_bytes n in
+              let bytes = count * B.Struct_simple.packed_elem_size in
+              ( n,
+                (H.pingpong ~config ~reps ~bytes
+                   (Methods.st_rsmpi (module B.Struct_simple) ~count))
+                  .latency_us ))
+            sizes;
+      })
+    [ 0; 5; 18; 45 ]
+
+(* A4: barrier algorithms across world sizes. *)
+let barrier_scaling () =
+  let time_of nranks f =
+    let w = Mpi.create_world ~size:nranks () in
+    let t = ref 0. in
+    Mpi.run w (fun comm ->
+        (* warm up, then time one barrier *)
+        f comm;
+        let t0 = Engine.now (Mpi.world_engine w) in
+        f comm;
+        if Mpi.rank comm = 0 then t := Engine.now (Mpi.world_engine w) -. t0);
+    !t /. 1000.
+  in
+  let ranks = [ 2; 4; 8; 16; 32; 64 ] in
+  [
+    {
+      Report.label = "linear-barrier";
+      points = List.map (fun n -> (n, time_of n Mpi.barrier)) ranks;
+    };
+    {
+      Report.label = "dissemination-barrier";
+      points = List.map (fun n -> (n, time_of n Coll.barrier)) ranks;
+    };
+  ]
+
+(* A5: message counts and peak memory per object strategy (the §VI
+   discussion quantified). *)
+let objmsg_costs () =
+  let obj_of bytes =
+    P.List
+      (List.init (max 1 (bytes / (128 * 1024))) (fun _ ->
+           P.Ndarray (P.ndarray ~dtype:P.U8 [| 128 * 1024 |])))
+  in
+  let strategies =
+    [ Objmsg.Pickle_basic; Objmsg.Pickle_oob; Objmsg.Pickle_oob_cdt ]
+  in
+  let bytes = 8 * 1024 * 1024 in
+  let rows =
+    List.map
+      (fun strategy ->
+        let w = Mpi.create_world ~size:2 () in
+        let obj = obj_of bytes in
+        Mpi.run w (fun comm ->
+            if Mpi.rank comm = 0 then Objmsg.send strategy comm ~dst:1 ~tag:0 obj
+            else ignore (Objmsg.recv strategy comm ~source:0 ~tag:0 ()));
+        let stats = Mpi.world_stats w in
+        [
+          Objmsg.strategy_name strategy;
+          string_of_int stats.messages_sent;
+          Printf.sprintf "%.2f"
+            (float_of_int stats.peak_alloc_bytes /. float_of_int bytes);
+          Printf.sprintf "%.2f"
+            (float_of_int stats.bytes_copied /. float_of_int bytes);
+        ])
+      strategies
+  in
+  (bytes, rows)
+
+(* A6: the §VI multithreading claim, quantified: per-communicator
+   locking vs the single-operation custom datatype path. *)
+let print_threading () =
+  let module T = Mpicd_objmsg.Threaded in
+  let run mode nthreads =
+    T.run mode ~nthreads ~objects_per_thread:8 ~arrays_per_object:4
+      ~chunk_bytes:4096
+  in
+  let rows =
+    List.concat_map
+      (fun nthreads ->
+        List.map
+          (fun mode ->
+            let o = run mode nthreads in
+            [
+              string_of_int nthreads;
+              T.mode_name mode;
+              Printf.sprintf "%.1f" o.T.elapsed_us;
+              string_of_int o.T.corrupted;
+              string_of_int o.T.messages;
+            ])
+          [ T.Oob_locked; T.Oob_unlocked; T.Cdt_tagged ])
+      [ 1; 2; 4; 8 ]
+  in
+  Report.print_kv_table
+    ~title:
+      "Ablation A6: multithreaded senders (8 objects/thread, 4x4KiB arrays)"
+    ~header:[ "threads"; "mode"; "elapsed us"; "corrupted"; "messages" ]
+    rows
+
+(* A7: device-resident buffers (§VI accelerator discussion): host
+   staging vs device pack kernels vs direct NIC access, on real kernel
+   layouts. *)
+let print_device () =
+  let module D = Mpicd_device.Device in
+  let module Kernel = Mpicd_ddtbench.Kernel in
+  let kernels = [ "NAS_LU_x"; "NAS_LU_y"; "NAS_MG_x"; "NAS_MG_y" ] in
+  let rows =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (module K : Kernel.KERNEL) ->
+            let bw m =
+              (H.pingpong ~reps ~bytes:K.wire_bytes
+                 (D.exchange_impl m ~blocks:K.blocks ~slab_bytes:K.slab_bytes))
+                .H.bandwidth_mib_s
+            in
+            name
+            :: Report.human_bytes K.wire_bytes
+            :: List.map
+                 (fun m -> Printf.sprintf "%.0f" (bw m))
+                 [ D.Staged_host_pack; D.Device_pack_staged; D.Device_pack_direct ])
+          (Mpicd_ddtbench.Registry.find name))
+      kernels
+  in
+  Report.print_kv_table
+    ~title:"Ablation A7: device-resident halo exchange (MiB/s)"
+    ~header:
+      [ "kernel"; "size"; "staged-host-pack"; "device-pack-staged"; "device-pack-direct" ]
+    rows
+
+let print_objmsg_costs () =
+  let bytes, rows = objmsg_costs () in
+  Report.print_kv_table
+    ~title:
+      (Printf.sprintf
+         "Ablation A5: per-strategy costs for one %s Python object"
+         (Report.human_bytes bytes))
+    ~header:[ "strategy"; "MPI messages"; "peak mem / payload"; "copies / payload" ]
+    rows
+
+let all : (string * string * string * (unit -> Report.series list)) list =
+  [
+    ("ablation-eager", "Ablation A1: eager-limit sweep (struct-simple manual-pack)", "MiB/s", eager_limit_sweep);
+    ("ablation-iov", "Ablation A2: iov entry cost vs subvector size (double-vec custom, 1 MiB)", "MiB/s", iov_entry_sweep);
+    ("ablation-ddt", "Ablation A3: ddt per-block cost (struct-simple rsmpi latency)", "latency us", ddt_block_sweep);
+    ("ablation-barrier", "Ablation A4: barrier scaling (time per barrier)", "us", barrier_scaling);
+  ]

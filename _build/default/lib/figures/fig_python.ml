@@ -1,0 +1,84 @@
+(* Figures 8–9: mpi4py-style Python object pingpong (paper §V-B).
+
+   Effective bandwidth of communicating Python objects under the three
+   pickle strategies, against a raw-buffer roofline. *)
+
+module Buf = Mpicd_buf.Buf
+module P = Mpicd_pickle.Pickle
+module Objmsg = Mpicd_objmsg.Objmsg
+module H = Mpicd_harness.Harness
+module Report = Mpicd_harness.Report
+
+let reps = 4
+
+let pow2 lo hi = List.init (hi - lo + 1) (fun i -> 1 lsl (lo + i))
+
+(* A single 1-D f64 NumPy array of [bytes] total. *)
+let single_array bytes () = P.Ndarray (P.ndarray ~dtype:P.U8 [| bytes |])
+
+(* The paper's complex object: a user-defined object holding multiple
+   128 KiB arrays summing to [bytes] (dict + list structure adds the
+   small metadata the pickle header carries). *)
+let complex_object bytes () =
+  let chunk = 128 * 1024 in
+  let n = max 1 (bytes / chunk) in
+  P.Dict
+    [
+      (P.Str "kind", P.Str "complex");
+      (P.Str "n", P.Int (Int64.of_int n));
+      ( P.Str "fields",
+        P.List (List.init n (fun _ -> P.Ndarray (P.ndarray ~dtype:P.U8 [| chunk |])))
+      );
+    ]
+
+let measure = H.pingpong ~warmup:1 ~reps
+
+let obj_impl strategy make_obj () =
+  let obj = make_obj () in
+  {
+    H.send = (fun comm ~dst ~tag -> Objmsg.send strategy comm ~dst ~tag obj);
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore (Objmsg.recv strategy comm ~source ~tag ()));
+  }
+
+let series_for make_obj ~sizes =
+  let strategies =
+    [ Objmsg.Pickle_basic; Objmsg.Pickle_oob; Objmsg.Pickle_oob_cdt ]
+  in
+  let payload n = P.payload_bytes (make_obj n ()) in
+  {
+    Report.label = "roofline";
+    points =
+      List.map
+        (fun n ->
+          let bytes = payload n in
+          (n, (measure ~bytes (Methods.bytes_baseline ~total:bytes)).bandwidth_mib_s))
+        sizes;
+  }
+  :: List.map
+       (fun strategy ->
+         {
+           Report.label = Objmsg.strategy_name strategy;
+           points =
+             List.map
+               (fun n ->
+                 let bytes = payload n in
+                 ( n,
+                   (H.pingpong ~reps ~bytes (obj_impl strategy (make_obj n)))
+                     .bandwidth_mib_s ))
+               sizes;
+         })
+       strategies
+
+(* Fig. 8: single NumPy arrays, 1 KiB – 32 MiB. *)
+let fig8 () = series_for single_array ~sizes:(pow2 10 24)
+
+(* Fig. 9: complex objects of 128 KiB arrays, 128 KiB – 32 MiB. *)
+let fig9 () = series_for complex_object ~sizes:(pow2 17 24)
+
+let all : (string * string * string * (unit -> Report.series list)) list =
+  [
+    ("fig8", "Fig. 8: Python pingpong, single NumPy array", "MiB/s", fig8);
+    ("fig9", "Fig. 9: Python pingpong, complex object (128 KiB arrays)", "MiB/s", fig9);
+  ]

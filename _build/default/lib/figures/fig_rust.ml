@@ -1,0 +1,106 @@
+(* Figures 1–7: the Rust benchmark types over the mpicd prototype
+   (paper §V-A).  Each function regenerates one figure as Report
+   series; sizes follow the paper's axes. *)
+
+module H = Mpicd_harness.Harness
+module Report = Mpicd_harness.Report
+module B = Mpicd_bench_types.Bench_types
+
+(* average of four runs, as in the paper *)
+let reps = 4
+
+let pow2 lo hi = List.init (hi - lo + 1) (fun i -> 1 lsl (lo + i))
+
+let measure ~bytes make = H.pingpong ~warmup:1 ~reps ~bytes make
+
+let bandwidth_series label ~sizes ~make =
+  {
+    Report.label;
+    points =
+      List.map (fun n -> (n, (measure ~bytes:n (make n)).bandwidth_mib_s)) sizes;
+  }
+
+(* Fig. 1: double-vec latency while varying the subvector size from
+   64 B to 4 KiB (fixed 64 KiB message).  Expected shape: custom falls
+   as subvectors grow and crosses below manual-pack near 2^9 B;
+   manual-pack is insensitive to the subvector size; the raw byte
+   baseline is lowest. *)
+let fig1 () =
+  let total = 64 * 1024 in
+  let subvecs = [ 64; 128; 256; 512; 1024; 2048; 4096 ] in
+  let series label make =
+    {
+      Report.label;
+      points =
+        List.map
+          (fun subvec -> (subvec, (measure ~bytes:total (make subvec)).latency_us))
+          subvecs;
+    }
+  in
+  [
+    series "custom" (fun subvec -> Methods.dv_custom ~subvec ~total);
+    series "manual-pack" (fun subvec -> Methods.dv_manual ~subvec ~total);
+    series "rsmpi-bytes-baseline" (fun _ -> Methods.bytes_baseline ~total);
+  ]
+
+(* Fig. 2: double-vec bandwidth, subvector size 1024 B. *)
+let fig2 () =
+  let sizes = pow2 10 22 in
+  [
+    bandwidth_series "custom" ~sizes ~make:(fun n ->
+        Methods.dv_custom ~subvec:1024 ~total:n);
+    bandwidth_series "manual-pack" ~sizes ~make:(fun n ->
+        Methods.dv_manual ~subvec:1024 ~total:n);
+    bandwidth_series "rsmpi-bytes-baseline" ~sizes ~make:(fun n ->
+        Methods.bytes_baseline ~total:n);
+  ]
+
+(* Figs. 3/4: struct-vec — counts chosen so the packed size (~8212 B
+   per element) matches the x value. *)
+let struct_series which (module S : B.STRUCT) ~sizes =
+  let make_of m n =
+    let count = S.count_for_packed_bytes n in
+    m (module S : B.STRUCT) ~count
+  in
+  let series label m =
+    {
+      Report.label;
+      points =
+        List.map
+          (fun n ->
+            let count = S.count_for_packed_bytes n in
+            let bytes = count * S.packed_elem_size in
+            let r = measure ~bytes (make_of m n) in
+            ( bytes,
+              match which with
+              | `Latency -> r.latency_us
+              | `Bandwidth -> r.bandwidth_mib_s ))
+          sizes;
+    }
+  in
+  [
+    series "custom" Methods.st_custom;
+    series "manual-pack" Methods.st_manual;
+    series "rsmpi-derived-datatype" Methods.st_rsmpi;
+  ]
+
+let fig3 () = struct_series `Latency (module B.Struct_vec) ~sizes:(pow2 13 22)
+let fig4 () = struct_series `Bandwidth (module B.Struct_vec) ~sizes:(pow2 15 22)
+let fig5 () = struct_series `Latency (module B.Struct_simple) ~sizes:(pow2 6 19)
+
+let fig6 () =
+  struct_series `Latency (module B.Struct_simple_no_gap) ~sizes:(pow2 6 19)
+
+let fig7 () =
+  struct_series `Bandwidth (module B.Struct_simple) ~sizes:(pow2 10 22)
+
+let all : (string * string * string * (unit -> Report.series list)) list =
+  [
+    ("fig1", "Fig. 1: double-vec latency vs subvector size (64 KiB msg)", "latency us", fig1);
+    ("fig2", "Fig. 2: double-vec bandwidth (subvec 1 KiB)", "MiB/s", fig2);
+    ("fig3", "Fig. 3: struct-vec latency", "latency us", fig3);
+    ("fig4", "Fig. 4: struct-vec bandwidth", "MiB/s", fig4);
+    ("fig5", "Fig. 5: struct-simple latency", "latency us", fig5);
+    ("fig6", "Fig. 6: struct-simple-no-gap latency", "latency us", fig6);
+    ("fig7", "Fig. 7: struct-simple bandwidth", "MiB/s", fig7);
+  ]

@@ -1,0 +1,206 @@
+(* Transfer-method implementations shared by the figure generators:
+   every method the paper's §V compares, as Harness.impl builders. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Mpi = Mpicd.Mpi
+module H = Mpicd_harness.Harness
+module B = Mpicd_bench_types.Bench_types
+module DV = B.Double_vec
+module Blocks = Mpicd_ddtbench.Blocks
+module Kernel = Mpicd_ddtbench.Kernel
+
+(* --- double-vec (Vec<Vec<i32>>) --- *)
+
+let dv_custom ~subvec ~total () =
+  let src = DV.generate ~subvec_bytes:subvec ~total_bytes:total in
+  let sink = DV.make_sink ~subvec_bytes:subvec ~total_bytes:total in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        Mpi.send comm ~dst ~tag
+          (Mpi.Custom { dt = DV.custom_dt; obj = src; count = 1 }));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore
+          (Mpi.recv comm ~source ~tag
+             (Mpi.Custom { dt = DV.custom_dt; obj = sink; count = 1 })));
+  }
+
+let dv_manual ~subvec ~total () =
+  let src = DV.generate ~subvec_bytes:subvec ~total_bytes:total in
+  let sink = DV.make_sink ~subvec_bytes:subvec ~total_bytes:total in
+  let psize = DV.manual_pack_size src in
+  let nvec = Array.length src in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        let buf = H.charged_alloc comm psize in
+        DV.manual_pack src ~dst:buf;
+        H.charge_copy comm total;
+        H.charge_pieces comm nvec;
+        Mpi.send comm ~dst ~tag (Mpi.Bytes buf);
+        H.charged_free comm buf);
+    H.recv =
+      (fun comm ~source ~tag ->
+        let buf = H.charged_alloc comm psize in
+        ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes buf));
+        DV.manual_unpack ~src:buf sink;
+        H.charge_copy comm total;
+        H.charge_pieces comm nvec;
+        H.charged_free comm buf);
+  }
+
+(* The paper's rsmpi-bytes-baseline: RSMPI cannot express Vec<Vec<i32>>,
+   so the absolute baseline just moves the same bytes contiguously. *)
+let bytes_baseline ~total () =
+  let src = Buf.create total and sink = Buf.create total in
+  Kernel.fill src;
+  {
+    H.send = (fun comm ~dst ~tag -> Mpi.send comm ~dst ~tag (Mpi.Bytes src));
+    H.recv =
+      (fun comm ~source ~tag -> ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes sink)));
+  }
+
+(* --- the struct types --- *)
+
+let st_custom (module S : B.STRUCT) ~count () =
+  let src = S.generate ~count and sink = S.make_sink ~count in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        Mpi.send comm ~dst ~tag (Mpi.Custom { dt = S.custom_dt; obj = src; count }));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore
+          (Mpi.recv comm ~source ~tag
+             (Mpi.Custom { dt = S.custom_dt; obj = sink; count })));
+  }
+
+let st_manual (module S : B.STRUCT) ~count () =
+  let src = S.generate ~count and sink = S.make_sink ~count in
+  let psize = count * S.packed_elem_size in
+  let pieces = count * max 1 S.pieces_per_elem in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        let buf = H.charged_alloc comm psize in
+        S.manual_pack src ~count ~dst:buf;
+        H.charge_copy comm psize;
+        H.charge_pieces comm pieces;
+        Mpi.send comm ~dst ~tag (Mpi.Bytes buf);
+        H.charged_free comm buf);
+    H.recv =
+      (fun comm ~source ~tag ->
+        let buf = H.charged_alloc comm psize in
+        ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes buf));
+        S.manual_unpack ~src:buf sink ~count;
+        H.charge_copy comm psize;
+        H.charge_pieces comm pieces;
+        H.charged_free comm buf);
+  }
+
+let st_rsmpi (module S : B.STRUCT) ~count () =
+  let src = S.generate ~count and sink = S.make_sink ~count in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        Mpi.send comm ~dst ~tag (Mpi.Typed { dt = S.derived; count; base = src }));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore
+          (Mpi.recv comm ~source ~tag
+             (Mpi.Typed { dt = S.derived; count; base = sink })));
+  }
+
+(* --- DDTBench kernels (Fig. 10 methods) --- *)
+
+let k_reference (module K : Kernel.KERNEL) () = bytes_baseline ~total:K.wire_bytes ()
+
+let k_manual (module K : Kernel.KERNEL) () =
+  let src = K.create () and sink = K.create_sink () in
+  let pieces = Blocks.count K.blocks in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        let buf = H.charged_alloc comm K.wire_bytes in
+        K.manual_pack src ~dst:buf;
+        H.charge_copy comm K.wire_bytes;
+        H.charge_pieces comm pieces;
+        Mpi.send comm ~dst ~tag (Mpi.Bytes buf);
+        H.charged_free comm buf);
+    H.recv =
+      (fun comm ~source ~tag ->
+        let buf = H.charged_alloc comm K.wire_bytes in
+        ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes buf));
+        K.manual_unpack ~src:buf sink;
+        H.charge_copy comm K.wire_bytes;
+        H.charge_pieces comm pieces;
+        H.charged_free comm buf);
+  }
+
+let k_ddt_direct (module K : Kernel.KERNEL) () =
+  let src = K.create () and sink = K.create_sink () in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        Mpi.send comm ~dst ~tag (Mpi.Typed { dt = K.derived; count = 1; base = src }));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore
+          (Mpi.recv comm ~source ~tag
+             (Mpi.Typed { dt = K.derived; count = 1; base = sink })));
+  }
+
+(* MPI_Pack into a contiguous buffer, send as bytes, MPI_Unpack. *)
+let k_ddt_pack (module K : Kernel.KERNEL) () =
+  let src = K.create () and sink = K.create_sink () in
+  let blocks = Dt.blocks_per_element K.derived in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        let buf = H.charged_alloc comm K.wire_bytes in
+        ignore (Dt.pack K.derived ~count:1 ~src ~dst:buf);
+        H.charge_copy comm K.wire_bytes;
+        H.charge_ddt_blocks comm blocks;
+        Mpi.send comm ~dst ~tag (Mpi.Bytes buf);
+        H.charged_free comm buf);
+    H.recv =
+      (fun comm ~source ~tag ->
+        let buf = H.charged_alloc comm K.wire_bytes in
+        ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes buf));
+        Dt.unpack K.derived ~count:1 ~src:buf ~dst:sink;
+        H.charge_copy comm K.wire_bytes;
+        H.charge_ddt_blocks comm blocks;
+        H.charged_free comm buf);
+  }
+
+let k_custom_pack (module K : Kernel.KERNEL) () =
+  let src = K.create () and sink = K.create_sink () in
+  {
+    H.send =
+      (fun comm ~dst ~tag ->
+        Mpi.send comm ~dst ~tag
+          (Mpi.Custom { dt = K.custom_pack; obj = src; count = 1 }));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore
+          (Mpi.recv comm ~source ~tag
+             (Mpi.Custom { dt = K.custom_pack; obj = sink; count = 1 })));
+  }
+
+let k_custom_regions (module K : Kernel.KERNEL) () =
+  match K.custom_regions with
+  | None -> None
+  | Some dt ->
+      let src = K.create () and sink = K.create_sink () in
+      Some
+        {
+          H.send =
+            (fun comm ~dst ~tag ->
+              Mpi.send comm ~dst ~tag (Mpi.Custom { dt; obj = src; count = 1 }));
+          H.recv =
+            (fun comm ~source ~tag ->
+              ignore
+                (Mpi.recv comm ~source ~tag (Mpi.Custom { dt; obj = sink; count = 1 })));
+        }

@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Mpicd Mpicd_buf Mpicd_simnet

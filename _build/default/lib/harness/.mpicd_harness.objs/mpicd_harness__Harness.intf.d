@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Mpicd Mpicd_buf Mpicd_simnet

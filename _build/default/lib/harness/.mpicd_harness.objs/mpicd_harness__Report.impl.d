@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Float Fun List Printf String

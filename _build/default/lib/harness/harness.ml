@@ -1,0 +1,79 @@
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Mpi = Mpicd.Mpi
+
+type impl = {
+  send : Mpi.comm -> dst:int -> tag:int -> unit;
+  recv : Mpi.comm -> source:int -> tag:int -> unit;
+}
+
+type result = {
+  bytes : int;
+  latency_us : float;
+  bandwidth_mib_s : float;
+  stats : Stats.t;
+}
+
+let charge comm t = Engine.sleep (Mpi.world_engine (Mpi.world_of comm)) t
+
+let charged_alloc comm n =
+  let b = Buf.create n in
+  Stats.record_alloc (Mpi.world_stats (Mpi.world_of comm)) n;
+  charge comm (Config.alloc_time (Mpi.world_config (Mpi.world_of comm)).cpu n);
+  b
+
+let charged_free comm b =
+  Stats.record_free (Mpi.world_stats (Mpi.world_of comm)) (Buf.length b)
+
+let charge_copy comm n =
+  Stats.record_copy (Mpi.world_stats (Mpi.world_of comm)) n;
+  charge comm (Config.memcpy_time (Mpi.world_config (Mpi.world_of comm)).cpu n)
+
+let charge_pieces comm n =
+  charge comm
+    (float_of_int n *. (Mpi.world_config (Mpi.world_of comm)).cpu.pack_piece_ns)
+
+let charge_ddt_blocks comm n =
+  Stats.record_ddt_blocks (Mpi.world_stats (Mpi.world_of comm)) n;
+  charge comm
+    (float_of_int n *. (Mpi.world_config (Mpi.world_of comm)).cpu.ddt_block_ns)
+
+let charge_ns comm ns = charge comm ns
+
+let pingpong ?(config = Config.default) ?(warmup = 2) ?(reps = 10) ~bytes make =
+  let w = Mpi.create_world ~config ~size:2 () in
+  let impl = make () in
+  let measured = ref 0. in
+  let base_stats = ref (Stats.create ()) in
+  Mpi.run w (fun comm ->
+      let engine = Mpi.world_engine w in
+      let rounds measured_rounds start_round =
+        for round = start_round to start_round + measured_rounds - 1 do
+          if Mpi.rank comm = 0 then begin
+            impl.send comm ~dst:1 ~tag:round;
+            impl.recv comm ~source:1 ~tag:round
+          end
+          else begin
+            impl.recv comm ~source:0 ~tag:round;
+            impl.send comm ~dst:0 ~tag:round
+          end
+        done
+      in
+      rounds warmup 0;
+      Mpi.barrier comm;
+      if Mpi.rank comm = 0 then base_stats := Stats.snapshot (Mpi.world_stats w);
+      let t0 = Engine.now engine in
+      rounds reps warmup;
+      if Mpi.rank comm = 0 then measured := Engine.now engine -. t0);
+  let one_way_ns = !measured /. float_of_int (2 * reps) in
+  let stats = Stats.diff ~after:(Mpi.world_stats w) ~before:!base_stats in
+  {
+    bytes;
+    latency_us = one_way_ns /. 1000.;
+    bandwidth_mib_s =
+      (if one_way_ns <= 0. then 0.
+       else float_of_int bytes /. (one_way_ns /. 1e9) /. (1024. *. 1024.));
+    stats;
+  }

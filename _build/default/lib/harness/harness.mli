@@ -1,0 +1,62 @@
+(** Benchmark driver: OSU-style ping-pong measurements on the simulated
+    two-node cluster.
+
+    Each measurement builds a fresh deterministic world, runs [warmup]
+    unmeasured rounds, then [reps] measured rounds, and reports the
+    average one-way latency (half the round-trip) on the virtual clock
+    together with the derived bandwidth — the methodology of the
+    paper's §V benchmarks. *)
+
+module Buf = Mpicd_buf.Buf
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Mpi = Mpicd.Mpi
+
+type impl = {
+  send : Mpi.comm -> dst:int -> tag:int -> unit;
+  recv : Mpi.comm -> source:int -> tag:int -> unit;
+}
+(** One transfer method: how to send one message and how to receive
+    one.  Both run inside rank fibers and may block. *)
+
+type result = {
+  bytes : int;  (** payload bytes per one-way transfer *)
+  latency_us : float;  (** average one-way latency, microseconds *)
+  bandwidth_mib_s : float;  (** bytes / latency, MiB/s *)
+  stats : Stats.t;  (** counters accumulated over the measured rounds *)
+}
+
+val pingpong :
+  ?config:Config.t ->
+  ?warmup:int ->
+  ?reps:int ->
+  bytes:int ->
+  (unit -> impl) ->
+  result
+(** [pingpong ~bytes make] measures [make ()] (a fresh impl with its own
+    buffers per measurement).  Defaults: warmup 2, reps 10. *)
+
+(** {1 Cost-charging helpers for benchmark implementations}
+
+    Benchmark code that does its own packing (the paper's
+    [manual-pack]) uses these so its CPU work is charged to the virtual
+    clock like everything else. *)
+
+val charged_alloc : Mpi.comm -> int -> Buf.t
+(** Allocate a buffer, recording and charging allocation cost. *)
+
+val charged_free : Mpi.comm -> Buf.t -> unit
+
+val charge_copy : Mpi.comm -> int -> unit
+(** Charge a [bytes]-sized CPU copy (call after performing it). *)
+
+val charge_pieces : Mpi.comm -> int -> unit
+(** Charge the per-piece cost of a pack loop that touched [n]
+    contiguous blocks. *)
+
+val charge_ddt_blocks : Mpi.comm -> int -> unit
+(** Charge the classic datatype engine's per-block cost for [n] blocks
+    (used by the explicit MPI_Pack-style benchmark method). *)
+
+val charge_ns : Mpi.comm -> float -> unit
+(** Charge an arbitrary CPU duration. *)

@@ -1,0 +1,1 @@
+lib/objmsg/objmsg.ml: Array Int64 List Mpicd Mpicd_buf Mpicd_pickle Mpicd_simnet

@@ -1,0 +1,1 @@
+lib/objmsg/objmsg.mli: Mpicd Mpicd_buf Mpicd_pickle

@@ -1,0 +1,1 @@
+lib/objmsg/threaded.ml: Array Char List Mpicd Mpicd_buf Mpicd_pickle Mpicd_simnet Objmsg Option Printf

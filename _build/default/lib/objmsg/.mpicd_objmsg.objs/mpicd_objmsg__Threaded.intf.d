@@ -1,0 +1,1 @@
+lib/objmsg/threaded.mli: Mpicd Mpicd_pickle

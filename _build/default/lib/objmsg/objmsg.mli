@@ -1,0 +1,46 @@
+(** mpi4py-style Python-object messaging.
+
+    Communicates {!Mpicd_pickle.Pickle.t} object graphs between ranks
+    using the three strategies the paper evaluates (Figs. 8–9):
+
+    - {!Pickle_basic} — protocol-4 pickle: the object (arrays included)
+      is serialized into one contiguous in-band stream and sent as a
+      single [MPI_BYTE] message; the receiver [MPI_Mprobe]s for the
+      unknown size, allocates, receives, and unpickles (which copies
+      every array payload once more).  Memory use is ~2x the object.
+
+    - {!Pickle_oob} — protocol-5 pickle over plain MPI, the current
+      mpi4py approach: a small in-band header message, then an auxiliary
+      message carrying the buffer-length vector, then one extra MPI
+      message {e per} out-of-band buffer.  Zero-copy, but many messages
+      per object — the thread-safety/tag-space hazard of §VI.
+
+    - {!Pickle_oob_cdt} — protocol-5 pickle over this paper's custom
+      datatype: one auxiliary length message (the receive side must
+      still learn region sizes, §VI limitation), then a {e single} MPI
+      operation whose packed part is the pickle header and whose
+      zero-copy regions are the buffers.
+
+    All strategies deliver structurally equal objects; they differ in
+    message count, copies, and receive-side allocation, which is what
+    the bandwidth figures measure. *)
+
+module Buf = Mpicd_buf.Buf
+module Pickle = Mpicd_pickle.Pickle
+module Mpi = Mpicd.Mpi
+
+type strategy = Pickle_basic | Pickle_oob | Pickle_oob_cdt
+
+val strategy_name : strategy -> string
+(** ["pickle-basic"], ["pickle-oob"], ["pickle-oob-cdt"] — the labels of
+    the paper's figures. *)
+
+val send : strategy -> Mpi.comm -> dst:int -> tag:int -> Pickle.t -> unit
+val recv :
+  strategy -> Mpi.comm -> ?source:int -> ?tag:int -> unit -> Pickle.t * Mpi.status
+(** The returned status reports the {e total} payload bytes moved and
+    the matched source/tag of the primary message. *)
+
+val messages_per_object : strategy -> Pickle.t -> int
+(** How many MPI messages one send of this object costs (for tests and
+    the discussion in §VI). *)

@@ -1,0 +1,1 @@
+lib/pickle/pickle.ml: Array Buffer Char Format Int64 List Mpicd_buf Printf String

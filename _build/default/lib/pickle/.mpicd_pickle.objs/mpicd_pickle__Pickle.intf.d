@@ -1,0 +1,1 @@
+lib/pickle/pickle.mli: Format Mpicd_buf

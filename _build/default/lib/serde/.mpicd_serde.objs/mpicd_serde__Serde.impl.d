@@ -1,0 +1,1 @@
+lib/serde/serde.ml: Array Buffer Char Fun Int64 Lazy List Mpicd Mpicd_buf Printf String

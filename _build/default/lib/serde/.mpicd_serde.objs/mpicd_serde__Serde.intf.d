@@ -1,0 +1,1 @@
+lib/serde/serde.mli: Mpicd Mpicd_buf

@@ -1,0 +1,97 @@
+(** Typed serialization schemas with out-of-band buffers — the
+    Serde-style layer the paper's §VII anticipates.
+
+    The paper notes that "an extended Rust MPI implementation supporting
+    our new type interface may implement macros to automatically
+    generate manual packing" from the type structure, the way Serde
+    derives serializers.  This module is that idea in OCaml: a schema
+    combinator language describes a value's structure once, and from it
+    we derive
+
+    - {!to_custom}: an {!Mpicd.Custom.t} datatype whose pack/unpack
+      callbacks are generated from the schema and whose [Buf] fields
+      travel out-of-band as zero-copy memory regions, and
+    - {!encode}/{!decode}: a plain in-band byte-stream serializer (the
+      "old way", useful as a baseline and for persistence).
+
+    Schemas are first-class values, so generic containers compose:
+    [list (pair int string)], [record ...], etc. *)
+
+module Buf = Mpicd_buf.Buf
+module Custom = Mpicd.Custom
+
+type 'a t
+(** A serialization schema for values of type ['a]. *)
+
+exception Decode_error of string
+
+(** {1 Primitive schemas} *)
+
+val unit : unit t
+val bool : bool t
+val int : int t  (** 63-bit, varint-free fixed 8-byte encoding *)
+
+val float : float t
+val string : string t
+val buf : Buf.t t
+(** Raw memory payload.  In-band encoding copies it; {!to_custom}
+    transfers it {e out-of-band} (zero-copy region).  Decoding under
+    {!to_custom} requires the receiver's value to already hold a buffer
+    of the matching length (the paper's known-size limitation). *)
+
+(** {1 Combinators} *)
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+val list : 'a t -> 'a list t
+val array : 'a t -> 'a array t
+val option : 'a t -> 'a option t
+
+val result : ok:'a t -> error:'b t -> ('a, 'b) result t
+
+val map : ('a -> 'b) -> ('b -> 'a) -> 'b t -> 'a t
+(** [map project inject schema]: serialize ['a] through its ['b]
+    representation.  Use for records:
+    [map (fun {x;y} -> (x,y)) (fun (x,y) -> {x;y}) (pair int float)]. *)
+
+val fix : ('a t -> 'a t) -> 'a t
+(** Recursive schemas (trees etc.). *)
+
+(** {1 In-band codec} *)
+
+val encode : 'a t -> 'a -> Buf.t
+val decode : 'a t -> Buf.t -> 'a
+(** @raise Decode_error on malformed input. *)
+
+val encoded_size : 'a t -> 'a -> int
+
+(** {1 Out-of-band split}
+
+    Like pickle protocol 5: the in-band part holds the structure, every
+    [buf] payload is returned separately. *)
+
+val encode_oob : 'a t -> 'a -> Buf.t * Buf.t list
+val decode_oob : 'a t -> Buf.t -> buffers:Buf.t list -> 'a
+(** Reconstructed [buf] leaves alias the supplied buffers (zero-copy). *)
+
+val oob_buffers : 'a t -> 'a -> Buf.t list
+(** Just the out-of-band payloads, in traversal order. *)
+
+(** {1 Custom datatype derivation} *)
+
+val to_custom : 'a t -> 'a Custom.t
+(** A custom MPI datatype for values of this schema: the packed part is
+    the in-band encoding, the [buf] payloads are zero-copy regions.
+
+    On the receive side, the posted value must structurally match the
+    incoming one ([buf] lengths and region count in particular);
+    decoded scalar fields are written into the received object via the
+    schema's [map] injections where the carrier is mutable, and the
+    full decoded value can be obtained with {!receive_into}'s result.
+    A structural mismatch surfaces as [Custom.Error 1]. *)
+
+val receive_into : 'a t -> 'a ref -> 'a ref Custom.t
+(** Variant of {!to_custom} for receiving: after the receive completes
+    the ref holds the decoded value, whose [buf] leaves are the posted
+    value's buffers (filled in place, zero-copy).  The posted value
+    (initial ref contents) supplies the region layout. *)

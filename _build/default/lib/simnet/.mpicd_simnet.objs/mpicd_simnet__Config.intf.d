@@ -1,0 +1,1 @@
+lib/simnet/config.mli: Format

@@ -1,0 +1,1 @@
+lib/simnet/engine.ml: Effect Float Fun Heap List Option Printf Queue String

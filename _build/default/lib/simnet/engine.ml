@@ -1,0 +1,186 @@
+type t = {
+  mutable clock : float;
+  events : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable suspended_names : (int * string) list;
+  mutable fiber_ids : int;
+}
+
+exception Deadlock of string
+
+type 'a resumer = 'a -> unit
+
+type _ Effect.t +=
+  | Sleep : t * float -> unit Effect.t
+  | Suspend : t * ('a resumer -> unit) -> 'a Effect.t
+
+let create () =
+  {
+    clock = 0.;
+    events = Heap.create ();
+    seq = 0;
+    live = 0;
+    suspended_names = [];
+    fiber_ids = 0;
+  }
+
+let now t = t.clock
+
+let schedule t ~delay f =
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time:(t.clock +. Float.max 0. delay) ~seq:t.seq f
+
+let sleep t d = Effect.perform (Sleep (t, d))
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let mark_suspended t id name =
+  t.suspended_names <- (id, name) :: t.suspended_names
+
+let mark_resumed t id =
+  t.suspended_names <- List.filter (fun (i, _) -> i <> id) t.suspended_names
+
+let exec_fiber t ~id ~name f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep (t', d) when t' == t ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~delay:d (fun () -> continue k ()))
+          | Suspend (t', register) when t' == t ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  mark_suspended t id name;
+                  let resume v =
+                    if !resumed then
+                      invalid_arg "Engine: resumer invoked twice";
+                    resumed := true;
+                    mark_resumed t id;
+                    schedule t ~delay:0. (fun () -> continue k v)
+                  in
+                  register resume)
+          | _ -> None);
+    }
+
+let spawn t ?(name = "fiber") f =
+  t.live <- t.live + 1;
+  t.fiber_ids <- t.fiber_ids + 1;
+  let id = t.fiber_ids in
+  schedule t ~delay:0. (fun () -> exec_fiber t ~id ~name f)
+
+let at t ~delay f = schedule t ~delay f
+
+let live_fibers t = t.live
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.events with
+    | None ->
+        if t.live > 0 then begin
+          let names =
+            t.suspended_names
+            |> List.map (fun (id, n) -> Printf.sprintf "%s#%d" n id)
+            |> String.concat ", "
+          in
+          raise
+            (Deadlock
+               (Printf.sprintf
+                  "simulation deadlock: %d fiber(s) still blocked [%s]"
+                  t.live names))
+        end
+    | Some (time, _seq, f) ->
+        t.clock <- Float.max t.clock time;
+        f ();
+        loop ()
+  in
+  loop ()
+
+module Waitq = struct
+  type nonrec engine = t
+  type 'a t = ('a resumer) Queue.t
+
+  let create () = Queue.create ()
+
+  let wait (e : engine) t = suspend e (fun resume -> Queue.push resume t)
+
+  let signal t v =
+    match Queue.take_opt t with
+    | None -> false
+    | Some resume ->
+        resume v;
+        true
+
+  let broadcast t v =
+    let n = Queue.length t in
+    for _ = 1 to n do
+      match Queue.take_opt t with
+      | Some resume -> resume v
+      | None -> ()
+    done;
+    n
+
+  let waiters t = Queue.length t
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; readers : 'a Waitq.t }
+
+  let create () = { items = Queue.create (); readers = Waitq.create () }
+
+  let send t v = if not (Waitq.signal t.readers v) then Queue.push v t.items
+
+  let recv e t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None -> Waitq.wait e t.readers
+
+  let try_recv t = Queue.take_opt t.items
+  let length t = Queue.length t.items
+end
+
+module Mutex = struct
+  type t = { mutable locked : bool; waiters : unit Waitq.t }
+
+  let create () = { locked = false; waiters = Waitq.create () }
+
+  let lock e t =
+    if t.locked then Waitq.wait e t.waiters
+    else t.locked <- true
+
+  let unlock t =
+    if not t.locked then invalid_arg "Mutex.unlock: not locked"
+    else if not (Waitq.signal t.waiters ()) then t.locked <- false
+  (* when a waiter is resumed the mutex stays locked: FIFO handoff *)
+
+  let with_lock e t f =
+    lock e t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let is_locked t = t.locked
+end
+
+module Ivar = struct
+  type 'a t = { mutable value : 'a option; readers : 'a Waitq.t }
+
+  let create () = { value = None; readers = Waitq.create () }
+
+  let fill t v =
+    match t.value with
+    | Some _ -> invalid_arg "Ivar.fill: already filled"
+    | None ->
+        t.value <- Some v;
+        ignore (Waitq.broadcast t.readers v)
+
+  let read e t =
+    match t.value with Some v -> v | None -> Waitq.wait e t.readers
+
+  let peek t = t.value
+  let is_filled t = Option.is_some t.value
+end

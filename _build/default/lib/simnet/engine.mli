@@ -1,0 +1,120 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine runs a set of cooperative fibers against a virtual clock
+    measured in nanoseconds.  Fibers are implemented with OCaml 5
+    effects: a fiber may {!sleep} (advance its own timeline) or
+    {!suspend} (block until some other fiber or scheduled event resumes
+    it).  Every MPI rank in the simulated cluster is one fiber; network
+    deliveries are plain scheduled events.
+
+    Determinism: events with equal timestamps run in scheduling order
+    (FIFO), so a simulation with the same inputs always produces the same
+    trace.  Wall-clock time never enters the model. *)
+
+type t
+
+exception Deadlock of string
+(** Raised by {!run} when suspended fibers remain but no future event can
+    resume them. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in nanoseconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] registers a fiber that starts at the current virtual
+    time.  May be called before [run] or from inside a running fiber. *)
+
+val sleep : t -> float -> unit
+(** [sleep t d] advances this fiber's clock by [d] ns.  Must be called
+    from inside a fiber.  Negative or zero durations yield (letting
+    same-time events interleave deterministically). *)
+
+type 'a resumer = 'a -> unit
+(** One-shot: calling a resumer twice raises [Invalid_argument]. *)
+
+val suspend : t -> ('a resumer -> unit) -> 'a
+(** [suspend t register] blocks the current fiber.  [register] receives a
+    resumer which, when invoked (from another fiber or an event), reschedules
+    this fiber at the then-current virtual time with the given value. *)
+
+val at : t -> delay:float -> (unit -> unit) -> unit
+(** [at t ~delay f] schedules callback [f] to run at [now t +. delay].
+    Callbacks run outside any fiber and must not perform effects; they
+    typically resume suspended fibers or spawn new ones. *)
+
+val run : t -> unit
+(** Execute events until none remain.  @raise Deadlock if fibers are
+    still suspended when the queue drains. *)
+
+val live_fibers : t -> int
+(** Number of fibers spawned but not yet finished. *)
+
+(** {1 Blocking primitives built on [suspend]} *)
+
+module Waitq : sig
+  (** A queue of parked fibers, each waiting for a value: the building
+      block for completion queues and condition variables. *)
+
+  type engine := t
+  type 'a t
+
+  val create : unit -> 'a t
+  val wait : engine -> 'a t -> 'a
+  val signal : 'a t -> 'a -> bool
+  (** Resume the oldest waiter with the value; [false] if nobody waits. *)
+
+  val broadcast : 'a t -> 'a -> int
+  (** Resume all current waiters; returns how many were resumed. *)
+
+  val waiters : 'a t -> int
+end
+
+module Mailbox : sig
+  (** Unbounded FIFO channel between fibers. *)
+
+  type engine := t
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : engine -> 'a t -> 'a
+  (** Blocks until a value is available. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+module Mutex : sig
+  (** Mutual exclusion between fibers — models the higher-level locks
+      language bindings must take around multi-message operations. *)
+
+  type engine := t
+  type t
+
+  val create : unit -> t
+  val lock : engine -> t -> unit
+  (** Blocks until the mutex is free; FIFO handoff. *)
+
+  val unlock : t -> unit
+  (** @raise Invalid_argument if the mutex is not locked. *)
+
+  val with_lock : engine -> t -> (unit -> 'a) -> 'a
+  val is_locked : t -> bool
+end
+
+module Ivar : sig
+  (** Write-once cell; readers block until it is filled. *)
+
+  type engine := t
+  type 'a t
+
+  val create : unit -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** @raise Invalid_argument if already filled. *)
+
+  val read : engine -> 'a t -> 'a
+  val peek : 'a t -> 'a option
+  val is_filled : 'a t -> bool
+end

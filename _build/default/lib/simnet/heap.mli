@@ -1,0 +1,18 @@
+(** Binary min-heap used as the event queue of the simulation engine.
+
+    Entries are ordered by [(time, seq)]: the sequence number breaks ties
+    so that events scheduled earlier at the same timestamp run first,
+    keeping the whole simulation deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum entry. *)
+
+val peek_time : 'a t -> float option

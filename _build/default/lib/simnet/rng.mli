@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Used by tests (fragment-boundary fuzzing, delivery shuffles) and by
+    workload generators so that every simulation is reproducible from a
+    seed, independent of the global [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] in [0, bound).  @raise Invalid_argument if bound <= 0. *)
+
+val float : t -> float -> float
+(** [float t bound] in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Independent generator derived from this one. *)

@@ -1,0 +1,126 @@
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_on_wire : int;
+  mutable eager_messages : int;
+  mutable rndv_messages : int;
+  mutable iov_entries : int;
+  mutable memcpys : int;
+  mutable bytes_copied : int;
+  mutable allocs : int;
+  mutable bytes_allocated : int;
+  mutable live_alloc_bytes : int;
+  mutable peak_alloc_bytes : int;
+  mutable pack_callbacks : int;
+  mutable unpack_callbacks : int;
+  mutable query_callbacks : int;
+  mutable region_queries : int;
+  mutable ddt_blocks_processed : int;
+  mutable probes : int;
+}
+
+let create () =
+  {
+    messages_sent = 0;
+    bytes_on_wire = 0;
+    eager_messages = 0;
+    rndv_messages = 0;
+    iov_entries = 0;
+    memcpys = 0;
+    bytes_copied = 0;
+    allocs = 0;
+    bytes_allocated = 0;
+    live_alloc_bytes = 0;
+    peak_alloc_bytes = 0;
+    pack_callbacks = 0;
+    unpack_callbacks = 0;
+    query_callbacks = 0;
+    region_queries = 0;
+    ddt_blocks_processed = 0;
+    probes = 0;
+  }
+
+let reset t =
+  t.messages_sent <- 0;
+  t.bytes_on_wire <- 0;
+  t.eager_messages <- 0;
+  t.rndv_messages <- 0;
+  t.iov_entries <- 0;
+  t.memcpys <- 0;
+  t.bytes_copied <- 0;
+  t.allocs <- 0;
+  t.bytes_allocated <- 0;
+  t.live_alloc_bytes <- 0;
+  t.peak_alloc_bytes <- 0;
+  t.pack_callbacks <- 0;
+  t.unpack_callbacks <- 0;
+  t.query_callbacks <- 0;
+  t.region_queries <- 0;
+  t.ddt_blocks_processed <- 0;
+  t.probes <- 0
+
+let record_message t ~eager ~wire_bytes =
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_on_wire <- t.bytes_on_wire + wire_bytes;
+  if eager then t.eager_messages <- t.eager_messages + 1
+  else t.rndv_messages <- t.rndv_messages + 1
+
+let record_iov_entries t n = t.iov_entries <- t.iov_entries + n
+
+let record_copy t bytes =
+  t.memcpys <- t.memcpys + 1;
+  t.bytes_copied <- t.bytes_copied + bytes
+
+let record_alloc t bytes =
+  t.allocs <- t.allocs + 1;
+  t.bytes_allocated <- t.bytes_allocated + bytes;
+  t.live_alloc_bytes <- t.live_alloc_bytes + bytes;
+  if t.live_alloc_bytes > t.peak_alloc_bytes then
+    t.peak_alloc_bytes <- t.live_alloc_bytes
+
+let record_free t bytes =
+  t.live_alloc_bytes <- t.live_alloc_bytes - bytes
+
+let record_pack_cb t = t.pack_callbacks <- t.pack_callbacks + 1
+let record_unpack_cb t = t.unpack_callbacks <- t.unpack_callbacks + 1
+let record_query_cb t = t.query_callbacks <- t.query_callbacks + 1
+let record_region_query t = t.region_queries <- t.region_queries + 1
+
+let record_ddt_blocks t n =
+  t.ddt_blocks_processed <- t.ddt_blocks_processed + n
+
+let record_probe t = t.probes <- t.probes + 1
+
+let snapshot t = { t with messages_sent = t.messages_sent }
+
+let diff ~after ~before =
+  {
+    messages_sent = after.messages_sent - before.messages_sent;
+    bytes_on_wire = after.bytes_on_wire - before.bytes_on_wire;
+    eager_messages = after.eager_messages - before.eager_messages;
+    rndv_messages = after.rndv_messages - before.rndv_messages;
+    iov_entries = after.iov_entries - before.iov_entries;
+    memcpys = after.memcpys - before.memcpys;
+    bytes_copied = after.bytes_copied - before.bytes_copied;
+    allocs = after.allocs - before.allocs;
+    bytes_allocated = after.bytes_allocated - before.bytes_allocated;
+    live_alloc_bytes = after.live_alloc_bytes;
+    peak_alloc_bytes = after.peak_alloc_bytes;
+    pack_callbacks = after.pack_callbacks - before.pack_callbacks;
+    unpack_callbacks = after.unpack_callbacks - before.unpack_callbacks;
+    query_callbacks = after.query_callbacks - before.query_callbacks;
+    region_queries = after.region_queries - before.region_queries;
+    ddt_blocks_processed =
+      after.ddt_blocks_processed - before.ddt_blocks_processed;
+    probes = after.probes - before.probes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>msgs=%d (eager %d, rndv %d) wire=%dB iov_entries=%d@,\
+     memcpys=%d copied=%dB allocs=%d allocated=%dB peak=%dB@,\
+     callbacks: pack=%d unpack=%d query=%d regions=%d ddt_blocks=%d \
+     probes=%d@]"
+    t.messages_sent t.eager_messages t.rndv_messages t.bytes_on_wire
+    t.iov_entries t.memcpys t.bytes_copied t.allocs t.bytes_allocated
+    t.peak_alloc_bytes t.pack_callbacks t.unpack_callbacks t.query_callbacks
+    t.region_queries t.ddt_blocks_processed t.probes

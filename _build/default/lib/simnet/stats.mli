@@ -1,0 +1,51 @@
+(** Per-simulation counters.
+
+    The transport and datatype layers report what they do here; tests use
+    the counters to assert zero-copy behaviour (e.g. "the custom path
+    performed no full-payload memcpy") and benchmarks report memory
+    amplification alongside time. *)
+
+type t = {
+  mutable messages_sent : int;
+  mutable bytes_on_wire : int;
+  mutable eager_messages : int;
+  mutable rndv_messages : int;
+  mutable iov_entries : int;
+  mutable memcpys : int;
+  mutable bytes_copied : int;
+  mutable allocs : int;
+  mutable bytes_allocated : int;
+  mutable live_alloc_bytes : int;
+  mutable peak_alloc_bytes : int;
+  mutable pack_callbacks : int;
+  mutable unpack_callbacks : int;
+  mutable query_callbacks : int;
+  mutable region_queries : int;
+  mutable ddt_blocks_processed : int;
+  mutable probes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val record_message : t -> eager:bool -> wire_bytes:int -> unit
+val record_iov_entries : t -> int -> unit
+val record_copy : t -> int -> unit
+val record_alloc : t -> int -> unit
+val record_free : t -> int -> unit
+val record_pack_cb : t -> unit
+val record_unpack_cb : t -> unit
+val record_query_cb : t -> unit
+val record_region_query : t -> unit
+val record_ddt_blocks : t -> int -> unit
+val record_probe : t -> unit
+
+val snapshot : t -> t
+(** Independent copy of the current counters. *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction, for measuring a single operation.  The
+    [live_alloc_bytes]/[peak_alloc_bytes] fields of the result carry the
+    [after] values. *)
+
+val pp : Format.formatter -> t -> unit

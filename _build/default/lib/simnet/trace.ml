@@ -1,0 +1,41 @@
+type event = { time : float; category : string; message : string }
+
+type t = {
+  ring : event option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0 }
+
+let record t ~time ~category message =
+  t.ring.(t.next mod Array.length t.ring) <- Some { time; category; message };
+  t.next <- t.next + 1
+
+let length t = min t.next (Array.length t.ring)
+let dropped t = max 0 (t.next - Array.length t.ring)
+
+let events t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = if t.next > cap then t.next mod cap else 0 in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t ~category =
+  List.filter (fun e -> e.category = category) (events t)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%12.1f  %-12s %s@." e.time e.category e.message)
+    (events t);
+  if dropped t > 0 then
+    Format.fprintf ppf "(... %d earlier events dropped)@." (dropped t)

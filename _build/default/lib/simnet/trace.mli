@@ -1,0 +1,28 @@
+(** Bounded event trace for simulation debugging.
+
+    When attached to a transport context, protocol decisions (eager vs
+    rendezvous, matches, unexpected arrivals, completions) are recorded
+    with their virtual timestamps.  The buffer is a ring: old events are
+    dropped, never reallocated, so tracing is safe to leave enabled in
+    long simulations. *)
+
+type t
+
+type event = { time : float; category : string; message : string }
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 events. *)
+
+val record : t -> time:float -> category:string -> string -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val find : t -> category:string -> event list
+
+val length : t -> int
+val dropped : t -> int
+(** Events lost to the ring bound. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/typed_mpi/typed_mpi.ml: Int64 Mpicd Mpicd_buf Mpicd_datatype Printf

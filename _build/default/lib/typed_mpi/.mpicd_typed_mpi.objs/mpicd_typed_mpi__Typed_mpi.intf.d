@@ -1,0 +1,1 @@
+lib/typed_mpi/typed_mpi.mli: Mpicd Mpicd_buf Mpicd_datatype

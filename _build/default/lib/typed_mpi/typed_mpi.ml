@@ -1,0 +1,59 @@
+module Buf = Mpicd_buf.Buf
+module Datatype = Mpicd_datatype.Datatype
+module Mpi = Mpicd.Mpi
+module K = Mpi.Internal
+
+exception Type_mismatch of { expected : string; got : string }
+
+let fingerprint dt ~count =
+  let body = Datatype.serialize dt in
+  let b = Buf.create (8 + Buf.length body) in
+  Buf.set_i64 b 0 (Int64.of_int count);
+  Buf.blit ~src:body ~src_pos:0 ~dst:b ~dst_pos:8 ~len:(Buf.length body);
+  b
+
+let parse_fingerprint b =
+  let count = Int64.to_int (Buf.get_i64 b 0) in
+  let dt =
+    Datatype.deserialize (Buf.sub b ~pos:8 ~len:(Buf.length b - 8))
+  in
+  (dt, count)
+
+let send comm ~dst ~tag dt ~count base =
+  K.send_k comm K.Objmsg_aux ~dst ~tag (Mpi.Bytes (fingerprint dt ~count));
+  Mpi.send comm ~dst ~tag (Mpi.Typed { dt; count; base })
+
+(* Fetch and parse the sender's fingerprint (mprobe for the unknown
+   size), pinning source and tag for the payload receive. *)
+let incoming_type comm ?source ?tag () =
+  let st, msg = K.mprobe_k comm K.Objmsg_aux ?source ?tag () in
+  let fp = Buf.create st.len in
+  ignore (K.mrecv_k comm K.Objmsg_aux msg (Mpi.Bytes fp));
+  let dt, count = parse_fingerprint fp in
+  (dt, count, st.source, st.tag)
+
+let describe dt ~count = Printf.sprintf "%d x %s" count (Datatype.to_string dt)
+
+let recv comm ?source ?tag dt ~count base =
+  let sender_dt, sender_count, src, utag = incoming_type comm ?source ?tag () in
+  if not (Datatype.equal sender_dt dt && sender_count = count) then begin
+    (* drain the mismatched payload so the channel stays usable *)
+    let scratch =
+      Buf.create (Datatype.packed_size sender_dt ~count:sender_count)
+    in
+    ignore (Mpi.recv comm ~source:src ~tag:utag (Mpi.Bytes scratch));
+    raise
+      (Type_mismatch
+         {
+           expected = describe dt ~count;
+           got = describe sender_dt ~count:sender_count;
+         })
+  end;
+  Mpi.recv comm ~source:src ~tag:utag (Mpi.Typed { dt; count; base })
+
+let recv_any comm ?source ?tag () =
+  let dt, count, src, utag = incoming_type comm ?source ?tag () in
+  let need = Datatype.ub dt + ((count - 1) * Datatype.extent dt) in
+  let base = Buf.create (max need 0) in
+  let st = Mpi.recv comm ~source:src ~tag:utag (Mpi.Typed { dt; count; base }) in
+  (dt, count, base, st)

@@ -1,0 +1,1 @@
+lib/ucx/ucx.ml: Float Hashtbl Int64 List Mpicd_buf Mpicd_simnet Option Printf

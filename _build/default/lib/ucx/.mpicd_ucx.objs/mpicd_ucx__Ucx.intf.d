@@ -1,0 +1,1 @@
+lib/ucx/ucx.mli: Mpicd_buf Mpicd_simnet

@@ -1,0 +1,579 @@
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+
+exception Callback_error of int
+
+type send_generic = {
+  sg_packed_size : int;
+  sg_pack : offset:int -> dst:Buf.t -> int;
+  sg_finish : unit -> unit;
+  sg_overhead_ns : float;
+}
+
+type recv_generic = {
+  rg_capacity : int;
+  rg_unpack : offset:int -> src:Buf.t -> unit;
+  rg_finish : unit -> unit;
+  rg_overhead_ns : float;
+}
+
+type send_dt =
+  | Sd_contig of Buf.t
+  | Sd_iov of Buf.t list
+  | Sd_generic of send_generic
+
+type recv_dt =
+  | Rd_contig of Buf.t
+  | Rd_iov of Buf.t list
+  | Rd_generic of recv_generic
+
+type error =
+  | Truncated of { expected : int; capacity : int }
+  | Callback_failed of int
+
+type status = { len : int; tag : int64; error : error option }
+
+type request = { ivar : status Engine.Ivar.t; r_engine : Engine.t }
+
+type payload =
+  | P_eager of Buf.t list  (* snapshot fragments *)
+  | P_rndv of rndv
+
+and rndv = {
+  r_dt : send_dt;
+  r_request : request;  (* sender request, completed when transfer ends *)
+}
+
+type envelope = {
+  e_tag : int64;
+  e_total : int;
+  e_src : int;
+  e_payload : payload;
+  mutable e_unexpected_alloc : int;
+      (* receiver bytes allocated to hold this envelope while unexpected *)
+}
+
+type posted = { pr_tag : int64; pr_mask : int64; pr_dt : recv_dt; pr_req : request }
+
+type probe_info = { p_tag : int64; p_len : int; p_src_worker : int }
+
+type message = envelope
+
+type worker = {
+  id : int;
+  ctx : context;
+  mutable posted : posted list;  (* in post order *)
+  mutable unexpected : envelope list;  (* in arrival order *)
+  mutable probe_waiters : (int64 * int64 * probe_info Engine.resumer) list;
+  mutable mprobe_waiters :
+    (int64 * int64 * (probe_info * message) Engine.resumer) list;
+}
+
+and context = {
+  engine : Engine.t;
+  config : Config.t;
+  stats : Stats.t;
+  mutable next_worker : int;
+  channels : (int * int, float ref) Hashtbl.t;
+      (* per (src,dst) pair: earliest next delivery time, for FIFO order *)
+  mutable jitter : (unit -> float) option;
+  mutable trace : Mpicd_simnet.Trace.t option;
+}
+
+type endpoint = { ep_src : worker; ep_dst : worker }
+
+let create_context ~engine ~config ~stats =
+  {
+    engine;
+    config;
+    stats;
+    next_worker = 0;
+    channels = Hashtbl.create 16;
+    jitter = None;
+    trace = None;
+  }
+
+let engine c = c.engine
+let config c = c.config
+let stats c = c.stats
+let set_channel_jitter c j = c.jitter <- j
+let set_trace c t = c.trace <- t
+
+let trace ctx category fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match ctx.trace with
+      | None -> ()
+      | Some t ->
+          Mpicd_simnet.Trace.record t ~time:(Engine.now ctx.engine) ~category msg)
+    fmt
+
+let create_worker ctx =
+  let id = ctx.next_worker in
+  ctx.next_worker <- id + 1;
+  {
+    id;
+    ctx;
+    posted = [];
+    unexpected = [];
+    probe_waiters = [];
+    mprobe_waiters = [];
+  }
+
+let worker_id w = w.id
+let worker_context w = w.ctx
+
+let connect src dst = { ep_src = src; ep_dst = dst }
+
+let send_dt_size = function
+  | Sd_contig b -> Buf.length b
+  | Sd_iov bs -> List.fold_left (fun a b -> a + Buf.length b) 0 bs
+  | Sd_generic g -> g.sg_packed_size
+
+let recv_dt_capacity = function
+  | Rd_contig b -> Buf.length b
+  | Rd_iov bs -> List.fold_left (fun a b -> a + Buf.length b) 0 bs
+  | Rd_generic g -> g.rg_capacity
+
+(* --- cost helpers --- *)
+
+let link c = c.config.link
+let cpu c = c.config.cpu
+
+let iov_cost c entries =
+  let l = link c in
+  let chunks = (entries + l.iov_max_entries - 1) / l.iov_max_entries in
+  (float_of_int entries *. l.iov_entry_ns)
+  +. (float_of_int (max 0 (chunks - 1)) *. l.per_msg_overhead_ns)
+
+(* --- fragment-wise generic packing (executes the callbacks) --- *)
+
+(* Pack the whole stream into fresh fragment buffers of [frag_size].
+   Returns the fragments and the number of callback invocations. *)
+let pack_fragments ctx (g : send_generic) =
+  let frag_size = (link ctx).frag_size in
+  let total = g.sg_packed_size in
+  let frags = ref [] in
+  let ncb = ref 0 in
+  let off = ref 0 in
+  while !off < total do
+    let want = min frag_size (total - !off) in
+    let dst = Buf.create want in
+    let used = g.sg_pack ~offset:!off ~dst in
+    incr ncb;
+    Stats.record_pack_cb ctx.stats;
+    if used <= 0 then
+      raise (Callback_error (-1))
+    else begin
+      frags := (if used = want then dst else Buf.sub dst ~pos:0 ~len:used) :: !frags;
+      off := !off + used
+    end
+  done;
+  (List.rev !frags, !ncb)
+
+(* Unpack a list of fragments through the receive callbacks. *)
+let unpack_fragments ctx (g : recv_generic) frags =
+  let off = ref 0 in
+  List.iter
+    (fun frag ->
+      g.rg_unpack ~offset:!off ~src:frag;
+      Stats.record_unpack_cb ctx.stats;
+      off := !off + Buf.length frag)
+    frags;
+  g.rg_finish ()
+
+(* Copy a contiguous byte stream (as fragments) into a region list,
+   crossing region boundaries as needed. *)
+let scatter_fragments frags regions =
+  let regions = ref regions in
+  let reg_off = ref 0 in
+  List.iter
+    (fun frag ->
+      let fpos = ref 0 in
+      while !fpos < Buf.length frag do
+        match !regions with
+        | [] -> invalid_arg "Ucx: payload exceeds receive regions"
+        | r :: rest ->
+            let room = Buf.length r - !reg_off in
+            let n = min room (Buf.length frag - !fpos) in
+            Buf.blit ~src:frag ~src_pos:!fpos ~dst:r ~dst_pos:!reg_off ~len:n;
+            fpos := !fpos + n;
+            reg_off := !reg_off + n;
+            if !reg_off = Buf.length r then begin
+              regions := rest;
+              reg_off := 0
+            end
+      done)
+    frags
+
+(* Gather a send descriptor's bytes into fresh snapshot fragments (used
+   by the rendezvous transfer to move data; models the RDMA engine). *)
+let materialize ctx (dt : send_dt) =
+  match dt with
+  | Sd_contig b -> ([ Buf.copy b ], 0)
+  | Sd_iov bs -> ([ Buf.concat bs ], 0)
+  | Sd_generic g ->
+      let frags, ncb = pack_fragments ctx g in
+      g.sg_finish ();
+      (frags, ncb)
+
+(* Deliver packed fragments into a receive descriptor.  Returns the
+   receiver CPU time consumed. *)
+let deposit ctx (dt : recv_dt) frags ~zcopy =
+  let c = cpu ctx in
+  let total = List.fold_left (fun a b -> a + Buf.length b) 0 frags in
+  match dt with
+  | Rd_contig b ->
+      scatter_fragments frags [ b ];
+      if zcopy then 0.
+      else begin
+        Stats.record_copy ctx.stats total;
+        Config.memcpy_time c total
+      end
+  | Rd_iov regions ->
+      scatter_fragments frags regions;
+      if zcopy then 0.
+      else begin
+        Stats.record_copy ctx.stats total;
+        Config.memcpy_time c total
+      end
+  | Rd_generic g ->
+      let ncb = List.length frags in
+      unpack_fragments ctx g frags;
+      Stats.record_copy ctx.stats total;
+      Config.memcpy_time c total
+      +. (float_of_int ncb *. c.pack_cb_overhead_ns)
+      +. g.rg_overhead_ns
+
+(* --- matching --- *)
+
+let tag_matches ~tag ~mask env_tag =
+  Int64.logand env_tag mask = Int64.logand tag mask
+
+let complete req status = Engine.Ivar.fill req.ivar status
+let make_request e = { ivar = Engine.Ivar.create (); r_engine = e }
+
+(* Process a matched (posted, envelope) pair at the current virtual
+   time.  All data movement happens here; completions are scheduled
+   after the modeled processing delay. *)
+let process_match w (pr : posted) (env : envelope) =
+  let ctx = w.ctx in
+  let e = ctx.engine in
+  let capacity = recv_dt_capacity pr.pr_dt in
+  let finish_recv ~delay status =
+    Engine.at e ~delay (fun () -> complete pr.pr_req status)
+  in
+  if env.e_total > capacity then begin
+    (* Truncation: no data is delivered; sender completes normally
+       (it either already did, for eager, or completes now). *)
+    (match env.e_payload with
+    | P_eager _ -> ()
+    | P_rndv r ->
+        complete r.r_request { len = env.e_total; tag = env.e_tag; error = None });
+    finish_recv ~delay:0.
+      {
+        len = 0;
+        tag = env.e_tag;
+        error = Some (Truncated { expected = env.e_total; capacity });
+      }
+  end
+  else
+    match env.e_payload with
+    | P_eager frags -> (
+        (* Data already arrived in bounce buffers; receiver copies or
+           unpacks it into place.  If it sat in the unexpected queue we
+           also pay the allocation that buffered it. *)
+        let alloc_delay =
+          if env.e_unexpected_alloc > 0 then begin
+            Stats.record_free ctx.stats env.e_unexpected_alloc;
+            Config.alloc_time (cpu ctx) env.e_unexpected_alloc
+          end
+          else 0.
+        in
+        match deposit ctx pr.pr_dt frags ~zcopy:false with
+        | cpu_time ->
+            finish_recv ~delay:(alloc_delay +. cpu_time)
+              { len = env.e_total; tag = env.e_tag; error = None }
+        | exception Callback_error code ->
+            finish_recv ~delay:alloc_delay
+              { len = 0; tag = env.e_tag; error = Some (Callback_failed code) })
+    | P_rndv r -> (
+        let l = link ctx in
+        let size = env.e_total in
+        let wire =
+          Config.wire_time l size
+          +.
+          match r.r_dt with
+          | Sd_iov bufs -> iov_cost ctx (List.length bufs)
+          | Sd_contig _ | Sd_generic _ -> 0.
+        in
+        let fail code =
+          (* A callback failure poisons both sides of the transfer. *)
+          complete r.r_request
+            { len = 0; tag = env.e_tag; error = Some (Callback_failed code) };
+          finish_recv ~delay:0.
+            { len = 0; tag = env.e_tag; error = Some (Callback_failed code) }
+        in
+        match materialize ctx r.r_dt with
+        | exception Callback_error code -> fail code
+        | frags, send_cbs -> (
+            let cpu_send =
+              match r.r_dt with
+              | Sd_generic g ->
+                  (* pipelined pack: one bounce fragment is reused *)
+                  Config.alloc_time (cpu ctx) l.frag_size
+                  +. Config.memcpy_time (cpu ctx) size
+                  +. (float_of_int send_cbs *. (cpu ctx).pack_cb_overhead_ns)
+                  +. g.sg_overhead_ns
+              | Sd_contig _ | Sd_iov _ -> 0.
+            in
+            (match r.r_dt with
+            | Sd_generic _ -> Stats.record_copy ctx.stats size
+            | Sd_contig _ | Sd_iov _ -> ());
+            let zcopy =
+              match (r.r_dt, pr.pr_dt) with
+              | (Sd_contig _ | Sd_iov _), (Rd_contig _ | Rd_iov _) -> true
+              | Sd_generic _, (Rd_contig _ | Rd_iov _) ->
+                  (* packed stream lands directly in receiver memory *)
+                  true
+              | _, Rd_generic _ -> false
+            in
+            match deposit ctx pr.pr_dt frags ~zcopy with
+            | cpu_recv ->
+                let duration =
+                  l.rndv_handshake_ns +. l.rndv_reg_ns
+                  +. Float.max wire (Float.max cpu_send cpu_recv)
+                in
+                Engine.at e ~delay:duration (fun () ->
+                    complete r.r_request
+                      { len = size; tag = env.e_tag; error = None };
+                    complete pr.pr_req
+                      { len = size; tag = env.e_tag; error = None })
+            | exception Callback_error code -> fail code))
+
+(* Try to match a new envelope against posted receives / probe waiters;
+   otherwise queue it as unexpected. *)
+let deliver w env =
+  trace w.ctx "arrive" "worker %d <- src %d tag=%Lx %dB" w.id env.e_src
+    env.e_tag env.e_total;
+  let rec find_posted acc = function
+    | [] -> None
+    | pr :: rest ->
+        if tag_matches ~tag:pr.pr_tag ~mask:pr.pr_mask env.e_tag then begin
+          w.posted <- List.rev_append acc rest;
+          Some pr
+        end
+        else find_posted (pr :: acc) rest
+  in
+  match find_posted [] w.posted with
+  | Some pr ->
+      trace w.ctx "match" "worker %d matched posted recv tag=%Lx" w.id env.e_tag;
+      process_match w pr env
+  | None ->
+      trace w.ctx "unexpected" "worker %d queued tag=%Lx %dB" w.id env.e_tag
+        env.e_total;
+      (* Buffer it.  Eager payloads consume receiver memory. *)
+      (match env.e_payload with
+      | P_eager _ ->
+          env.e_unexpected_alloc <- env.e_total;
+          Stats.record_alloc w.ctx.stats env.e_total
+      | P_rndv _ -> ());
+      w.unexpected <- w.unexpected @ [ env ];
+      let info =
+        { p_tag = env.e_tag; p_len = env.e_total; p_src_worker = env.e_src }
+      in
+      (* Wake blocking probes (peek: envelope stays queued). *)
+      let wake, keep =
+        List.partition
+          (fun (tag, mask, _) -> tag_matches ~tag ~mask env.e_tag)
+          w.probe_waiters
+      in
+      w.probe_waiters <- keep;
+      List.iter (fun (_, _, resume) -> resume info) wake;
+      (* Wake at most one blocking mprobe (take: envelope dequeued). *)
+      let rec wake_mprobe acc = function
+        | [] -> ()
+        | ((tag, mask, resume) as waiter) :: rest ->
+            if
+              tag_matches ~tag ~mask env.e_tag
+              && List.memq env w.unexpected
+            then begin
+              w.mprobe_waiters <- List.rev_append acc rest;
+              w.unexpected <- List.filter (fun x -> x != env) w.unexpected;
+              resume (info, env)
+            end
+            else wake_mprobe (waiter :: acc) rest
+    in
+      wake_mprobe [] w.mprobe_waiters
+
+(* Schedule envelope arrival over the link, preserving per-channel
+   FIFO ordering. *)
+let ship ep ~after env =
+  let ctx = ep.ep_src.ctx in
+  let e = ctx.engine in
+  let jitter = match ctx.jitter with None -> 0. | Some f -> f () in
+  let key = (ep.ep_src.id, ep.ep_dst.id) in
+  let chan =
+    match Hashtbl.find_opt ctx.channels key with
+    | Some r -> r
+    | None ->
+        let r = ref 0. in
+        Hashtbl.add ctx.channels key r;
+        r
+  in
+  let arrival = Float.max (Engine.now e +. after +. jitter) !chan in
+  chan := arrival;
+  Engine.at e ~delay:(arrival -. Engine.now e) (fun () -> deliver ep.ep_dst env)
+
+let tag_send ep ~tag dt =
+  let ctx = ep.ep_src.ctx in
+  let e = ctx.engine in
+  let l = link ctx in
+  let c = cpu ctx in
+  let req = make_request e in
+  Engine.sleep e l.per_msg_overhead_ns;
+  let total = send_dt_size dt in
+  (match dt with
+  | Sd_iov bufs ->
+      (* iovec path: always a single zero-copy rendezvous-style
+         transfer; never switches protocol with size. *)
+      let entries = List.length bufs in
+      trace ctx "send" "worker %d iov tag=%Lx %dB in %d entries"
+        ep.ep_src.id tag total entries;
+      Stats.record_message ctx.stats ~eager:false ~wire_bytes:total;
+      Stats.record_iov_entries ctx.stats entries;
+      let env =
+        {
+          e_tag = tag;
+          e_total = total;
+          e_src = ep.ep_src.id;
+          e_payload = P_rndv { r_dt = dt; r_request = req };
+          e_unexpected_alloc = 0;
+        }
+      in
+      ship ep ~after:l.latency_ns env
+  | Sd_contig _ | Sd_generic _ ->
+      if total <= l.eager_limit then begin
+        (* Eager: snapshot/pack synchronously, then fire and forget. *)
+        match
+          match dt with
+          | Sd_contig b ->
+              (* eager-zcopy: the NIC reads the registered user buffer
+                 directly; the snapshot below exists only so the
+                 simulated sender may reuse its buffer immediately. *)
+              (([ Buf.copy b ], 0), 0.)
+          | Sd_generic g ->
+              let frags, ncb = pack_fragments ctx g in
+              g.sg_finish ();
+              Stats.record_copy ctx.stats total;
+              ( (frags, ncb),
+                Config.alloc_time c total
+                +. Config.memcpy_time c total
+                +. (float_of_int ncb *. c.pack_cb_overhead_ns)
+                +. g.sg_overhead_ns )
+          | Sd_iov _ -> assert false
+        with
+        | (frags, _ncb), cpu_time ->
+            Engine.sleep e cpu_time;
+            trace ctx "send" "worker %d eager tag=%Lx %dB" ep.ep_src.id tag total;
+            Stats.record_message ctx.stats ~eager:true ~wire_bytes:total;
+            let env =
+              {
+                e_tag = tag;
+                e_total = total;
+                e_src = ep.ep_src.id;
+                e_payload = P_eager frags;
+                e_unexpected_alloc = 0;
+              }
+            in
+            ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
+            complete req { len = total; tag; error = None }
+        | exception Callback_error code ->
+            complete req { len = 0; tag; error = Some (Callback_failed code) }
+      end
+      else begin
+        (* Rendezvous: only the RTS travels now. *)
+        trace ctx "send" "worker %d rndv tag=%Lx %dB" ep.ep_src.id tag total;
+        Stats.record_message ctx.stats ~eager:false ~wire_bytes:total;
+        let env =
+          {
+            e_tag = tag;
+            e_total = total;
+            e_src = ep.ep_src.id;
+            e_payload = P_rndv { r_dt = dt; r_request = req };
+            e_unexpected_alloc = 0;
+          }
+        in
+        ship ep ~after:l.latency_ns env
+      end);
+  req
+
+let tag_recv w ~tag ~mask dt =
+  let req = make_request w.ctx.engine in
+  let pr = { pr_tag = tag; pr_mask = mask; pr_dt = dt; pr_req = req } in
+  (* Match against the unexpected queue in arrival order. *)
+  let rec find acc = function
+    | [] -> None
+    | env :: rest ->
+        if tag_matches ~tag ~mask env.e_tag then begin
+          w.unexpected <- List.rev_append acc rest;
+          Some env
+        end
+        else find (env :: acc) rest
+  in
+  (match find [] w.unexpected with
+  | Some env -> process_match w pr env
+  | None -> w.posted <- w.posted @ [ pr ]);
+  req
+
+let wait (req : request) = Engine.Ivar.read req.r_engine req.ivar
+
+let tag_probe w ~tag ~mask =
+  Stats.record_probe w.ctx.stats;
+  List.find_opt (fun env -> tag_matches ~tag ~mask env.e_tag) w.unexpected
+  |> Option.map (fun env ->
+         { p_tag = env.e_tag; p_len = env.e_total; p_src_worker = env.e_src })
+
+let tag_probe_wait w ~tag ~mask =
+  match tag_probe w ~tag ~mask with
+  | Some info -> info
+  | None ->
+      Engine.suspend w.ctx.engine (fun resume ->
+          w.probe_waiters <- w.probe_waiters @ [ (tag, mask, resume) ])
+
+let tag_mprobe w ~tag ~mask =
+  Stats.record_probe w.ctx.stats;
+  let rec find acc = function
+    | [] -> None
+    | env :: rest ->
+        if tag_matches ~tag ~mask env.e_tag then begin
+          w.unexpected <- List.rev_append acc rest;
+          Some
+            ( {
+                p_tag = env.e_tag;
+                p_len = env.e_total;
+                p_src_worker = env.e_src;
+              },
+              env )
+        end
+        else find (env :: acc) rest
+  in
+  find [] w.unexpected
+
+let tag_mprobe_wait w ~tag ~mask =
+  match tag_mprobe w ~tag ~mask with
+  | Some r -> r
+  | None ->
+      Engine.suspend w.ctx.engine (fun resume ->
+          w.mprobe_waiters <- w.mprobe_waiters @ [ (tag, mask, resume) ])
+
+let msg_recv w (env : message) dt =
+  let req = make_request w.ctx.engine in
+  let pr = { pr_tag = env.e_tag; pr_mask = -1L; pr_dt = dt; pr_req = req } in
+  process_match w pr env;
+  req
+
+let is_completed (req : request) = Engine.Ivar.is_filled req.ivar
+let peek (req : request) = Engine.Ivar.peek req.ivar

@@ -1,0 +1,1 @@
+test/test_bench_types.ml: Alcotest Array Filename Fun List Mpicd Mpicd_bench_types Mpicd_buf Mpicd_datatype Mpicd_harness String Sys

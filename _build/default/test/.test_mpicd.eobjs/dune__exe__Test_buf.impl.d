@@ -1,0 +1,1 @@
+test/test_buf.ml: Alcotest Bytes Float Gen Int32 Int64 List Mpicd_buf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_capi.ml: Alcotest Array Int32 Mpicd Mpicd_buf Mpicd_capi Mpicd_simnet Option

@@ -1,0 +1,1 @@
+test/test_collectives.ml: Alcotest Array Float Gen List Mpicd Mpicd_bench_types Mpicd_buf Mpicd_collectives Mpicd_ddtbench Mpicd_simnet Printf QCheck QCheck_alcotest String

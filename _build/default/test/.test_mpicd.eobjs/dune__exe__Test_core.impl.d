@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fmt Fun Int32 List Mpicd Mpicd_buf Mpicd_datatype Mpicd_simnet Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_datatype.ml: Alcotest Array List Mpicd_buf Mpicd_datatype Mpicd_simnet Printf QCheck QCheck_alcotest

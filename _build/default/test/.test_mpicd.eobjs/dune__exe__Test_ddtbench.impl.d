@@ -1,0 +1,1 @@
+test/test_ddtbench.ml: Alcotest Array List Mpicd Mpicd_buf Mpicd_datatype Mpicd_ddtbench Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_derive.ml: Alcotest Gen List Mpicd_datatype Mpicd_derive QCheck QCheck_alcotest

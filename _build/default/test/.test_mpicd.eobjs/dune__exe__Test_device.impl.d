@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest List Mpicd Mpicd_buf Mpicd_ddtbench Mpicd_device Mpicd_harness Mpicd_simnet Printf

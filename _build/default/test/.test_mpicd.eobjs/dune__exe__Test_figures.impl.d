@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest List Mpicd Mpicd_bench_types Mpicd_ddtbench Mpicd_figures Mpicd_harness Mpicd_objmsg Mpicd_pickle Mpicd_simnet Option Printf

@@ -1,0 +1,1 @@
+test/test_objmsg.ml: Alcotest Array List Mpicd Mpicd_buf Mpicd_objmsg Mpicd_pickle Option

@@ -1,0 +1,1 @@
+test/test_pickle.ml: Alcotest Array Char Format Int32 Int64 List Mpicd_buf Mpicd_pickle Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_serde.ml: Alcotest Char List Mpicd Mpicd_buf Mpicd_serde QCheck QCheck_alcotest String

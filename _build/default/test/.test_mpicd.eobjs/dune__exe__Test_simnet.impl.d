@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Buffer Config Engine Format Fun Heap List Mpicd_simnet Printf QCheck QCheck_alcotest Rng Stats String Trace

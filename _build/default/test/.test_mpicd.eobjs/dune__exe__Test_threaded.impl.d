@@ -1,0 +1,1 @@
+test/test_threaded.ml: Alcotest List Mpicd_objmsg Printf

@@ -1,0 +1,1 @@
+test/test_typed_mpi.ml: Alcotest Mpicd Mpicd_buf Mpicd_datatype Mpicd_typed_mpi QCheck QCheck_alcotest String

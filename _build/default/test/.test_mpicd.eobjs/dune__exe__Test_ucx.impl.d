@@ -1,0 +1,1 @@
+test/test_ucx.ml: Alcotest Int32 List Mpicd_buf Mpicd_simnet Mpicd_ucx Printf

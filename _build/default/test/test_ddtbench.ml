@@ -1,0 +1,261 @@
+(* Tests for the DDTBench kernels: every kernel, every transfer method,
+   same bytes. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Mpi = Mpicd.Mpi
+module Blocks = Mpicd_ddtbench.Blocks
+module Kernel = Mpicd_ddtbench.Kernel
+module Registry = Mpicd_ddtbench.Registry
+
+let check_int = Alcotest.(check int)
+
+(* --- Blocks --- *)
+
+let sample_blocks = Blocks.of_list [ (10, 4); (20, 8); (3, 2); (40, 1) ]
+
+let test_blocks_total () =
+  check_int "total" 15 (Blocks.total sample_blocks);
+  check_int "count" 4 (Blocks.count sample_blocks)
+
+let test_blocks_pack_matches_manual () =
+  let base = Buf.create 64 in
+  for i = 0 to 63 do
+    Buf.set_u8 base i i
+  done;
+  let dst = Buf.create 15 in
+  ignore (Blocks.pack_range sample_blocks ~base ~offset:0 ~dst);
+  let expect = [ 10; 11; 12; 13; 20; 21; 22; 23; 24; 25; 26; 27; 3; 4; 40 ] in
+  List.iteri (fun i v -> check_int "byte" v (Buf.get_u8 dst i)) expect
+
+let test_blocks_fragmented_equals_whole () =
+  let base = Buf.create 64 in
+  Mpicd_ddtbench.Kernel.fill base;
+  let whole = Buf.create 15 in
+  ignore (Blocks.pack_range sample_blocks ~base ~offset:0 ~dst:whole);
+  for frag = 1 to 15 do
+    let out = Buf.create 15 in
+    let off = ref 0 in
+    while !off < 15 do
+      let len = min frag (15 - !off) in
+      let n =
+        Blocks.pack_range sample_blocks ~base ~offset:!off
+          ~dst:(Buf.sub out ~pos:!off ~len)
+      in
+      assert (n = len);
+      off := !off + len
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "frag=%d" frag)
+      true (Buf.equal whole out)
+  done
+
+let test_blocks_unpack_roundtrip () =
+  let base = Buf.create 64 in
+  Mpicd_ddtbench.Kernel.fill base;
+  let packed = Buf.create 15 in
+  ignore (Blocks.pack_range sample_blocks ~base ~offset:0 ~dst:packed);
+  let sink = Buf.create 64 in
+  (* unpack in awkward fragments *)
+  let off = ref 0 in
+  while !off < 15 do
+    let len = min 4 (15 - !off) in
+    Blocks.unpack_range sample_blocks ~base:sink ~offset:!off
+      ~src:(Buf.sub packed ~pos:!off ~len);
+    off := !off + len
+  done;
+  Alcotest.(check bool) "typed equal" true
+    (Blocks.equal_typed sample_blocks base sink)
+
+let test_blocks_past_end () =
+  let base = Buf.create 64 in
+  check_int "zero past end" 0
+    (Blocks.pack_range sample_blocks ~base ~offset:15 ~dst:(Buf.create 8))
+
+let test_blocks_regions_alias () =
+  let base = Buf.create 64 in
+  let regs = Blocks.regions sample_blocks ~base in
+  check_int "count" 4 (Array.length regs);
+  Array.iter
+    (fun r -> Alcotest.(check bool) "aliases slab" true (Buf.overlaps r base))
+    regs
+
+(* --- kernels: exhaustive per-kernel method agreement --- *)
+
+let for_each_kernel f =
+  List.iter (fun (module K : Kernel.KERNEL) -> f (module K : Kernel.KERNEL)) Registry.all
+
+let test_manual_roundtrip () =
+  for_each_kernel (fun (module K) ->
+      let src = K.create () in
+      let packed = Buf.create K.wire_bytes in
+      K.manual_pack src ~dst:packed;
+      let sink = K.create_sink () in
+      K.manual_unpack ~src:packed sink;
+      Alcotest.(check bool) (K.name ^ " manual roundtrip") true (K.equal src sink))
+
+let test_manual_matches_blocks () =
+  (* The hand-written loop nests must produce the same packed stream as
+     the block cursor (and hence the custom pack callbacks). *)
+  for_each_kernel (fun (module K) ->
+      let src = K.create () in
+      let manual = Buf.create K.wire_bytes in
+      K.manual_pack src ~dst:manual;
+      let cursor = Buf.create K.wire_bytes in
+      ignore (Blocks.pack_range K.blocks ~base:src ~offset:0 ~dst:cursor);
+      Alcotest.(check bool) (K.name ^ " manual = cursor") true
+        (Buf.equal manual cursor))
+
+let test_derived_matches_manual () =
+  (* The derived datatype's pack must match the manual pack stream. *)
+  for_each_kernel (fun (module K) ->
+      let src = K.create () in
+      let manual = Buf.create K.wire_bytes in
+      K.manual_pack src ~dst:manual;
+      let viaddt = Buf.create K.wire_bytes in
+      ignore (Dt.pack K.derived ~count:1 ~src ~dst:viaddt);
+      Alcotest.(check bool) (K.name ^ " ddt = manual") true
+        (Buf.equal manual viaddt))
+
+let test_derived_over_mpi () =
+  for_each_kernel (fun (module K) ->
+      let w = Mpi.create_world ~size:2 () in
+      let src = K.create () and sink = K.create_sink () in
+      Mpi.run w (fun comm ->
+          if Mpi.rank comm = 0 then
+            Mpi.send comm ~dst:1 ~tag:0
+              (Mpi.Typed { dt = K.derived; count = 1; base = src })
+          else
+            ignore
+              (Mpi.recv comm (Mpi.Typed { dt = K.derived; count = 1; base = sink })));
+      Alcotest.(check bool) (K.name ^ " derived over MPI") true (K.equal src sink))
+
+let test_custom_pack_over_mpi () =
+  for_each_kernel (fun (module K) ->
+      let w = Mpi.create_world ~size:2 () in
+      let src = K.create () and sink = K.create_sink () in
+      Mpi.run w (fun comm ->
+          if Mpi.rank comm = 0 then
+            Mpi.send comm ~dst:1 ~tag:0
+              (Mpi.Custom { dt = K.custom_pack; obj = src; count = 1 })
+          else
+            ignore
+              (Mpi.recv comm
+                 (Mpi.Custom { dt = K.custom_pack; obj = sink; count = 1 })));
+      Alcotest.(check bool) (K.name ^ " custom-pack over MPI") true
+        (K.equal src sink))
+
+let test_custom_regions_over_mpi () =
+  for_each_kernel (fun (module K) ->
+      match K.custom_regions with
+      | None ->
+          Alcotest.(check bool)
+            (K.name ^ " regions not sensible")
+            false K.regions_sensible
+      | Some dt ->
+          let w = Mpi.create_world ~size:2 () in
+          let src = K.create () and sink = K.create_sink () in
+          Mpi.run w (fun comm ->
+              if Mpi.rank comm = 0 then
+                Mpi.send comm ~dst:1 ~tag:0 (Mpi.Custom { dt; obj = src; count = 1 })
+              else
+                ignore (Mpi.recv comm (Mpi.Custom { dt; obj = sink; count = 1 })));
+          Alcotest.(check bool) (K.name ^ " custom-regions over MPI") true
+            (K.equal src sink);
+          (* regions must be zero-copy *)
+          let stats = Mpi.world_stats w in
+          Alcotest.(check bool) (K.name ^ " zero copies") true
+            (stats.bytes_copied < K.wire_bytes / 10))
+
+let test_wire_sizes_sane () =
+  for_each_kernel (fun (module K) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s wire (%d) fits slab (%d)" K.name K.wire_bytes
+           K.slab_bytes)
+        true
+        (K.wire_bytes > 0 && K.wire_bytes <= K.slab_bytes);
+      check_int (K.name ^ " derived size") K.wire_bytes (Dt.size K.derived))
+
+let test_expected_block_granularity () =
+  (* The properties the paper's Fig. 10 analysis relies on. *)
+  let count name =
+    match Registry.find name with
+    | Some (module K) -> Blocks.count K.blocks
+    | None -> Alcotest.failf "kernel %s missing" name
+  in
+  (* contiguous exchanges: a single region *)
+  check_int "NAS_LU_x one region" 1 (count "NAS_LU_x");
+  (* NAS_LU_y: many small regions *)
+  Alcotest.(check bool) "NAS_LU_y many regions" true (count "NAS_LU_y" >= 1024);
+  (* MG_x tiny blocks vastly outnumber MG_y's row blocks *)
+  Alcotest.(check bool) "MG_x >> MG_y" true
+    (count "NAS_MG_x" > 100 * count "NAS_MG_y");
+  (* MILC: a small number of fairly large regions *)
+  Alcotest.(check bool) "MILC few regions" true (count "MILC_su3_zdown" <= 512)
+
+let test_registry () =
+  check_int "paper kernels" 8 (List.length Registry.paper_kernels);
+  Alcotest.(check bool) "extras present" true
+    (List.length Registry.extra_kernels >= 4);
+  Alcotest.(check bool) "find works" true
+    (Option.is_some (Registry.find "LAMMPS_full"));
+  Alcotest.(check bool) "find missing" true (Registry.find "nope" = None)
+
+let test_table1_contents () =
+  let rows = Registry.table1 Registry.paper_kernels in
+  check_int "eight rows" 8 (List.length rows);
+  let name, dts, loops, regions = List.hd rows in
+  Alcotest.(check string) "first is LAMMPS" "LAMMPS_full" name;
+  Alcotest.(check string) "datatypes" "indexed, struct" dts;
+  Alcotest.(check bool) "loop structure mentions arrays" true
+    (String.length loops > 0);
+  Alcotest.(check string) "lammps: no regions" "" regions;
+  let checkmarks =
+    List.filter (fun (_, _, _, r) -> r = "yes") rows |> List.length
+  in
+  (* MILC, NAS_LU_x, NAS_LU_y, NAS_MG_x, NAS_MG_y carry the checkmark *)
+  check_int "five region rows" 5 checkmarks
+
+let prop_blocks_random_fragmentation =
+  QCheck.Test.make ~name:"ddtbench: random kernel x fragment size packs equal"
+    ~count:60
+    QCheck.(pair (int_range 0 (List.length Registry.all - 1)) (int_range 1 65536))
+    (fun (ki, frag) ->
+      let (module K : Kernel.KERNEL) = List.nth Registry.all ki in
+      let src = K.create () in
+      let whole = Buf.create K.wire_bytes in
+      ignore (Blocks.pack_range K.blocks ~base:src ~offset:0 ~dst:whole);
+      let out = Buf.create K.wire_bytes in
+      let off = ref 0 in
+      while !off < K.wire_bytes do
+        let len = min frag (K.wire_bytes - !off) in
+        ignore
+          (Blocks.pack_range K.blocks ~base:src ~offset:!off
+             ~dst:(Buf.sub out ~pos:!off ~len));
+        off := !off + len
+      done;
+      Buf.equal whole out)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "ddtbench",
+    [
+      tc "blocks total/count" `Quick test_blocks_total;
+      tc "blocks pack order" `Quick test_blocks_pack_matches_manual;
+      tc "blocks fragmented = whole" `Quick test_blocks_fragmented_equals_whole;
+      tc "blocks unpack roundtrip" `Quick test_blocks_unpack_roundtrip;
+      tc "blocks past end" `Quick test_blocks_past_end;
+      tc "blocks regions alias slab" `Quick test_blocks_regions_alias;
+      tc "all kernels: manual roundtrip" `Quick test_manual_roundtrip;
+      tc "all kernels: manual = cursor stream" `Quick test_manual_matches_blocks;
+      tc "all kernels: derived = manual stream" `Quick test_derived_matches_manual;
+      tc "all kernels: derived over MPI" `Slow test_derived_over_mpi;
+      tc "all kernels: custom-pack over MPI" `Slow test_custom_pack_over_mpi;
+      tc "all kernels: custom-regions over MPI" `Slow test_custom_regions_over_mpi;
+      tc "all kernels: wire sizes sane" `Quick test_wire_sizes_sane;
+      tc "block granularity matches paper analysis" `Quick
+        test_expected_block_granularity;
+      tc "registry" `Quick test_registry;
+      tc "Table I contents" `Quick test_table1_contents;
+      QCheck_alcotest.to_alcotest prop_blocks_random_fragmentation;
+    ] )

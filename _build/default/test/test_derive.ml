@@ -1,0 +1,125 @@
+(* Tests for the RSMPI-style Equivalence derive layer. *)
+
+module Dt = Mpicd_datatype.Datatype
+module Derive = Mpicd_derive.Derive
+
+let check_int = Alcotest.(check int)
+
+(* The paper's struct-simple: { a,b,c: i32; d: f64 } — C layout inserts
+   a 4-byte gap before d (Listing 7). *)
+let struct_simple =
+  Derive.c_layout
+    [
+      Derive.field "a" Dt.Int32;
+      Derive.field "b" Dt.Int32;
+      Derive.field "c" Dt.Int32;
+      Derive.field "d" Dt.Float64;
+    ]
+
+(* struct-simple-no-gap: { a,b: i32; c: f64 } (Listing 8). *)
+let struct_no_gap =
+  Derive.c_layout
+    [ Derive.field "a" Dt.Int32; Derive.field "b" Dt.Int32; Derive.field "c" Dt.Float64 ]
+
+(* struct-vec: adds data: [i32; 2048] (Listing 6). *)
+let struct_vec =
+  Derive.c_layout
+    [
+      Derive.field "a" Dt.Int32;
+      Derive.field "b" Dt.Int32;
+      Derive.field "c" Dt.Int32;
+      Derive.field "d" Dt.Float64;
+      Derive.field "data" ~count:2048 Dt.Int32;
+    ]
+
+let test_struct_simple_layout () =
+  check_int "sizeof" 24 (Derive.size_of struct_simple);
+  check_int "packed" 20 (Derive.packed_size_of struct_simple);
+  Alcotest.(check bool) "has gap" true (Derive.has_padding struct_simple);
+  check_int "offsetof a" 0 (Derive.offset_of struct_simple "a");
+  check_int "offsetof b" 4 (Derive.offset_of struct_simple "b");
+  check_int "offsetof c" 8 (Derive.offset_of struct_simple "c");
+  check_int "offsetof d" 16 (Derive.offset_of struct_simple "d")
+
+let test_struct_no_gap_layout () =
+  check_int "sizeof" 16 (Derive.size_of struct_no_gap);
+  check_int "packed" 16 (Derive.packed_size_of struct_no_gap);
+  Alcotest.(check bool) "no gap" false (Derive.has_padding struct_no_gap)
+
+let test_struct_vec_layout () =
+  (* 24 header bytes + 8192 array bytes = 8216 *)
+  check_int "sizeof" 8216 (Derive.size_of struct_vec);
+  check_int "offsetof data" 24 (Derive.offset_of struct_vec "data");
+  check_int "packed" (12 + 8 + 8192) (Derive.packed_size_of struct_vec)
+
+let test_trailing_padding () =
+  (* { a: f64; b: i32 } -> trailing pad to 16 *)
+  let l = Derive.c_layout [ Derive.field "a" Dt.Float64; Derive.field "b" Dt.Int32 ] in
+  check_int "sizeof rounds to alignment" 16 (Derive.size_of l);
+  Alcotest.(check bool) "padded" true (Derive.has_padding l)
+
+let test_equivalence_datatype () =
+  let dt = Derive.equivalence struct_simple in
+  check_int "size" 20 (Dt.size dt);
+  check_int "extent" 24 (Dt.extent dt);
+  Alcotest.(check bool) "gap -> not contiguous" false (Dt.is_contiguous dt);
+  check_int "two blocks/element" 2 (Dt.blocks_per_element dt)
+
+let test_equivalence_no_gap_contiguous () =
+  let dt = Derive.equivalence struct_no_gap in
+  Alcotest.(check bool) "contiguous" true (Dt.is_contiguous dt);
+  check_int "one block" 1 (Dt.blocks_per_element dt)
+
+let test_equivalence_cached () =
+  let a = Derive.equivalence struct_vec in
+  let b = Derive.equivalence struct_vec in
+  Alcotest.(check bool) "same datatype value (rsmpi caching)" true (a == b)
+
+let test_unknown_field () =
+  Alcotest.check_raises "Not_found" Not_found (fun () ->
+      ignore (Derive.offset_of struct_simple "nope"))
+
+let test_empty_struct () =
+  Alcotest.check_raises "empty" (Invalid_argument "Derive.c_layout: empty struct")
+    (fun () -> ignore (Derive.c_layout []))
+
+let test_bad_count () =
+  Alcotest.check_raises "count 0"
+    (Invalid_argument "Derive.field: count must be >= 1") (fun () ->
+      ignore (Derive.field "x" ~count:0 Dt.Int32))
+
+let prop_layout_monotone =
+  QCheck.Test.make ~name:"derive: offsets strictly increase, fit in size"
+    ~count:200
+    QCheck.(
+      list_of_size Gen.(1 -- 8)
+        (oneofl [ Dt.Int8; Dt.Int16; Dt.Int32; Dt.Int64; Dt.Float32; Dt.Float64 ]))
+    (fun tys ->
+      let fields = List.mapi (fun i ty -> Derive.field (string_of_int i) ty) tys in
+      let l = Derive.c_layout fields in
+      let infos = Derive.fields_of l in
+      let rec mono = function
+        | (_, o1, s1) :: ((_, o2, _) :: _ as rest) ->
+            o1 + s1 <= o2 && mono rest
+        | [ (_, o, s) ] -> o + s <= Derive.size_of l
+        | [] -> true
+      in
+      mono infos && Dt.size (Derive.equivalence l) = Derive.packed_size_of l
+      && Dt.extent (Derive.equivalence l) = Derive.size_of l)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "derive",
+    [
+      tc "struct-simple layout (paper Listing 7)" `Quick test_struct_simple_layout;
+      tc "struct-simple-no-gap layout (Listing 8)" `Quick test_struct_no_gap_layout;
+      tc "struct-vec layout (Listing 6)" `Quick test_struct_vec_layout;
+      tc "trailing padding" `Quick test_trailing_padding;
+      tc "equivalence datatype" `Quick test_equivalence_datatype;
+      tc "no-gap equivalence is contiguous" `Quick test_equivalence_no_gap_contiguous;
+      tc "equivalence cached" `Quick test_equivalence_cached;
+      tc "unknown field" `Quick test_unknown_field;
+      tc "empty struct" `Quick test_empty_struct;
+      tc "bad field count" `Quick test_bad_count;
+      QCheck_alcotest.to_alcotest prop_layout_monotone;
+    ] )

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "mpicd"
+    [
+      Test_buf.suite;
+      Test_simnet.suite;
+      Test_datatype.suite;
+      Test_ucx.suite;
+      Test_core.suite;
+      Test_derive.suite;
+      Test_pickle.suite;
+      Test_objmsg.suite;
+      Test_bench_types.suite;
+      Test_ddtbench.suite;
+      Test_collectives.suite;
+      Test_capi.suite;
+      Test_figures.suite;
+      Test_serde.suite;
+      Test_typed_mpi.suite;
+      Test_threaded.suite;
+      Test_device.suite;
+    ]

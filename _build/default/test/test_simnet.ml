@@ -1,0 +1,433 @@
+(* Tests for the discrete-event engine, heap, RNG, config and stats. *)
+
+open Mpicd_simnet
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:3. ~seq:0 "c";
+  Heap.push h ~time:1. ~seq:1 "a";
+  Heap.push h ~time:2. ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some (_, _, v) -> v | None -> Alcotest.fail "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:5. ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Heap.pop h with
+    | Some (_, _, v) -> check_int "fifo order at equal time" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_heap_many () =
+  let h = Heap.create () in
+  let rng = Rng.create 42 in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    Heap.push h ~time:(Rng.float rng 1000.) ~seq:i ()
+  done;
+  check_int "size" n (Heap.size h);
+  let last = ref neg_infinity in
+  for _ = 1 to n do
+    match Heap.pop h with
+    | Some (t, _, ()) ->
+        Alcotest.(check bool) "monotone" true (t >= !last);
+        last := t
+    | None -> Alcotest.fail "underflow"
+  done
+
+(* Engine *)
+
+let test_sleep_advances_clock () =
+  let e = Engine.create () in
+  let final = ref 0. in
+  Engine.spawn e (fun () ->
+      Engine.sleep e 100.;
+      Engine.sleep e 50.;
+      final := Engine.now e);
+  Engine.run e;
+  check_float "clock" 150. !final
+
+let test_two_fibers_interleave () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag = log := (tag, Engine.now e) :: !log in
+  Engine.spawn e ~name:"a" (fun () ->
+      note "a0";
+      Engine.sleep e 10.;
+      note "a1");
+  Engine.spawn e ~name:"b" (fun () ->
+      note "b0";
+      Engine.sleep e 5.;
+      note "b1");
+  Engine.run e;
+  let expected = [ ("a0", 0.); ("b0", 0.); ("b1", 5.); ("a1", 10.) ] in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order" expected (List.rev !log)
+
+let test_ivar_blocks () =
+  let e = Engine.create () in
+  let iv = Engine.Ivar.create () in
+  let got = ref (-1) in
+  let got_at = ref 0. in
+  Engine.spawn e (fun () ->
+      got := Engine.Ivar.read e iv;
+      got_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.sleep e 42.;
+      Engine.Ivar.fill iv 7);
+  Engine.run e;
+  check_int "value" 7 !got;
+  check_float "time" 42. !got_at
+
+let test_ivar_double_fill () =
+  let iv = Engine.Ivar.create () in
+  Engine.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Engine.Ivar.fill iv 2)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Engine.Mailbox.create () in
+  let received = ref [] in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        received := Engine.Mailbox.recv e mb :: !received
+      done);
+  Engine.spawn e (fun () ->
+      Engine.Mailbox.send mb 1;
+      Engine.sleep e 1.;
+      Engine.Mailbox.send mb 2;
+      Engine.Mailbox.send mb 3);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_buffering () =
+  let e = Engine.create () in
+  let mb = Engine.Mailbox.create () in
+  Engine.Mailbox.send mb "x";
+  check_int "buffered" 1 (Engine.Mailbox.length mb);
+  Alcotest.(check (option string)) "try_recv" (Some "x")
+    (Engine.Mailbox.try_recv mb);
+  Alcotest.(check (option string)) "empty" None (Engine.Mailbox.try_recv mb);
+  ignore e
+
+let test_deadlock_detection () =
+  let e = Engine.create () in
+  let iv : int Engine.Ivar.t = Engine.Ivar.create () in
+  Engine.spawn e ~name:"stuck" (fun () -> ignore (Engine.Ivar.read e iv));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "mentions fiber" true
+        (String.length msg > 0
+        &&
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        contains msg "stuck"))
+
+let test_at_callback () =
+  let e = Engine.create () in
+  let fired = ref 0. in
+  Engine.at e ~delay:33. (fun () -> fired := Engine.now e);
+  Engine.run e;
+  check_float "at" 33. !fired
+
+let test_spawn_from_fiber () =
+  let e = Engine.create () in
+  let result = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.sleep e 10.;
+      Engine.spawn e (fun () ->
+          Engine.sleep e 5.;
+          result := int_of_float (Engine.now e)));
+  Engine.run e;
+  check_int "nested spawn time" 15 !result
+
+let test_waitq_broadcast () =
+  let e = Engine.create () in
+  let wq = Engine.Waitq.create () in
+  let count = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        let v = Engine.Waitq.wait e wq in
+        count := !count + v)
+  done;
+  Engine.spawn e (fun () ->
+      Engine.sleep e 1.;
+      check_int "waiters" 5 (Engine.Waitq.waiters wq);
+      ignore (Engine.Waitq.broadcast wq 10));
+  Engine.run e;
+  check_int "all resumed" 50 !count
+
+let test_determinism () =
+  let run_once () =
+    let e = Engine.create () in
+    let trace = Buffer.create 64 in
+    for i = 0 to 9 do
+      Engine.spawn e (fun () ->
+          Engine.sleep e (float_of_int ((i * 7) mod 5));
+          Buffer.add_string trace (Printf.sprintf "%d@%.0f;" i (Engine.now e)))
+    done;
+    Engine.run e;
+    Buffer.contents trace
+  in
+  Alcotest.(check string) "identical traces" (run_once ()) (run_once ())
+
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 5.0 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 5.)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" orig sorted
+
+let test_rng_split_independent () =
+  let r = Rng.create 9 in
+  let r2 = Rng.split r in
+  let a = Rng.next64 r and b = Rng.next64 r2 in
+  Alcotest.(check bool) "different streams" true (a <> b)
+
+let test_fiber_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "fiber boom");
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "fiber boom" msg)
+
+let test_stats_pp_smoke () =
+  let s = Stats.create () in
+  Stats.record_message s ~eager:true ~wire_bytes:42;
+  let rendered = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "mentions wire bytes" true
+    (let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains rendered "42")
+
+(* Mutex *)
+
+let test_mutex_excludes () =
+  let e = Engine.create () in
+  let m = Engine.Mutex.create () in
+  let inside = ref 0 and max_inside = ref 0 and order = ref [] in
+  for i = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Engine.Mutex.with_lock e m (fun () ->
+            incr inside;
+            max_inside := max !max_inside !inside;
+            order := i :: !order;
+            Engine.sleep e 10.;
+            decr inside))
+  done;
+  Engine.run e;
+  check_int "never two inside" 1 !max_inside;
+  (* FIFO handoff preserves spawn order *)
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let test_mutex_unlock_errors () =
+  let m = Engine.Mutex.create () in
+  Alcotest.check_raises "unlock unlocked"
+    (Invalid_argument "Mutex.unlock: not locked") (fun () ->
+      Engine.Mutex.unlock m)
+
+let test_mutex_with_lock_releases_on_exn () =
+  let e = Engine.create () in
+  let m = Engine.Mutex.create () in
+  let second_ran = ref false in
+  Engine.spawn e (fun () ->
+      (try Engine.Mutex.with_lock e m (fun () -> failwith "boom")
+       with Failure _ -> ()));
+  Engine.spawn e (fun () ->
+      Engine.Mutex.with_lock e m (fun () -> second_ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "released after exception" true !second_ran;
+  Alcotest.(check bool) "free at end" false (Engine.Mutex.is_locked m)
+
+(* Trace *)
+
+let test_trace_basic () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.record t ~time:1. ~category:"a" "one";
+  Trace.record t ~time:2. ~category:"b" "two";
+  check_int "length" 2 (Trace.length t);
+  check_int "dropped" 0 (Trace.dropped t);
+  (match Trace.events t with
+  | [ e1; e2 ] ->
+      check_float "t1" 1. e1.time;
+      Alcotest.(check string) "cat" "b" e2.category
+  | _ -> Alcotest.fail "expected two events");
+  check_int "find" 1 (List.length (Trace.find t ~category:"a"))
+
+let test_trace_ring_drops () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~category:"x" (string_of_int i)
+  done;
+  check_int "length bounded" 3 (Trace.length t);
+  check_int "dropped" 7 (Trace.dropped t);
+  (match Trace.events t with
+  | [ a; b; c ] ->
+      Alcotest.(check (list string)) "last three" [ "8"; "9"; "10" ]
+        [ a.message; b.message; c.message ]
+  | _ -> Alcotest.fail "three events");
+  Trace.clear t;
+  check_int "cleared" 0 (Trace.length t)
+
+(* Config / Stats *)
+
+let test_config_costs () =
+  let c = Config.default in
+  check_float "wire time scales" (c.link.ns_per_byte *. 2000.)
+    (Config.wire_time c.link 2000);
+  Alcotest.(check bool) "alloc has base cost" true
+    (Config.alloc_time c.cpu 0 >= c.cpu.alloc_base_ns);
+  Alcotest.(check bool) "memcpy monotone" true
+    (Config.memcpy_time c.cpu 100 < Config.memcpy_time c.cpu 1000)
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.record_message s ~eager:true ~wire_bytes:100;
+  Stats.record_message s ~eager:false ~wire_bytes:200;
+  Stats.record_copy s 50;
+  Stats.record_alloc s 1000;
+  Stats.record_alloc s 500;
+  Stats.record_free s 1000;
+  check_int "messages" 2 s.messages_sent;
+  check_int "wire" 300 s.bytes_on_wire;
+  check_int "eager" 1 s.eager_messages;
+  check_int "rndv" 1 s.rndv_messages;
+  check_int "copied" 50 s.bytes_copied;
+  check_int "peak" 1500 s.peak_alloc_bytes;
+  check_int "live" 500 s.live_alloc_bytes
+
+let test_stats_diff () =
+  let s = Stats.create () in
+  Stats.record_message s ~eager:true ~wire_bytes:10;
+  let before = Stats.snapshot s in
+  Stats.record_message s ~eager:true ~wire_bytes:32;
+  Stats.record_pack_cb s;
+  let d = Stats.diff ~after:s ~before in
+  check_int "delta messages" 1 d.messages_sent;
+  check_int "delta wire" 32 d.bytes_on_wire;
+  check_int "delta pack" 1 d.pack_callbacks
+
+let test_stats_reset () =
+  let s = Stats.create () in
+  Stats.record_alloc s 10;
+  Stats.record_probe s;
+  Stats.reset s;
+  check_int "allocs" 0 s.allocs;
+  check_int "probes" 0 s.probes;
+  check_int "peak" 0 s.peak_alloc_bytes
+
+(* Properties *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap: pops are sorted" ~count:100
+    QCheck.(list (pair (float_bound_inclusive 1000.) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i ()) entries;
+      let rec drain last =
+        match Heap.pop h with
+        | None -> true
+        | Some (t, _, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~name:"rng: int always in range" ~count:200
+    QCheck.(pair small_nat (int_range 1 10000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "simnet",
+    [
+      tc "heap ordering" `Quick test_heap_ordering;
+      tc "heap FIFO on ties" `Quick test_heap_fifo_ties;
+      tc "heap many elements" `Quick test_heap_many;
+      tc "sleep advances clock" `Quick test_sleep_advances_clock;
+      tc "fibers interleave by time" `Quick test_two_fibers_interleave;
+      tc "ivar blocks until filled" `Quick test_ivar_blocks;
+      tc "ivar double fill" `Quick test_ivar_double_fill;
+      tc "mailbox fifo" `Quick test_mailbox_fifo;
+      tc "mailbox buffering" `Quick test_mailbox_buffering;
+      tc "deadlock detection" `Quick test_deadlock_detection;
+      tc "at callback" `Quick test_at_callback;
+      tc "spawn from fiber" `Quick test_spawn_from_fiber;
+      tc "waitq broadcast" `Quick test_waitq_broadcast;
+      tc "engine determinism" `Quick test_determinism;
+      tc "rng deterministic" `Quick test_rng_deterministic;
+      tc "rng int bounds" `Quick test_rng_bounds;
+      tc "rng float bounds" `Quick test_rng_float_bounds;
+      tc "rng shuffle permutes" `Quick test_rng_shuffle_permutes;
+      tc "rng split independent" `Quick test_rng_split_independent;
+      tc "fiber exception propagates" `Quick test_fiber_exception_propagates;
+      tc "stats pp smoke" `Quick test_stats_pp_smoke;
+      tc "mutex excludes + fifo" `Quick test_mutex_excludes;
+      tc "mutex unlock errors" `Quick test_mutex_unlock_errors;
+      tc "mutex releases on exception" `Quick test_mutex_with_lock_releases_on_exn;
+      tc "trace basic" `Quick test_trace_basic;
+      tc "trace ring drops" `Quick test_trace_ring_drops;
+      tc "config cost helpers" `Quick test_config_costs;
+      tc "stats counters" `Quick test_stats_counters;
+      tc "stats diff" `Quick test_stats_diff;
+      tc "stats reset" `Quick test_stats_reset;
+      QCheck_alcotest.to_alcotest prop_heap_sorted;
+      QCheck_alcotest.to_alcotest prop_rng_int_in_range;
+    ] )

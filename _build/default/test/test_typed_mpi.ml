@@ -1,0 +1,155 @@
+(* Tests for the type-validated messaging layer. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Mpi = Mpicd.Mpi
+module T = Mpicd_typed_mpi.Typed_mpi
+
+let check_int = Alcotest.(check int)
+
+let pattern n =
+  let b = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 b i ((i * 11 + 3) land 0xff)
+  done;
+  b
+
+let test_fingerprint_roundtrip () =
+  let dt = Dt.vector ~count:3 ~blocklength:2 ~stride:5 Dt.float64 in
+  let fp = T.fingerprint dt ~count:7 in
+  let fp2 = T.fingerprint dt ~count:7 in
+  Alcotest.(check bool) "deterministic" true (Buf.equal fp fp2);
+  let fp3 = T.fingerprint dt ~count:8 in
+  Alcotest.(check bool) "count matters" false (Buf.equal fp fp3)
+
+let test_matching_types () =
+  let w = Mpi.create_world ~size:2 () in
+  let dt = Dt.vector ~count:4 ~blocklength:1 ~stride:2 Dt.int32 in
+  let src = pattern (Dt.extent dt * 3) in
+  let dst = Buf.create (Dt.extent dt * 3) in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then T.send comm ~dst:1 ~tag:5 dt ~count:3 src
+      else begin
+        let st = T.recv comm ~source:0 ~tag:5 dt ~count:3 dst in
+        check_int "len" (Dt.size dt * 3) st.len;
+        Dt.iter_blocks dt ~count:3 ~f:(fun ~disp ~len ->
+            for i = disp to disp + len - 1 do
+              if Buf.get_u8 src i <> Buf.get_u8 dst i then
+                Alcotest.failf "byte %d differs" i
+            done)
+      end)
+
+let test_mismatch_detected () =
+  let w = Mpi.create_world ~size:2 () in
+  let send_dt = Dt.contiguous 4 Dt.float64 in
+  let recv_dt = Dt.contiguous 8 Dt.int32 in
+  let saw = ref false in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then begin
+        T.send comm ~dst:1 ~tag:0 send_dt ~count:1 (pattern 32);
+        (* channel must remain usable after the mismatch *)
+        T.send comm ~dst:1 ~tag:1 recv_dt ~count:1 (pattern 32)
+      end
+      else begin
+        (match
+           T.recv comm ~source:0 ~tag:0 recv_dt ~count:1 (Buf.create 32)
+         with
+        | _ -> Alcotest.fail "expected Type_mismatch"
+        | exception T.Type_mismatch { expected; got } ->
+            saw := true;
+            Alcotest.(check bool) "describes both" true
+              (String.length expected > 0 && String.length got > 0
+              && expected <> got));
+        (* second message has the right type *)
+        ignore (T.recv comm ~source:0 ~tag:1 recv_dt ~count:1 (Buf.create 32))
+      end);
+  Alcotest.(check bool) "mismatch seen" true !saw
+
+let test_count_mismatch_detected () =
+  let w = Mpi.create_world ~size:2 () in
+  let dt = Dt.contiguous 4 Dt.int32 in
+  let saw = ref false in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then T.send comm ~dst:1 ~tag:0 dt ~count:2 (pattern 32)
+      else
+        match T.recv comm ~source:0 ~tag:0 dt ~count:3 (Buf.create 48) with
+        | _ -> Alcotest.fail "expected Type_mismatch"
+        | exception T.Type_mismatch _ -> saw := true);
+  Alcotest.(check bool) "seen" true !saw
+
+let test_recv_any () =
+  let w = Mpi.create_world ~size:2 () in
+  let dt = Dt.vector ~count:5 ~blocklength:1 ~stride:3 Dt.int16 in
+  let src = pattern (Dt.extent dt * 2) in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then T.send comm ~dst:1 ~tag:9 dt ~count:2 src
+      else begin
+        let got_dt, count, base, st = T.recv_any comm ~source:0 () in
+        Alcotest.(check bool) "datatype reconstructed" true (Dt.equal got_dt dt);
+        check_int "count" 2 count;
+        check_int "tag" 9 st.tag;
+        Dt.iter_blocks dt ~count:2 ~f:(fun ~disp ~len ->
+            for i = disp to disp + len - 1 do
+              if Buf.get_u8 src i <> Buf.get_u8 base i then
+                Alcotest.failf "byte %d differs" i
+            done)
+      end)
+
+let test_interleaved_typed_and_plain () =
+  (* fingerprints in the aux tag space don't disturb plain messages *)
+  let w = Mpi.create_world ~size:2 () in
+  let dt = Dt.contiguous 2 Dt.int64 in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then begin
+        Mpi.send comm ~dst:1 ~tag:0 (Mpi.Bytes (pattern 8));
+        T.send comm ~dst:1 ~tag:0 dt ~count:1 (pattern 16);
+        Mpi.send comm ~dst:1 ~tag:0 (Mpi.Bytes (pattern 4))
+      end
+      else begin
+        let b8 = Buf.create 8 in
+        check_int "plain 8" 8 (Mpi.recv comm ~source:0 ~tag:0 (Mpi.Bytes b8)).len;
+        ignore (T.recv comm ~source:0 ~tag:0 dt ~count:1 (Buf.create 16));
+        let b4 = Buf.create 4 in
+        check_int "plain 4" 4 (Mpi.recv comm ~source:0 ~tag:0 (Mpi.Bytes b4)).len
+      end)
+
+let gen_dt =
+  let open QCheck.Gen in
+  let pred = oneofl [ Dt.byte; Dt.int16; Dt.int32; Dt.int64; Dt.float64 ] in
+  let rec go depth =
+    if depth = 0 then pred
+    else
+      frequency
+        [
+          (2, pred);
+          (2, map2 (fun n e -> Dt.contiguous n e) (1 -- 5) (go (depth - 1)));
+          ( 2,
+            map2
+              (fun (c, b) e -> Dt.vector ~count:c ~blocklength:b ~stride:(b + 1) e)
+              (pair (1 -- 4) (1 -- 3))
+              (go (depth - 1)) );
+        ]
+  in
+  go 2
+
+let prop_fingerprint_sound =
+  QCheck.Test.make
+    ~name:"typed_mpi: equal fingerprints iff structurally equal types"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_dt gen_dt))
+    (fun (a, b) ->
+      let fa = T.fingerprint a ~count:1 and fb = T.fingerprint b ~count:1 in
+      Buf.equal fa fb = Dt.equal a b)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "typed_mpi",
+    [
+      tc "fingerprint roundtrip" `Quick test_fingerprint_roundtrip;
+      tc "matching types deliver" `Quick test_matching_types;
+      tc "type mismatch detected" `Quick test_mismatch_detected;
+      tc "count mismatch detected" `Quick test_count_mismatch_detected;
+      tc "recv_any reconstructs the type" `Quick test_recv_any;
+      tc "typed and plain traffic interleave" `Quick test_interleaved_typed_and_plain;
+      QCheck_alcotest.to_alcotest prop_fingerprint_sound;
+    ] )

@@ -1,0 +1,528 @@
+(* Tests for the UCP-like simulated transport. *)
+
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Ucx = Mpicd_ucx.Ucx
+
+let check_int = Alcotest.(check int)
+
+let pattern n =
+  let b = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 b i ((i * 31 + 7) land 0xff)
+  done;
+  b
+
+(* Build a fresh 2-worker world and run [f w0 w1 ep01 ep10] inside it. *)
+let with_pair ?(config = Config.default) f =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config ~stats in
+  let w0 = Ucx.create_worker ctx in
+  let w1 = Ucx.create_worker ctx in
+  let ep01 = Ucx.connect w0 w1 in
+  let ep10 = Ucx.connect w1 w0 in
+  f ~engine ~stats ~w0 ~w1 ~ep01 ~ep10;
+  Engine.run engine
+
+let expect_ok (st : Ucx.status) =
+  match st.error with
+  | None -> ()
+  | Some (Ucx.Truncated _) -> Alcotest.fail "unexpected truncation"
+  | Some (Ucx.Callback_failed c) -> Alcotest.failf "callback failed: %d" c
+
+let test_contig_eager_roundtrip () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 1024 in
+      let dst = Buf.create 1024 in
+      Engine.spawn engine ~name:"sender" (fun () ->
+          let req = Ucx.tag_send ep01 ~tag:7L (Ucx.Sd_contig src) in
+          expect_ok (Ucx.wait req));
+      Engine.spawn engine ~name:"receiver" (fun () ->
+          let req = Ucx.tag_recv w1 ~tag:7L ~mask:(-1L) (Ucx.Rd_contig dst) in
+          let st = Ucx.wait req in
+          expect_ok st;
+          check_int "len" 1024 st.len;
+          Alcotest.(check bool) "payload" true (Buf.equal src dst)))
+
+let test_contig_rndv_roundtrip () =
+  with_pair (fun ~engine ~stats ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let n = 256 * 1024 in
+      let src = pattern n in
+      let dst = Buf.create n in
+      Engine.spawn engine (fun () ->
+          let req = Ucx.tag_send ep01 ~tag:1L (Ucx.Sd_contig src) in
+          expect_ok (Ucx.wait req);
+          (* sender completion implies transfer done *)
+          Alcotest.(check bool) "rndv used" true (stats.rndv_messages >= 1));
+      Engine.spawn engine (fun () ->
+          let req = Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig dst) in
+          expect_ok (Ucx.wait req);
+          Alcotest.(check bool) "payload" true (Buf.equal src dst)))
+
+let test_eager_sender_completes_locally () =
+  (* Eager send completes even if the receive is posted much later. *)
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 64 in
+      let dst = Buf.create 64 in
+      let send_done_at = ref infinity in
+      Engine.spawn engine (fun () ->
+          let req = Ucx.tag_send ep01 ~tag:2L (Ucx.Sd_contig src) in
+          expect_ok (Ucx.wait req);
+          send_done_at := Engine.now engine);
+      Engine.spawn engine (fun () ->
+          Engine.sleep engine 1_000_000.;
+          let req = Ucx.tag_recv w1 ~tag:2L ~mask:(-1L) (Ucx.Rd_contig dst) in
+          expect_ok (Ucx.wait req);
+          Alcotest.(check bool) "sender finished long before recv" true
+            (!send_done_at < 100_000.);
+          Alcotest.(check bool) "payload" true (Buf.equal src dst)))
+
+let test_eager_snapshot_semantics () =
+  (* After an eager send completes, the source buffer may be reused
+     without corrupting the in-flight message. *)
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 128 in
+      let expected = Buf.copy src in
+      let dst = Buf.create 128 in
+      Engine.spawn engine (fun () ->
+          let req = Ucx.tag_send ep01 ~tag:3L (Ucx.Sd_contig src) in
+          expect_ok (Ucx.wait req);
+          Buf.fill src '\xee');
+      Engine.spawn engine (fun () ->
+          Engine.sleep engine 500_000.;
+          let req = Ucx.tag_recv w1 ~tag:3L ~mask:(-1L) (Ucx.Rd_contig dst) in
+          expect_ok (Ucx.wait req);
+          Alcotest.(check bool) "original bytes delivered" true
+            (Buf.equal expected dst)))
+
+let test_iov_roundtrip () =
+  with_pair (fun ~engine ~stats ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let r1 = pattern 100 and r2 = pattern 50 and r3 = pattern 7 in
+      let d1 = Buf.create 100 and d2 = Buf.create 50 and d3 = Buf.create 7 in
+      Engine.spawn engine (fun () ->
+          let req = Ucx.tag_send ep01 ~tag:4L (Ucx.Sd_iov [ r1; r2; r3 ]) in
+          expect_ok (Ucx.wait req);
+          check_int "iov entries recorded" 3 stats.iov_entries);
+      Engine.spawn engine (fun () ->
+          let req =
+            Ucx.tag_recv w1 ~tag:4L ~mask:(-1L) (Ucx.Rd_iov [ d1; d2; d3 ])
+          in
+          let st = Ucx.wait req in
+          expect_ok st;
+          check_int "len" 157 st.len;
+          Alcotest.(check bool) "r1" true (Buf.equal r1 d1);
+          Alcotest.(check bool) "r2" true (Buf.equal r2 d2);
+          Alcotest.(check bool) "r3" true (Buf.equal r3 d3)))
+
+let test_iov_to_contig_boundaries () =
+  (* iov send received into one contiguous buffer: concatenation order *)
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let a = Buf.of_string "abc" and b = Buf.of_string "defgh" in
+      let dst = Buf.create 8 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:5L (Ucx.Sd_iov [ a; b ]))));
+      Engine.spawn engine (fun () ->
+          expect_ok
+            (Ucx.wait (Ucx.tag_recv w1 ~tag:5L ~mask:(-1L) (Ucx.Rd_contig dst)));
+          Alcotest.(check string) "concat" "abcdefgh" (Buf.to_string dst)))
+
+let test_contig_to_iov_scatter () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = Buf.of_string "abcdefgh" in
+      let d1 = Buf.create 3 and d2 = Buf.create 5 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:5L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          expect_ok
+            (Ucx.wait
+               (Ucx.tag_recv w1 ~tag:5L ~mask:(-1L) (Ucx.Rd_iov [ d1; d2 ])));
+          Alcotest.(check string) "d1" "abc" (Buf.to_string d1);
+          Alcotest.(check string) "d2" "defgh" (Buf.to_string d2)))
+
+(* A simple generic descriptor that reverses bytes on pack and
+   re-reverses on unpack, to prove callbacks actually run. *)
+let reversing_send src =
+  let n = Buf.length src in
+  Ucx.Sd_generic
+    {
+      sg_packed_size = n;
+      sg_pack =
+        (fun ~offset ~dst ->
+          let len = min (Buf.length dst) (n - offset) in
+          for i = 0 to len - 1 do
+            Buf.set dst i (Buf.get src (n - 1 - (offset + i)))
+          done;
+          len);
+      sg_finish = ignore;
+      sg_overhead_ns = 0.;
+    }
+
+let reversing_recv dst =
+  let n = Buf.length dst in
+  Ucx.Rd_generic
+    {
+      rg_capacity = n;
+      rg_unpack =
+        (fun ~offset ~src ->
+          for i = 0 to Buf.length src - 1 do
+            Buf.set dst (n - 1 - (offset + i)) (Buf.get src i)
+          done);
+      rg_finish = ignore;
+      rg_overhead_ns = 0.;
+    }
+
+let run_generic_roundtrip n =
+  with_pair (fun ~engine ~stats ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern n in
+      let dst = Buf.create n in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:6L (reversing_send src))));
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_recv w1 ~tag:6L ~mask:(-1L) (reversing_recv dst)) in
+          expect_ok st;
+          check_int "len" n st.len;
+          Alcotest.(check bool) "callbacks ran on both sides" true
+            (Buf.equal src dst);
+          Alcotest.(check bool) "pack callbacks counted" true
+            (stats.pack_callbacks >= 1);
+          Alcotest.(check bool) "unpack callbacks counted" true
+            (stats.unpack_callbacks >= 1)))
+
+let test_generic_eager () = run_generic_roundtrip 500
+
+let test_generic_rndv_fragments () =
+  (* 100 KiB > eager limit: pipelined pack over 8 KiB fragments. *)
+  run_generic_roundtrip (100 * 1024)
+
+let test_generic_to_contig () =
+  (* Generic sender, contiguous receiver: the packed stream lands as-is. *)
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = Buf.of_string "hello" in
+      let dst = Buf.create 5 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:8L (reversing_send src))));
+      Engine.spawn engine (fun () ->
+          expect_ok
+            (Ucx.wait (Ucx.tag_recv w1 ~tag:8L ~mask:(-1L) (Ucx.Rd_contig dst)));
+          Alcotest.(check string) "packed (reversed) stream" "olleh"
+            (Buf.to_string dst)))
+
+let test_truncation_eager () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 100 in
+      let dst = Buf.create 50 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:9L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_recv w1 ~tag:9L ~mask:(-1L) (Ucx.Rd_contig dst)) in
+          match st.error with
+          | Some (Ucx.Truncated { expected; capacity }) ->
+              check_int "expected" 100 expected;
+              check_int "capacity" 50 capacity
+          | _ -> Alcotest.fail "expected truncation error"))
+
+let test_truncation_rndv_completes_sender () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let n = 64 * 1024 in
+      let src = pattern n in
+      let dst = Buf.create 10 in
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_send ep01 ~tag:9L (Ucx.Sd_contig src)) in
+          (* sender sees success even though receiver truncated *)
+          check_int "sender len" n st.len);
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_recv w1 ~tag:9L ~mask:(-1L) (Ucx.Rd_contig dst)) in
+          match st.error with
+          | Some (Ucx.Truncated _) -> ()
+          | _ -> Alcotest.fail "expected truncation error"))
+
+let test_pack_callback_error () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1:_ ~ep01 ~ep10:_ ->
+      let failing =
+        Ucx.Sd_generic
+          {
+            sg_packed_size = 100;
+            sg_pack = (fun ~offset:_ ~dst:_ -> raise (Ucx.Callback_error 42));
+            sg_finish = ignore;
+            sg_overhead_ns = 0.;
+          }
+      in
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_send ep01 ~tag:10L failing) in
+          match st.error with
+          | Some (Ucx.Callback_failed 42) -> ()
+          | _ -> Alcotest.fail "expected callback failure"))
+
+let test_unpack_callback_error () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 100 in
+      let failing =
+        Ucx.Rd_generic
+          {
+            rg_capacity = 100;
+            rg_unpack = (fun ~offset:_ ~src:_ -> raise (Ucx.Callback_error 7));
+            rg_finish = ignore;
+            rg_overhead_ns = 0.;
+          }
+      in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:11L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          let st = Ucx.wait (Ucx.tag_recv w1 ~tag:11L ~mask:(-1L) failing) in
+          match st.error with
+          | Some (Ucx.Callback_failed 7) -> ()
+          | _ -> Alcotest.fail "expected callback failure"))
+
+let test_tag_mask_matching () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let a = Buf.of_string "aa" and b = Buf.of_string "bb" in
+      let d1 = Buf.create 2 and d2 = Buf.create 2 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:0x1_0005L (Ucx.Sd_contig a)));
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:0x2_0005L (Ucx.Sd_contig b))));
+      Engine.spawn engine (fun () ->
+          (* Match only on the low 16 bits: first arrival wins. *)
+          let st1 =
+            Ucx.wait (Ucx.tag_recv w1 ~tag:5L ~mask:0xFFFFL (Ucx.Rd_contig d1))
+          in
+          Alcotest.(check int64) "first tag" 0x1_0005L st1.tag;
+          (* Exact match on the second. *)
+          let st2 =
+            Ucx.wait (Ucx.tag_recv w1 ~tag:0x2_0005L ~mask:(-1L) (Ucx.Rd_contig d2))
+          in
+          Alcotest.(check int64) "second tag" 0x2_0005L st2.tag;
+          Alcotest.(check string) "payloads" "aabb"
+            (Buf.to_string d1 ^ Buf.to_string d2)))
+
+let test_fifo_ordering_same_tag () =
+  (* Two same-tag messages of very different sizes must match in send
+     order even though the smaller one would naturally arrive first. *)
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let big = pattern 8192 in
+      let small = Buf.of_string "x" in
+      let d1 = Buf.create 8192 and d2 = Buf.create 8192 in
+      Engine.spawn engine (fun () ->
+          let r1 = Ucx.tag_send ep01 ~tag:1L (Ucx.Sd_contig big) in
+          let r2 = Ucx.tag_send ep01 ~tag:1L (Ucx.Sd_contig small) in
+          expect_ok (Ucx.wait r1);
+          expect_ok (Ucx.wait r2));
+      Engine.spawn engine (fun () ->
+          let st1 = Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig d1)) in
+          let st2 = Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig d2)) in
+          check_int "first is the big one" 8192 st1.len;
+          check_int "second is the small one" 1 st2.len))
+
+let test_probe () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 300 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:12L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          let info = Ucx.tag_probe_wait w1 ~tag:12L ~mask:(-1L) in
+          check_int "probe len" 300 info.p_len;
+          check_int "probe src" 0 info.p_src_worker;
+          (* envelope still queued: a normal recv gets it *)
+          let dst = Buf.create 300 in
+          expect_ok
+            (Ucx.wait (Ucx.tag_recv w1 ~tag:12L ~mask:(-1L) (Ucx.Rd_contig dst)));
+          Alcotest.(check bool) "payload" true (Buf.equal src dst)))
+
+let test_probe_nonblocking_empty () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01:_ ~ep10:_ ->
+      Engine.spawn engine (fun () ->
+          Alcotest.(check bool) "no message" true
+            (Ucx.tag_probe w1 ~tag:0L ~mask:(-1L) = None)))
+
+let test_mprobe_dequeues () =
+  with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 40 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:13L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          let info, msg = Ucx.tag_mprobe_wait w1 ~tag:13L ~mask:(-1L) in
+          check_int "len" 40 info.p_len;
+          (* after mprobe the message is invisible to probe *)
+          Alcotest.(check bool) "dequeued" true
+            (Ucx.tag_probe w1 ~tag:13L ~mask:(-1L) = None);
+          let dst = Buf.create 40 in
+          expect_ok (Ucx.wait (Ucx.msg_recv w1 msg (Ucx.Rd_contig dst)));
+          Alcotest.(check bool) "payload" true (Buf.equal src dst)))
+
+let test_bidirectional () =
+  with_pair (fun ~engine ~stats:_ ~w0 ~w1 ~ep01 ~ep10 ->
+      let a = pattern 64 and b = pattern 64 in
+      let da = Buf.create 64 and db = Buf.create 64 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:1L (Ucx.Sd_contig a)));
+          expect_ok (Ucx.wait (Ucx.tag_recv w0 ~tag:2L ~mask:(-1L) (Ucx.Rd_contig db))));
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig da)));
+          expect_ok (Ucx.wait (Ucx.tag_send ep10 ~tag:2L (Ucx.Sd_contig b))));
+      ignore (da, db))
+
+(* --- timing-shape tests: the cost model must reproduce the paper's
+   qualitative behaviours --- *)
+
+let pingpong_time ?(config = Config.default) n make_send make_recv =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config ~stats in
+  let w0 = Ucx.create_worker ctx in
+  let w1 = Ucx.create_worker ctx in
+  let ep01 = Ucx.connect w0 w1 in
+  let ep10 = Ucx.connect w1 w0 in
+  let t = ref 0. in
+  Engine.spawn engine (fun () ->
+      let start = Engine.now engine in
+      expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:1L (make_send n)));
+      expect_ok (Ucx.wait (Ucx.tag_recv w0 ~tag:2L ~mask:(-1L) (make_recv n)));
+      t := Engine.now engine -. start);
+  Engine.spawn engine (fun () ->
+      expect_ok (Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (make_recv n)));
+      expect_ok (Ucx.wait (Ucx.tag_send ep10 ~tag:2L (make_send n))));
+  Engine.run engine;
+  !t
+
+let contig_send n = Ucx.Sd_contig (pattern n)
+let contig_recv n = Ucx.Rd_contig (Buf.create n)
+
+let test_timing_monotone_in_size () =
+  let t1 = pingpong_time 1024 contig_send contig_recv in
+  let t2 = pingpong_time 8192 contig_send contig_recv in
+  let t3 = pingpong_time (1024 * 1024) contig_send contig_recv in
+  Alcotest.(check bool) "monotone" true (t1 < t2 && t2 < t3)
+
+let test_timing_rndv_jump () =
+  (* Crossing the eager limit must add a visible handshake cost. *)
+  let limit = Config.default.link.eager_limit in
+  let below = pingpong_time limit contig_send contig_recv in
+  let above = pingpong_time (limit + 64) contig_send contig_recv in
+  Alcotest.(check bool) "handshake jump" true (above -. below > 1000.)
+
+let test_timing_iov_no_jump () =
+  (* The iov path must NOT jump at the eager limit (paper Fig. 7). *)
+  let iov_send n = Ucx.Sd_iov [ pattern n ] in
+  let iov_recv n = Ucx.Rd_iov [ Buf.create n ] in
+  let limit = Config.default.link.eager_limit in
+  let below = pingpong_time limit iov_send iov_recv in
+  let above = pingpong_time (limit + 64) iov_send iov_recv in
+  Alcotest.(check bool) "no protocol jump" true
+    (above -. below < Config.default.link.rndv_handshake_ns /. 2.)
+
+let test_timing_iov_entry_overhead () =
+  (* Same bytes, more regions -> more time (Fig. 1 small subvectors). *)
+  let total = 64 * 1024 in
+  let iov_of k n =
+    let per = n / k in
+    Ucx.Sd_iov (List.init k (fun _ -> pattern per))
+  in
+  let iov_recv_of k n =
+    let per = n / k in
+    Ucx.Rd_iov (List.init k (fun _ -> Buf.create per))
+  in
+  let few = pingpong_time total (iov_of 4) (iov_recv_of 4) in
+  let many = pingpong_time total (iov_of 512) (iov_recv_of 512) in
+  Alcotest.(check bool) "per-entry cost visible" true
+    (many > few +. (400. *. Config.default.link.iov_entry_ns))
+
+let test_unexpected_alloc_accounting () =
+  with_pair (fun ~engine ~stats ~w0:_ ~w1 ~ep01 ~ep10:_ ->
+      let src = pattern 512 in
+      Engine.spawn engine (fun () ->
+          expect_ok (Ucx.wait (Ucx.tag_send ep01 ~tag:1L (Ucx.Sd_contig src))));
+      Engine.spawn engine (fun () ->
+          Engine.sleep engine 1_000_000.;
+          (* message arrived unexpected: buffered on the receiver *)
+          check_int "buffered bytes" 512 stats.live_alloc_bytes;
+          let dst = Buf.create 512 in
+          expect_ok (Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig dst)));
+          check_int "buffer released" 0 stats.live_alloc_bytes))
+
+let test_jitter_preserves_fifo () =
+  (* With adversarial per-message jitter the per-channel FIFO guarantee
+     must still hold: same-tag messages match in send order. *)
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config:Config.default ~stats in
+  let rng = Mpicd_simnet.Rng.create 99 in
+  Ucx.set_channel_jitter ctx (Some (fun () -> Mpicd_simnet.Rng.float rng 5000.));
+  let w0 = Ucx.create_worker ctx in
+  let w1 = Ucx.create_worker ctx in
+  let ep = Ucx.connect w0 w1 in
+  let n = 20 in
+  Engine.spawn engine (fun () ->
+      for i = 0 to n - 1 do
+        let b = Buf.create 4 in
+        Buf.set_i32 b 0 (Int32.of_int i);
+        expect_ok (Ucx.wait (Ucx.tag_send ep ~tag:5L (Ucx.Sd_contig b)))
+      done);
+  Engine.spawn engine (fun () ->
+      for i = 0 to n - 1 do
+        let d = Buf.create 4 in
+        expect_ok (Ucx.wait (Ucx.tag_recv w1 ~tag:5L ~mask:(-1L) (Ucx.Rd_contig d)));
+        check_int (Printf.sprintf "message %d in order" i) i
+          (Int32.to_int (Buf.get_i32 d 0))
+      done);
+  Engine.run engine
+
+let test_trace_records_protocols () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config:Config.default ~stats in
+  let tr = Mpicd_simnet.Trace.create () in
+  Ucx.set_trace ctx (Some tr);
+  let w0 = Ucx.create_worker ctx in
+  let w1 = Ucx.create_worker ctx in
+  let ep = Ucx.connect w0 w1 in
+  Engine.spawn engine (fun () ->
+      expect_ok (Ucx.wait (Ucx.tag_send ep ~tag:1L (Ucx.Sd_contig (pattern 64))));
+      expect_ok
+        (Ucx.wait (Ucx.tag_send ep ~tag:2L (Ucx.Sd_iov [ pattern 64 ]))));
+  Engine.spawn engine (fun () ->
+      expect_ok
+        (Ucx.wait (Ucx.tag_recv w1 ~tag:1L ~mask:(-1L) (Ucx.Rd_contig (Buf.create 64))));
+      expect_ok
+        (Ucx.wait (Ucx.tag_recv w1 ~tag:2L ~mask:(-1L) (Ucx.Rd_iov [ Buf.create 64 ]))));
+  Engine.run engine;
+  let module Trace = Mpicd_simnet.Trace in
+  check_int "two sends traced" 2 (List.length (Trace.find tr ~category:"send"));
+  check_int "two arrivals" 2 (List.length (Trace.find tr ~category:"arrive"));
+  Alcotest.(check bool) "timestamps monotone" true
+    (let ts = List.map (fun (e : Trace.event) -> e.time) (Trace.events tr) in
+     List.sort compare ts = ts)
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "ucx",
+    [
+      tc "contig eager roundtrip" `Quick test_contig_eager_roundtrip;
+      tc "contig rndv roundtrip" `Quick test_contig_rndv_roundtrip;
+      tc "eager completes locally" `Quick test_eager_sender_completes_locally;
+      tc "eager snapshot semantics" `Quick test_eager_snapshot_semantics;
+      tc "iov roundtrip" `Quick test_iov_roundtrip;
+      tc "iov->contig boundaries" `Quick test_iov_to_contig_boundaries;
+      tc "contig->iov scatter" `Quick test_contig_to_iov_scatter;
+      tc "generic eager callbacks" `Quick test_generic_eager;
+      tc "generic rndv fragments" `Quick test_generic_rndv_fragments;
+      tc "generic->contig packed stream" `Quick test_generic_to_contig;
+      tc "truncation (eager)" `Quick test_truncation_eager;
+      tc "truncation (rndv) sender ok" `Quick test_truncation_rndv_completes_sender;
+      tc "pack callback error" `Quick test_pack_callback_error;
+      tc "unpack callback error" `Quick test_unpack_callback_error;
+      tc "tag mask matching" `Quick test_tag_mask_matching;
+      tc "fifo ordering same tag" `Quick test_fifo_ordering_same_tag;
+      tc "probe" `Quick test_probe;
+      tc "probe nonblocking empty" `Quick test_probe_nonblocking_empty;
+      tc "mprobe dequeues" `Quick test_mprobe_dequeues;
+      tc "bidirectional" `Quick test_bidirectional;
+      tc "timing monotone in size" `Quick test_timing_monotone_in_size;
+      tc "timing rndv jump at eager limit" `Quick test_timing_rndv_jump;
+      tc "timing iov has no protocol jump" `Quick test_timing_iov_no_jump;
+      tc "timing iov per-entry overhead" `Quick test_timing_iov_entry_overhead;
+      tc "unexpected message alloc accounting" `Quick test_unexpected_alloc_accounting;
+      tc "jitter preserves per-channel FIFO" `Quick test_jitter_preserves_fifo;
+      tc "trace records protocol events" `Quick test_trace_records_protocols;
+    ] )
