@@ -1,0 +1,248 @@
+module Dt = Mpicd_datatype.Datatype
+module Config = Mpicd_simnet.Config
+
+let analyzer = "datatype-lint"
+
+(* Two types are provably the same layout iff their (unmerged) type maps
+   are equal: same predefined leaves at the same byte displacements in
+   the same order.  This is the test behind every normalization hint, so
+   a hint is never a guess. *)
+let same_typemap a b = Dt.typemap a = Dt.typemap b
+
+let shifted_typemap d0 t = List.map (fun (disp, p) -> (disp + d0, p)) (Dt.typemap t)
+
+let arithmetic_delta (a : int array) =
+  if Array.length a < 2 then None
+  else
+    let d = a.(1) - a.(0) in
+    let ok = ref true in
+    for i = 2 to Array.length a - 1 do
+      if a.(i) - a.(i - 1) <> d then ok := false
+    done;
+    if !ok then Some d else None
+
+let lint ?(config = Config.default) ~subject t =
+  let acc = ref [] in
+  let add ?suggestion ?cost_delta_ns ~id ~severity msg =
+    acc :=
+      Finding.make ?suggestion ?cost_delta_ns ~id ~severity ~analyzer ~subject msg
+      :: !acc
+  in
+  let cpu = config.Config.cpu in
+  let block_delta_ns before after =
+    float_of_int (before - after) *. cpu.ddt_block_ns
+  in
+  let at path = if path = "" then "" else Printf.sprintf " at %s" path in
+  (* --- structural walk: zero blocks + normalization opportunities --- *)
+  let rec walk path sub =
+    match Dt.view sub with
+    | Dt.V_predefined _ -> ()
+    | Dt.V_contiguous (n, e) ->
+        if n = 0 then
+          add ~id:"DT-ZERO-BLOCK" ~severity:Finding.Warning
+            (Printf.sprintf "contiguous count is 0%s: the type contributes no data"
+               (at path));
+        walk (path ^ "[elem]") e
+    | Dt.V_hvector { count; blocklength; stride_bytes; elem } ->
+        if count = 0 || blocklength = 0 then
+          add ~id:"DT-ZERO-BLOCK" ~severity:Finding.Warning
+            (Printf.sprintf
+               "vector with count=%d blocklength=%d%s contributes no data" count
+               blocklength (at path));
+        if count >= 1 && blocklength >= 1 then begin
+          let rewrite = Dt.contiguous (count * blocklength) elem in
+          if same_typemap sub rewrite then
+            add ~id:"DT-NORM-CONTIG" ~severity:Finding.Hint
+              ~suggestion:
+                (Printf.sprintf "rewrite as contiguous(%d, %s)"
+                   (count * blocklength) (Dt.to_string elem))
+              ~cost_delta_ns:
+                (block_delta_ns
+                   (Dt.blocks_per_element sub)
+                   (Dt.blocks_per_element rewrite))
+              (Printf.sprintf
+                 "vector%s has stride (%dB) equal to its block footprint: it is \
+                  provably contiguous"
+                 (at path) stride_bytes)
+        end;
+        walk (path ^ "[elem]") elem
+    | Dt.V_hindexed { blocklengths; displacements_bytes; elem } ->
+        Array.iteri
+          (fun i bl ->
+            if bl = 0 then
+              add ~id:"DT-ZERO-BLOCK" ~severity:Finding.Warning
+                (Printf.sprintf "indexed block %d%s has length 0" i (at path)))
+          blocklengths;
+        let n = Array.length blocklengths in
+        let uniform =
+          n >= 2
+          && Array.for_all (fun bl -> bl = blocklengths.(0)) blocklengths
+          && blocklengths.(0) > 0
+        in
+        (match (uniform, arithmetic_delta displacements_bytes) with
+        | true, Some d when d > 0 ->
+            let bl = blocklengths.(0) in
+            let rewrite =
+              Dt.hvector ~count:n ~blocklength:bl ~stride_bytes:d elem
+            in
+            let d0 = displacements_bytes.(0) in
+            if Dt.typemap sub = shifted_typemap d0 rewrite then
+              if d0 = 0 && Dt.is_contiguous rewrite then
+                add ~id:"DT-NORM-CONTIG" ~severity:Finding.Hint
+                  ~suggestion:
+                    (Printf.sprintf "rewrite as contiguous(%d, %s)" (n * bl)
+                       (Dt.to_string elem))
+                  ~cost_delta_ns:
+                    (block_delta_ns
+                       (Dt.blocks_per_element sub)
+                       (Dt.blocks_per_element rewrite))
+                  (Printf.sprintf
+                     "indexed type%s has uniform blocks tiling without gaps: it \
+                      is provably contiguous"
+                     (at path))
+              else
+                add ~id:"DT-NORM-VECTOR" ~severity:Finding.Hint
+                  ~suggestion:
+                    (Printf.sprintf
+                       "rewrite as hvector(count=%d, blocklength=%d, \
+                        stride=%dB)%s: O(1) descriptor instead of O(%d) arrays"
+                       n bl d
+                       (if d0 = 0 then ""
+                        else Printf.sprintf " at base offset %dB" d0)
+                       n)
+                  ~cost_delta_ns:
+                    (block_delta_ns
+                       (Dt.blocks_per_element sub)
+                       (Dt.blocks_per_element rewrite))
+                  (Printf.sprintf
+                     "indexed type%s has uniform block lengths and a constant \
+                      displacement stride: it is provably a vector"
+                     (at path))
+        | _ -> ());
+        walk (path ^ "[elem]") elem
+    | Dt.V_struct { blocklengths; displacements_bytes = _; types } ->
+        Array.iteri
+          (fun i bl ->
+            if bl = 0 then
+              add ~id:"DT-ZERO-BLOCK" ~severity:Finding.Warning
+                (Printf.sprintf "struct field %d%s has blocklength 0" i (at path)))
+          blocklengths;
+        let n = Array.length types in
+        if n >= 2 && Array.for_all (fun ty -> Dt.equal ty types.(0)) types then
+          add ~id:"DT-NORM-HOMOGENEOUS" ~severity:Finding.Hint
+            ~suggestion:"rewrite as hindexed over the common element type"
+            (Printf.sprintf
+               "struct%s has %d fields of one identical type: hindexed \
+                expresses it without the per-field type array"
+               (at path) n);
+        Array.iteri (fun i ty -> walk (Printf.sprintf "%s.field[%d]" path i) ty) types
+    | Dt.V_resized { lb = _; extent = _; elem } -> walk (path ^ "[elem]") elem
+  in
+  walk "" t;
+  (* --- whole-type checks over the merged block list and type map --- *)
+  let size = Dt.size t in
+  if size = 0 then
+    add ~id:"DT-EMPTY" ~severity:Finding.Hint
+      "type has zero size: operations using it move no data"
+  else begin
+    let overlap_in blocks =
+      let sorted = List.sort compare blocks in
+      let rec scan = function
+        | (d1, l1) :: ((d2, l2) :: _ as rest) ->
+            if d1 + l1 > d2 then Some ((d1, l1), (d2, l2)) else scan rest
+        | _ -> None
+      in
+      scan sorted
+    in
+    let within = overlap_in (Dt.block_list t ~count:1) in
+    (match within with
+    | Some ((d1, l1), (d2, l2)) ->
+        add ~id:"DT-OVERLAP" ~severity:Finding.Error
+          ~suggestion:
+            "remove the aliased range: receiving into overlapping blocks is \
+             undefined (send order decides which bytes survive)"
+          (Printf.sprintf
+             "blocks [%d,%d) and [%d,%d) of one element overlap" d1 (d1 + l1) d2
+             (d2 + l2))
+    | None -> (
+        match overlap_in (Dt.block_list t ~count:2) with
+        | Some ((d1, l1), (d2, l2)) ->
+            add ~id:"DT-OVERLAP" ~severity:Finding.Error
+              ~suggestion:
+                (Printf.sprintf
+                   "resize the type so its extent (%dB) covers the element \
+                    footprint before using count > 1"
+                   (Dt.extent t))
+              (Printf.sprintf
+                 "consecutive elements overlap when count >= 2: blocks [%d,%d) \
+                  and [%d,%d) alias"
+                 d1 (d1 + l1) d2 (d2 + l2))
+        | None -> ()));
+    (* misaligned predefined leaves *)
+    let mis = ref [] and nmis = ref 0 in
+    Dt.iter_typemap t ~f:(fun ~disp ~p ->
+        let align = Dt.predefined_size p in
+        if align > 1 && disp mod align <> 0 then begin
+          incr nmis;
+          if List.length !mis < 3 then mis := (disp, p) :: !mis
+        end);
+    if !nmis > 0 then begin
+      let examples =
+        List.rev_map
+          (fun (disp, p) ->
+            Printf.sprintf "%s at byte %d"
+              (Dt.to_string (Dt.predefined p))
+              disp)
+          !mis
+        |> String.concat ", "
+      in
+      add ~id:"DT-MISALIGNED" ~severity:Finding.Warning
+        ~suggestion:
+          "pad displacements to the elements' natural alignment (compilers do \
+           this for C structs; hand-built displacement arrays often forget)"
+        (Printf.sprintf
+           "%d predefined element(s) sit at displacements not multiple of \
+            their natural alignment (%s)"
+           !nmis examples)
+    end;
+    (* extent / true-extent traps *)
+    let blocks = Dt.block_list t ~count:1 in
+    let span =
+      List.fold_left (fun hi (d, l) -> max hi (d + l)) min_int blocks
+      - List.fold_left (fun lo (d, _) -> min lo d) max_int blocks
+    in
+    let ext = Dt.extent t in
+    if ext < span then
+      add ~id:"DT-EXTENT-SHRUNK" ~severity:Finding.Hint
+        ~suggestion:
+          "double-check count > 1 uses: interleaving is legal for sends but a \
+           frequent source of silent corruption on receives"
+        (Printf.sprintf
+           "extent (%dB) is smaller than the element footprint (%dB): \
+            consecutive elements interleave"
+           ext span);
+    if Dt.lb t <> 0 then
+      add ~id:"DT-LB-NONZERO" ~severity:Finding.Hint
+        (Printf.sprintf
+           "lower bound is %dB, not 0: buffer addressing starts before/after \
+            the base pointer, which many callers do not expect"
+           (Dt.lb t));
+    (* single gap-free block that the engine still cannot send zero-copy *)
+    (match blocks with
+    | [ (d0, len) ] when len = size && not (Dt.is_contiguous t) ->
+        add ~id:"DT-NORM-OFFSET-CONTIG" ~severity:Finding.Hint
+          ~suggestion:
+            (Printf.sprintf
+               "send contiguous(%d, byte) from base+%dB instead: the transport \
+                then uses the zero-copy contiguous path"
+               len d0)
+          ~cost_delta_ns:
+            (Config.memcpy_time cpu size
+            +. (float_of_int (Dt.blocks_per_element t) *. cpu.ddt_block_ns))
+          (Printf.sprintf
+             "the type is one gap-free %dB block at offset %dB, but extent/lb \
+              bookkeeping forces it through the pack pipeline"
+             len d0)
+    | _ -> ())
+  end;
+  List.rev !acc

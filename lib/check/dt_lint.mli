@@ -1,0 +1,23 @@
+(** Static lint over classic derived datatypes.
+
+    Folds over a {!Mpicd_datatype.Datatype.t}'s lowered representation
+    and its type map to flag constructs that are wrong (overlapping
+    blocks in a receive type), almost certainly wrong (zero-length
+    blocks, misaligned predefined elements), or needlessly slow
+    (normalization opportunities in the spirit of TEMPI's datatype
+    canonicalization: an indexed that is provably a vector, a vector
+    that is provably contiguous).  Performance hints carry the predicted
+    per-element saving under the simnet cost model
+    ({!Mpicd_simnet.Config.cpu.ddt_block_ns} per typemap block).
+
+    Rule catalogue: docs/CHECKS.md. *)
+
+val analyzer : string
+
+val lint :
+  ?config:Mpicd_simnet.Config.t ->
+  subject:string ->
+  Mpicd_datatype.Datatype.t ->
+  Finding.t list
+(** All findings for one datatype, stable order.  [subject] names the
+    type in reports (e.g. the kernel that owns it). *)

@@ -1,0 +1,71 @@
+type severity = Error | Warning | Hint
+
+type t = {
+  id : string;
+  severity : severity;
+  analyzer : string;
+  subject : string;
+  message : string;
+  suggestion : string option;
+  cost_delta_ns : float option;
+}
+
+let make ?suggestion ?cost_delta_ns ~id ~severity ~analyzer ~subject message =
+  { id; severity; analyzer; subject; message; suggestion; cost_delta_ns }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+let is_problem f = match f.severity with Error | Warning -> true | Hint -> false
+
+let pp ppf f =
+  Format.fprintf ppf "[%s] %s %s: %s" (severity_label f.severity) f.id f.subject
+    f.message;
+  (match f.suggestion with
+  | Some s -> Format.fprintf ppf "@\n    suggestion: %s" s
+  | None -> ());
+  match f.cost_delta_ns with
+  | Some d -> Format.fprintf ppf "@\n    predicted saving: %.1f ns/element" d
+  | None -> ()
+
+let to_string f = Format.asprintf "%a" pp f
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json f =
+  let field name v = Printf.sprintf "\"%s\":\"%s\"" name (json_escape v) in
+  let opt = function
+    | [] -> ""
+    | parts -> "," ^ String.concat "," parts
+  in
+  Printf.sprintf "{%s,%s,%s,%s,%s%s}"
+    (field "id" f.id)
+    (field "severity" (severity_label f.severity))
+    (field "analyzer" f.analyzer)
+    (field "subject" f.subject)
+    (field "message" f.message)
+    (opt
+       ((match f.suggestion with
+        | Some s -> [ field "suggestion" s ]
+        | None -> [])
+       @
+       match f.cost_delta_ns with
+       | Some d -> [ Printf.sprintf "\"cost_delta_ns\":%.3f" d ]
+       | None -> []))

@@ -1,0 +1,35 @@
+module Registry = Mpicd_ddtbench.Registry
+module Kernel = Mpicd_ddtbench.Kernel
+
+let lint_kernels ?config () =
+  List.concat_map
+    (fun k ->
+      let module K = (val k : Kernel.KERNEL) in
+      Dt_lint.lint ?config ~subject:("ddtbench/" ^ K.name) K.derived)
+    Registry.all
+
+let spec_of k dt : _ Contract.spec =
+  let module K = (val k : Kernel.KERNEL) in
+  {
+    Contract.name = "";
+    dt;
+    make = K.create;
+    make_sink = Some K.create_sink;
+    equal = Some K.equal;
+    count = 1;
+    expected_wire = Some K.wire_bytes;
+  }
+
+let contract_kernels ?seed ?rounds () =
+  List.concat_map
+    (fun k ->
+      let module K = (val k : Kernel.KERNEL) in
+      let check name dt =
+        Contract.check ?seed ?rounds { (spec_of k dt) with Contract.name }
+      in
+      check ("ddtbench/" ^ K.name ^ "/pack") K.custom_pack
+      @
+      match K.custom_regions with
+      | None -> []
+      | Some dt -> check ("ddtbench/" ^ K.name ^ "/regions") dt)
+    Registry.all

@@ -1,0 +1,9 @@
+(** Run the datatype lint and the callback contract checker over every
+    kernel in {!Mpicd_ddtbench.Registry}. *)
+
+val lint_kernels : ?config:Mpicd_simnet.Config.t -> unit -> Finding.t list
+(** {!Dt_lint.lint} over each kernel's derived datatype. *)
+
+val contract_kernels : ?seed:int -> ?rounds:int -> unit -> Finding.t list
+(** {!Contract.check} over each kernel's [custom_pack] callback set and,
+    where defined, its [custom_regions] set. *)

@@ -1,0 +1,77 @@
+type section = {
+  title : string;
+  findings : Finding.t list;
+  notes : (string * string) list;
+}
+
+let section ?(notes = []) title findings = { title; findings; notes }
+
+let problem_count sections =
+  List.fold_left
+    (fun a s -> a + List.length (List.filter Finding.is_problem s.findings))
+    0 sections
+
+let total_count sections =
+  List.fold_left (fun a s -> a + List.length s.findings) 0 sections
+
+let summary_line sections =
+  let problems = problem_count sections in
+  let hints = total_count sections - problems in
+  Printf.sprintf "%d problem(s), %d hint(s) across %d analyzer run(s)" problems
+    hints (List.length sections)
+
+let render_text sections =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b s.title;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (String.length s.title) '-');
+      Buffer.add_char b '\n';
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf "  %s: %s\n" k v))
+        s.notes;
+      if s.findings = [] then Buffer.add_string b "  clean\n"
+      else
+        List.iter
+          (fun f ->
+            Buffer.add_string b "  ";
+            Buffer.add_string b (Finding.to_string f);
+            Buffer.add_char b '\n')
+          s.findings;
+      Buffer.add_char b '\n')
+    sections;
+  Buffer.add_string b (summary_line sections);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let render_json sections =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"sections\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf "    { \"title\": %s,\n      \"notes\": {"
+           (Finding.json_string s.title));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "%s: %s" (Finding.json_string k)
+               (Finding.json_string v)))
+        s.notes;
+      Buffer.add_string b "},\n      \"findings\": [";
+      List.iteri
+        (fun j f ->
+          if j > 0 then Buffer.add_string b ",";
+          Buffer.add_string b "\n        ";
+          Buffer.add_string b (Finding.json f))
+        s.findings;
+      if s.findings <> [] then Buffer.add_string b "\n      ";
+      Buffer.add_string b "]\n    }")
+    sections;
+  Buffer.add_string b
+    (Printf.sprintf "\n  ],\n  \"problems\": %d,\n  \"findings\": %d\n}\n"
+       (problem_count sections) (total_count sections));
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** Text and JSON rendering of analysis results. *)
+
+type section = {
+  title : string;  (** analyzer / scenario heading *)
+  findings : Finding.t list;
+  notes : (string * string) list;
+      (** free-form key/value context (e.g. protocol-event counts) *)
+}
+
+val section : ?notes:(string * string) list -> string -> Finding.t list -> section
+
+val problem_count : section list -> int
+(** Number of Error/Warning findings across all sections (hints are
+    informational and never fail a run). *)
+
+val render_text : section list -> string
+val render_json : section list -> string
+val summary_line : section list -> string

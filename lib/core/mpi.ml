@@ -6,6 +6,90 @@ module Rng = Mpicd_simnet.Rng
 module Datatype = Mpicd_datatype.Datatype
 module Ucx = Mpicd_ucx.Ucx
 
+(* Observation layer for the communication checkers: every monitored
+   point-to-point operation is recorded at post time together with a
+   [peek] closure that reads its transport-level completion status.  The
+   analyzers in Mpicd_check replay MPI matching semantics over these
+   records (MUST-style), so the monitor itself stays passive: it never
+   perturbs matching, timing, or data movement. *)
+module Monitor = struct
+  type op_kind = Send | Recv
+  type dt_class = Dc_bytes | Dc_typed | Dc_custom
+
+  type op = {
+    id : int;
+    kind : op_kind;
+    rank : int;
+    peer : int;
+    tag : int;
+    cid : int;
+    channel_kind : int;
+    dt_class : dt_class;
+    signature : (Datatype.predefined * int) list;
+    nbytes : int;
+    blocking : bool;
+    posted_at : float;
+  }
+
+  type outcome = {
+    o_op : op;
+    o_peer : int;
+    o_tag : int;
+    o_len : int;
+    o_error : string option;
+  }
+
+  type entry = {
+    e_op : op;
+    e_peek : unit -> outcome option;
+    mutable e_done : outcome option;
+  }
+
+  type t = { mutable next_id : int; mutable entries : entry list (* newest first *) }
+
+  let create () = { next_id = 0; entries = [] }
+
+  let fresh_id m =
+    let id = m.next_id in
+    m.next_id <- id + 1;
+    id
+
+  let add m op peek = m.entries <- { e_op = op; e_peek = peek; e_done = None } :: m.entries
+
+  let sweep m =
+    List.iter
+      (fun e -> if e.e_done = None then e.e_done <- e.e_peek ())
+      m.entries
+
+  let outcomes m =
+    sweep m;
+    List.rev (List.filter_map (fun e -> e.e_done) m.entries)
+
+  let pending m =
+    sweep m;
+    List.rev
+      (List.filter_map
+         (fun e -> if e.e_done = None then Some e.e_op else None)
+         m.entries)
+
+  (* RLE signature helpers: concatenation and repetition that keep the
+     run-length encoding canonical (no two adjacent runs share a type). *)
+  let rle_concat a b =
+    match (List.rev a, b) with
+    | (p, n) :: ra, (q, m) :: rb when p = q -> List.rev_append ra ((p, n + m) :: rb)
+    | _ -> a @ b
+
+  let rle_repeat s count =
+    if count <= 0 then []
+    else
+      match s with
+      | [] -> []
+      | [ (p, n) ] -> [ (p, n * count) ]
+      | _ ->
+          let rec go acc k = if k = 0 then acc else go (rle_concat acc s) (k - 1) in
+          go s (count - 1)
+end
+
 type world = {
   engine : Engine.t;
   config : Config.t;
@@ -15,6 +99,7 @@ type world = {
   eps : Ucx.endpoint array array;  (* eps.(src).(dst) *)
   mutable shuffle : Rng.t option;
   mutable next_cid : int;  (* communicator-id allocator (rank 0 side) *)
+  mutable monitor : Monitor.t option;
 }
 
 type comm = {
@@ -35,7 +120,17 @@ let create_world ?(config = Config.default) ~size () =
     Array.init size (fun s ->
         Array.init size (fun d -> Ucx.connect workers.(s) workers.(d)))
   in
-  { engine; config; stats; ucx; workers; eps; shuffle = None; next_cid = 1 }
+  {
+    engine;
+    config;
+    stats;
+    ucx;
+    workers;
+    eps;
+    shuffle = None;
+    next_cid = 1;
+    monitor = None;
+  }
 
 let world_engine w = w.engine
 let world_stats w = w.stats
@@ -43,6 +138,7 @@ let world_config w = w.config
 let world_size w = Array.length w.workers
 let set_unpack_shuffle w ~seed = w.shuffle <- Option.map Rng.create seed
 let set_trace w t = Ucx.set_trace w.ucx t
+let set_monitor w m = w.monitor <- m
 
 let comm_for_rank w r =
   if r < 0 || r >= world_size w then invalid_arg "Mpi.comm_for_rank: bad rank";
@@ -421,25 +517,89 @@ let check_dst c r name =
   if r < 0 || r >= size c then
     invalid_arg (Printf.sprintf "Mpi.%s: bad rank %d" name r)
 
-let isend_k c kind ~dst ~tag buf =
+(* Monitor-side classification of a buffer descriptor.  Custom types are
+   opaque: running their query callbacks here would duplicate the state
+   lifecycle, so the wire size is left unknown (-1) until completion. *)
+let monitor_classify : buffer -> Monitor.dt_class * (Datatype.predefined * int) list * int
+    = function
+  | Bytes b ->
+      let n = Buf.length b in
+      (Monitor.Dc_bytes, (if n = 0 then [] else [ (Datatype.Byte, n) ]), n)
+  | Typed { dt; count; _ } ->
+      ( Monitor.Dc_typed,
+        Monitor.rle_repeat (Datatype.rle_signature dt) count,
+        Datatype.packed_size dt ~count )
+  | Custom _ -> (Monitor.Dc_custom, [], -1)
+
+let monitor_record c kind ~op_kind ~peer ~tag ~blocking buf (ureq : Ucx.request) =
+  match c.w.monitor with
+  | None -> ()
+  | Some m ->
+      let dt_class, signature, nbytes = monitor_classify buf in
+      let op : Monitor.op =
+        {
+          id = Monitor.fresh_id m;
+          kind = op_kind;
+          rank = c.group.(c.c_rank);
+          peer;
+          tag;
+          cid = c.cid;
+          channel_kind = kind_code kind;
+          dt_class;
+          signature;
+          nbytes;
+          blocking;
+          posted_at = Engine.now c.w.engine;
+        }
+      in
+      let peek () =
+        match Ucx.peek ureq with
+        | None -> None
+        | Some (u : Ucx.status) ->
+            Some
+              {
+                Monitor.o_op = op;
+                o_peer = decode_source u.tag;
+                o_tag = decode_utag u.tag;
+                o_len = u.len;
+                o_error =
+                  (match u.error with
+                  | None -> None
+                  | Some (Ucx.Truncated { expected; capacity }) ->
+                      Some
+                        (Printf.sprintf "truncated: expected %d bytes, capacity %d"
+                           expected capacity)
+                  | Some (Ucx.Callback_failed code) ->
+                      Some (Printf.sprintf "callback failed with code %d" code));
+              }
+      in
+      Monitor.add m op peek
+
+let isend_gen c kind ~blocking ~dst ~tag buf =
   check_dst c dst "isend";
   check_user_tag tag;
   let dt, cleanup = make_send_dt c buf in
   let me = c.group.(c.c_rank) and peer = c.group.(dst) in
   let t64 = encode_tag ~src:me ~kind ~cid:c.cid ~utag:tag in
   let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
+  monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
   make_request c req cleanup
 
-let irecv_k c kind ?(source = any_source) ?(tag = any_tag) buf =
+let irecv_gen c kind ~blocking ?(source = any_source) ?(tag = any_tag) buf =
   if source <> any_source then check_dst c source "irecv";
   let dt, cleanup = make_recv_dt c buf in
   let source = if source = any_source then any_source else c.group.(source) in
   let t64, mask = recv_tag_mask ~kind ~cid:c.cid ~source ~tag in
   let req = Ucx.tag_recv c.w.workers.(c.group.(c.c_rank)) ~tag:t64 ~mask dt in
+  monitor_record c kind ~op_kind:Monitor.Recv ~peer:source ~tag ~blocking buf req;
   make_request c req cleanup
 
-let send_k c kind ~dst ~tag buf = ignore (wait (isend_k c kind ~dst ~tag buf))
-let recv_k c kind ?source ?tag buf = wait (irecv_k c kind ?source ?tag buf)
+let isend_k c kind ~dst ~tag buf = isend_gen c kind ~blocking:false ~dst ~tag buf
+let irecv_k c kind ?source ?tag buf = irecv_gen c kind ~blocking:false ?source ?tag buf
+let send_k c kind ~dst ~tag buf =
+  ignore (wait (isend_gen c kind ~blocking:true ~dst ~tag buf))
+let recv_k c kind ?source ?tag buf =
+  wait (irecv_gen c kind ~blocking:true ?source ?tag buf)
 
 let isend c ~dst ~tag buf = isend_k c Internal0.User ~dst ~tag buf
 let irecv c ?source ?tag buf = irecv_k c Internal0.User ?source ?tag buf

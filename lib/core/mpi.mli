@@ -55,6 +55,73 @@ val set_unpack_shuffle : world -> seed:int option -> unit
     with [~inorder:false] are presented out of order (the paper's
     out-of-order optimization that the [inorder] flag would inhibit). *)
 
+(** {1 Communication monitor}
+
+    Passive observation hooks for the {!Mpicd_check} analyzers: every
+    point-to-point operation posted on a monitored world is recorded
+    with enough metadata (world ranks, tag-space coordinates,
+    run-length-encoded type signature) that a MUST-style checker can
+    replay the MPI matching semantics after the run — pairing sends with
+    receives, flagging signature mismatches and truncation, and building
+    a wait-for graph over whatever is left pending at a deadlock. *)
+
+module Monitor : sig
+  type op_kind = Send | Recv
+
+  type dt_class = Dc_bytes | Dc_typed | Dc_custom
+  (** Which buffer descriptor the operation used.  Custom datatypes are
+      opaque to signature matching (the paper's API deliberately hides
+      the layout behind callbacks), so checkers skip them. *)
+
+  type op = {
+    id : int;  (** unique per monitor, in posting order *)
+    kind : op_kind;
+    rank : int;  (** world rank of the posting rank *)
+    peer : int;
+        (** destination (sends) / expected source (recvs) as a world
+            rank; [-1] means ANY_SOURCE *)
+    tag : int;  (** user tag; [-1] means ANY_TAG *)
+    cid : int;  (** communicator id *)
+    channel_kind : int;
+        (** tag-space kind code; [0] is user traffic, nonzero codes are
+            library-internal channels (collectives, object messaging) *)
+    dt_class : dt_class;
+    signature : (Datatype.predefined * int) list;
+        (** run-length-encoded type signature of the whole message;
+            empty for custom datatypes and empty messages *)
+    nbytes : int;  (** wire bytes (sends) / capacity (recvs); [-1] unknown *)
+    blocking : bool;
+    posted_at : float;  (** virtual time of posting *)
+  }
+
+  type outcome = {
+    o_op : op;
+    o_peer : int;  (** actual matched peer, as a world rank *)
+    o_tag : int;  (** actual tag of the matched message *)
+    o_len : int;
+    o_error : string option;  (** truncation / callback failure, if any *)
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val outcomes : t -> outcome list
+  (** Operations that completed at the transport level (even if never
+      waited on), in posting order. *)
+
+  val pending : t -> op list
+  (** Operations posted but not completed, in posting order: the raw
+      material of the wait-for graph and unmatched-at-finalize checks. *)
+
+  val rle_repeat : ('a * int) list -> int -> ('a * int) list
+  (** Repeat a run-length-encoded sequence, keeping it canonical. *)
+end
+
+val set_monitor : world -> Monitor.t option -> unit
+(** Attach a monitor; [None] detaches.  Monitoring records metadata at
+    post time only and never perturbs matching, timing or data. *)
+
 (** {1 Communicator queries} *)
 
 val rank : comm -> int

@@ -201,6 +201,87 @@ let subarray ~sizes ~subsizes ~starts ~order e =
   let total = Array.fold_left ( * ) esize sizes in
   resized ~lb:0 ~extent:total placed
 
+(* --- structural view / type-map fold --- *)
+
+type view =
+  | V_predefined of predefined
+  | V_contiguous of int * t
+  | V_hvector of { count : int; blocklength : int; stride_bytes : int; elem : t }
+  | V_hindexed of {
+      blocklengths : int array;
+      displacements_bytes : int array;
+      elem : t;
+    }
+  | V_struct of {
+      blocklengths : int array;
+      displacements_bytes : int array;
+      types : t array;
+    }
+  | V_resized of { lb : int; extent : int; elem : t }
+
+let view = function
+  | Predefined p -> V_predefined p
+  | Contiguous (n, e) -> V_contiguous (n, e)
+  | Hvector { count; blocklength; stride_bytes; elem } ->
+      V_hvector { count; blocklength; stride_bytes; elem }
+  | Hindexed { blocklengths; displacements_bytes; elem } ->
+      V_hindexed { blocklengths; displacements_bytes; elem }
+  | Struct { blocklengths; displacements_bytes; types } ->
+      V_struct { blocklengths; displacements_bytes; types }
+  | Resized { lb; extent; elem } -> V_resized { lb; extent; elem }
+
+let rec iter_typemap_at t ~base ~f =
+  match t with
+  | Predefined p -> f ~disp:base ~p
+  | Contiguous (n, e) ->
+      let ext = extent e in
+      for i = 0 to n - 1 do
+        iter_typemap_at e ~base:(base + (i * ext)) ~f
+      done
+  | Hvector { count; blocklength; stride_bytes; elem } ->
+      let ext = extent elem in
+      for i = 0 to count - 1 do
+        let block_base = base + (i * stride_bytes) in
+        for j = 0 to blocklength - 1 do
+          iter_typemap_at elem ~base:(block_base + (j * ext)) ~f
+        done
+      done
+  | Hindexed { blocklengths; displacements_bytes; elem } ->
+      let ext = extent elem in
+      Array.iteri
+        (fun i bl ->
+          let block_base = base + displacements_bytes.(i) in
+          for j = 0 to bl - 1 do
+            iter_typemap_at elem ~base:(block_base + (j * ext)) ~f
+          done)
+        blocklengths
+  | Struct { blocklengths; displacements_bytes; types } ->
+      Array.iteri
+        (fun i bl ->
+          let e = types.(i) in
+          let ext = extent e in
+          let block_base = base + displacements_bytes.(i) in
+          for j = 0 to bl - 1 do
+            iter_typemap_at e ~base:(block_base + (j * ext)) ~f
+          done)
+        blocklengths
+  | Resized { elem; _ } -> iter_typemap_at elem ~base ~f
+
+let iter_typemap t ~f = iter_typemap_at t ~base:0 ~f
+
+let typemap t =
+  let acc = ref [] in
+  iter_typemap t ~f:(fun ~disp ~p -> acc := (disp, p) :: !acc);
+  List.rev !acc
+
+let rle_signature t =
+  let acc = ref [] in
+  iter_typemap t ~f:(fun ~disp:_ ~p ->
+      match !acc with
+      | (q, n) :: rest when q = p -> acc := (q, n + 1) :: rest
+      | l -> acc := (p, 1) :: l);
+  List.rev !acc
+
 (* Raw (unmerged) block iteration for one element, in typemap order. *)
 let rec iter_raw_blocks t ~base ~f =
   match t with

@@ -130,6 +130,43 @@ val equal : t -> t -> bool
 (** Structural equality of the (lowered) type representation — finer
     than {!equal_signature}, which ignores displacements. *)
 
+(** {1 Structural view / type-map fold}
+
+    Read-only access to the lowered representation, for analysis tools
+    (the {!Mpicd_check} lints and normalizers).  The element-displacement
+    constructors are already lowered at construction time, so a view
+    exposes only the five byte-displacement shapes. *)
+
+type view =
+  | V_predefined of predefined
+  | V_contiguous of int * t
+  | V_hvector of { count : int; blocklength : int; stride_bytes : int; elem : t }
+  | V_hindexed of {
+      blocklengths : int array;
+      displacements_bytes : int array;
+      elem : t;
+    }
+  | V_struct of {
+      blocklengths : int array;
+      displacements_bytes : int array;
+      types : t array;
+    }
+  | V_resized of { lb : int; extent : int; elem : t }
+
+val view : t -> view
+
+val iter_typemap : t -> f:(disp:int -> p:predefined -> unit) -> unit
+(** The MPI type map of one element: every predefined leaf with its byte
+    displacement, in typemap order, without block merging. *)
+
+val typemap : t -> (int * predefined) list
+(** {!iter_typemap} as a list of (displacement, predefined) pairs. *)
+
+val rle_signature : t -> (predefined * int) list
+(** Run-length-encoded {!signature}: compact even for large types, so
+    checkers can compare send/recv signatures without materializing the
+    full leaf list. *)
+
 (** {1 Block iteration}
 
     One element of a datatype denotes a list of (byte displacement,

@@ -28,6 +28,16 @@ let events t =
 let find t ~category =
   List.filter (fun e -> e.category = category) (events t)
 
+let counts t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace tbl e.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.category)))
+    (events t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.next <- 0

@@ -20,6 +20,11 @@ val events : t -> event list
 
 val find : t -> category:string -> event list
 
+val counts : t -> (string * int) list
+(** Retained events per category, sorted by category name — a cheap
+    protocol-decision summary (eager vs rendezvous vs unexpected) for
+    reports. *)
+
 val length : t -> int
 val dropped : t -> int
 (** Events lost to the ring bound. *)

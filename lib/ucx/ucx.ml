@@ -164,7 +164,11 @@ let pack_fragments ctx (g : send_generic) =
     let used = g.sg_pack ~offset:!off ~dst in
     incr ncb;
     Stats.record_pack_cb ctx.stats;
-    if used <= 0 then
+    (* Contract (paper Listing 4): while the stream is not exhausted a
+       pack callback must produce 0 < n <= length dst.  A zero/negative
+       return would loop forever; a long return would claim bytes that
+       were never written and silently corrupt the packed stream. *)
+    if used <= 0 || used > want then
       raise (Callback_error (-1))
     else begin
       frags := (if used = want then dst else Buf.sub dst ~pos:0 ~len:used) :: !frags;

@@ -18,4 +18,5 @@ let () =
       Test_typed_mpi.suite;
       Test_threaded.suite;
       Test_device.suite;
+      Test_check.suite;
     ]
