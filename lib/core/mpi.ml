@@ -5,6 +5,8 @@ module Stats = Mpicd_simnet.Stats
 module Rng = Mpicd_simnet.Rng
 module Datatype = Mpicd_datatype.Datatype
 module Ucx = Mpicd_ucx.Ucx
+module Obs = Mpicd_obs.Obs
+module Metrics = Mpicd_obs.Metrics
 
 (* Observation layer for the communication checkers: every monitored
    point-to-point operation is recorded at post time together with a
@@ -100,6 +102,7 @@ type world = {
   mutable shuffle : Rng.t option;
   mutable next_cid : int;  (* communicator-id allocator (rank 0 side) *)
   mutable monitor : Monitor.t option;
+  mutable obs : Obs.t;
 }
 
 type comm = {
@@ -130,6 +133,7 @@ let create_world ?(config = Config.default) ~size () =
     shuffle = None;
     next_cid = 1;
     monitor = None;
+    obs = Obs.null;
   }
 
 let world_engine w = w.engine
@@ -140,13 +144,21 @@ let set_unpack_shuffle w ~seed = w.shuffle <- Option.map Rng.create seed
 let set_trace w t = Ucx.set_trace w.ucx t
 let set_monitor w m = w.monitor <- m
 
+(* One sink observes every layer: MPI operations here, protocol phases
+   in the transport, fiber scheduling in the engine. *)
+let set_obs w o =
+  w.obs <- o;
+  Ucx.set_obs w.ucx o;
+  Engine.set_obs w.engine o
+
 let comm_for_rank w r =
   if r < 0 || r >= world_size w then invalid_arg "Mpi.comm_for_rank: bad rank";
   { w; c_rank = r; group = Array.init (world_size w) Fun.id; cid = 0; bar_seq = 0 }
 
 let spawn_rank w r f =
   let comm = comm_for_rank w r in
-  Engine.spawn w.engine ~name:(Printf.sprintf "rank%d" r) (fun () -> f comm)
+  Engine.spawn w.engine ~name:(Printf.sprintf "rank%d" r) ~track:r (fun () ->
+      f comm)
 
 let run w f =
   for r = 0 to world_size w - 1 do
@@ -253,6 +265,25 @@ let cpu c = c.w.config.cpu
 let guard f =
   try f () with Custom.Error code -> raise (Mpi_error (Callback_failed code))
 
+let my_world_rank c = c.group.(c.c_rank)
+
+(* Tile [n] per-callback spans uniformly across a phase interval and
+   feed the per-callback cost histogram (cf. Ucx's internal helper). *)
+let obs_tile c ~track ~t0 ~t1 ~n ~name ~hist ~parent =
+  if Obs.enabled c.w.obs && n > 0 && t1 > t0 then begin
+    let per = (t1 -. t0) /. float_of_int n in
+    for i = 0 to n - 1 do
+      let s0 = t0 +. (per *. float_of_int i) in
+      ignore
+        (Obs.span_complete c.w.obs ~track ~cat:"callback" ~t0:s0 ~t1:(s0 +. per)
+           ~parent name)
+    done;
+    let h = Metrics.histogram (Obs.metrics c.w.obs) hist in
+    for _ = 1 to n do
+      Metrics.observe h per
+    done
+  end
+
 (* Run the query (+ optional region) callbacks of a custom op, charging
    their fixed costs. *)
 let custom_query c op =
@@ -276,6 +307,7 @@ let custom_pack_bounce c op psize =
   let b = Buf.create psize in
   Stats.record_alloc c.w.stats psize;
   charge c (Config.alloc_time (cpu c) psize);
+  let t0 = Engine.now c.w.engine in
   let off = ref 0 and ncb = ref 0 in
   while !off < psize do
     let want = min frag (psize - !off) in
@@ -293,6 +325,17 @@ let custom_pack_bounce c op psize =
     (Config.memcpy_time (cpu c) psize
     +. (float_of_int !ncb *. (cpu c).pack_cb_overhead_ns)
     +. (float_of_int (Custom.pack_pieces op) *. (cpu c).pack_piece_ns));
+  if Obs.enabled c.w.obs then begin
+    let t1 = Engine.now c.w.engine in
+    let track = my_world_rank c in
+    let sp =
+      Obs.span_complete c.w.obs ~track ~cat:"proto" ~t0 ~t1
+        ~args:[ ("bytes", Obs.Int psize) ]
+        "custom_pack"
+    in
+    obs_tile c ~track ~t0 ~t1 ~n:!ncb ~name:"pack_cb" ~hist:"pack_cb_ns"
+      ~parent:sp
+  end;
   b
 
 (* Unpack the packed part after receive, honouring the inorder flag. *)
@@ -304,6 +347,7 @@ let custom_unpack_bounce c op b =
   (match c.w.shuffle with
   | Some rng when not (Custom.op_inorder op) -> Rng.shuffle rng order
   | _ -> ());
+  let t0 = Engine.now c.w.engine in
   Array.iter
     (fun i ->
       let off = i * frag in
@@ -315,7 +359,18 @@ let custom_unpack_bounce c op b =
   charge c
     (Config.memcpy_time (cpu c) psize
     +. (float_of_int nfrags *. (cpu c).pack_cb_overhead_ns)
-    +. (float_of_int (Custom.pack_pieces op) *. (cpu c).pack_piece_ns))
+    +. (float_of_int (Custom.pack_pieces op) *. (cpu c).pack_piece_ns));
+  if Obs.enabled c.w.obs then begin
+    let t1 = Engine.now c.w.engine in
+    let track = my_world_rank c in
+    let sp =
+      Obs.span_complete c.w.obs ~track ~cat:"proto" ~t0 ~t1
+        ~args:[ ("bytes", Obs.Int psize) ]
+        "custom_unpack"
+    in
+    obs_tile c ~track ~t0 ~t1 ~n:nfrags ~name:"unpack_cb" ~hist:"unpack_cb_ns"
+      ~parent:sp
+  end
 
 let typed_overheads c dt count =
   let blocks = Datatype.blocks_per_element dt * count in
@@ -429,6 +484,8 @@ type request = {
   finalize : Ucx.status -> status;
   mutable result : status option;
   r_engine : Engine.t;
+  r_obs : Obs.t;
+  r_track : int;  (* world rank of the posting side *)
 }
 
 let lift_error : Ucx.error -> error = function
@@ -449,7 +506,16 @@ let wait r =
   match r.result with
   | Some s -> s
   | None ->
+      (* A wait that actually blocks gets its own span; an immediately
+         satisfied one stays invisible. *)
+      let sp =
+        if Obs.enabled r.r_obs && not (Ucx.is_completed r.ucx_req) then
+          Obs.span_begin r.r_obs ~time:(Engine.now r.r_engine) ~track:r.r_track
+            ~cat:"p2p" "wait"
+        else Obs.null_span
+      in
       let u = Ucx.wait r.ucx_req in
+      Obs.span_end r.r_obs ~time:(Engine.now r.r_engine) sp;
       let s = r.finalize u in
       r.result <- Some s;
       s
@@ -500,17 +566,27 @@ let waitany rs =
       in
       (match outcome with Ok hit -> hit | Error e -> raise e)
 
-let make_request c ucx_req cleanup =
+let make_request ?span c ucx_req cleanup =
   {
     ucx_req;
     finalize =
       (fun (u : Ucx.status) ->
+        (* Close the op span first so a cleanup/status exception still
+           leaves a finished trace. *)
+        (match span with
+        | Some sp ->
+            Obs.span_end c.w.obs ~time:(Engine.now c.w.engine)
+              ~args:[ ("len", Obs.Int u.len) ]
+              sp
+        | None -> ());
         cleanup u;
         match u.error with
         | Some e -> raise (Mpi_error (lift_error e))
         | None -> decode_status c u);
     result = None;
     r_engine = c.w.engine;
+    r_obs = c.w.obs;
+    r_track = c.group.(c.c_rank);
   }
 
 let check_dst c r name =
@@ -575,24 +651,47 @@ let monitor_record c kind ~op_kind ~peer ~tag ~blocking buf (ureq : Ucx.request)
       in
       Monitor.add m op peek
 
+(* One "p2p" span per operation, open from post to completion (closed in
+   the request finalizer, i.e. at wait/test time).  [nest:false]: the
+   span can outlive the posting fiber's call stack, so it must not
+   capture later same-track spans as children — but it still nests under
+   whatever is open at post time (e.g. a barrier span). *)
+let op_span c ~blocking ~send ~peer ~tag =
+  if Obs.enabled c.w.obs then
+    let name =
+      match (blocking, send) with
+      | true, true -> "send"
+      | false, true -> "isend"
+      | true, false -> "recv"
+      | false, false -> "irecv"
+    in
+    Some
+      (Obs.span_begin c.w.obs ~time:(Engine.now c.w.engine)
+         ~track:(my_world_rank c) ~cat:"p2p" ~nest:false
+         ~args:[ ("peer", Obs.Int peer); ("tag", Obs.Int tag) ]
+         name)
+  else None
+
 let isend_gen c kind ~blocking ~dst ~tag buf =
   check_dst c dst "isend";
   check_user_tag tag;
+  let span = op_span c ~blocking ~send:true ~peer:dst ~tag in
   let dt, cleanup = make_send_dt c buf in
   let me = c.group.(c.c_rank) and peer = c.group.(dst) in
   let t64 = encode_tag ~src:me ~kind ~cid:c.cid ~utag:tag in
   let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
   monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
-  make_request c req cleanup
+  make_request ?span c req cleanup
 
 let irecv_gen c kind ~blocking ?(source = any_source) ?(tag = any_tag) buf =
   if source <> any_source then check_dst c source "irecv";
+  let span = op_span c ~blocking ~send:false ~peer:source ~tag in
   let dt, cleanup = make_recv_dt c buf in
   let source = if source = any_source then any_source else c.group.(source) in
   let t64, mask = recv_tag_mask ~kind ~cid:c.cid ~source ~tag in
   let req = Ucx.tag_recv c.w.workers.(c.group.(c.c_rank)) ~tag:t64 ~mask dt in
   monitor_record c kind ~op_kind:Monitor.Recv ~peer:source ~tag ~blocking buf req;
-  make_request c req cleanup
+  make_request ?span c req cleanup
 
 let isend_k c kind ~dst ~tag buf = isend_gen c kind ~blocking:false ~dst ~tag buf
 let irecv_k c kind ?source ?tag buf = irecv_gen c kind ~blocking:false ?source ?tag buf
@@ -664,18 +763,27 @@ let fresh_seq c =
 let barrier c =
   let seq = fresh_seq c in
   let tag = seq * 16 in
-  if c.c_rank = 0 then begin
-    for _ = 1 to size c - 1 do
-      ignore (recv_k c Internal0.Internal ~tag (empty ()))
-    done;
-    for r = 1 to size c - 1 do
-      send_k c Internal0.Internal ~dst:r ~tag:(tag + 1) (empty ())
-    done
-  end
-  else begin
-    send_k c Internal0.Internal ~dst:0 ~tag (empty ());
-    ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (empty ()))
-  end
+  let sp =
+    if Obs.enabled c.w.obs then
+      Obs.span_begin c.w.obs ~time:(Engine.now c.w.engine)
+        ~track:(my_world_rank c) ~cat:"p2p"
+        ~args:[ ("seq", Obs.Int seq) ]
+        "barrier"
+    else Obs.null_span
+  in
+  (if c.c_rank = 0 then begin
+     for _ = 1 to size c - 1 do
+       ignore (recv_k c Internal0.Internal ~tag (empty ()))
+     done;
+     for r = 1 to size c - 1 do
+       send_k c Internal0.Internal ~dst:r ~tag:(tag + 1) (empty ())
+     done
+   end
+   else begin
+     send_k c Internal0.Internal ~dst:0 ~tag (empty ());
+     ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (empty ()))
+   end);
+  Obs.span_end c.w.obs ~time:(Engine.now c.w.engine) sp
 
 (* --- communicator management --- *)
 

@@ -50,6 +50,16 @@ val run : world -> (comm -> unit) -> unit
 val set_trace : world -> Mpicd_simnet.Trace.t option -> unit
 (** Attach a protocol-event trace to the world's transport. *)
 
+val set_obs : world -> Mpicd_obs.Obs.t -> unit
+(** Attach one observability sink to every layer of this world: MPI
+    operations become ["p2p"] spans (send/isend/recv/irecv/wait/barrier,
+    post to completion), transport protocol phases ["proto"] spans,
+    pack/unpack callback invocations ["callback"] spans, and rank fibers
+    ["fiber"] spans, with message-size/latency/queue-depth metrics in
+    the sink's registry.  Pass [Mpicd_obs.Obs.null] to detach.
+    Recording is passive: it never changes timing, matching, or
+    [Stats]. *)
+
 val set_unpack_shuffle : world -> seed:int option -> unit
 (** Test knob: when set, unpack fragments of custom datatypes created
     with [~inorder:false] are presented out of order (the paper's

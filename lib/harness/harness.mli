@@ -30,11 +30,14 @@ val pingpong :
   ?config:Config.t ->
   ?warmup:int ->
   ?reps:int ->
+  ?obs:Mpicd_obs.Obs.t ->
   bytes:int ->
   (unit -> impl) ->
   result
 (** [pingpong ~bytes make] measures [make ()] (a fresh impl with its own
-    buffers per measurement).  Defaults: warmup 2, reps 10. *)
+    buffers per measurement).  Defaults: warmup 2, reps 10.  [obs], if
+    given, is attached to the measurement world (see [Mpi.set_obs]);
+    attaching it never changes the measured result. *)
 
 (** {1 Cost-charging helpers for benchmark implementations}
 

@@ -111,3 +111,31 @@ let print_kv_table ~title ~header rows =
     (String.make (String.length (line header)) '-');
   List.iter (fun row -> print_endline (line row)) rows;
   print_newline ()
+
+let fmt_metric v = if Float.is_nan v then "-" else Printf.sprintf "%.0f" v
+
+let print_metrics ?(title = "metrics") mx =
+  let module M = Mpicd_obs.Metrics in
+  let rows =
+    List.map
+      (fun (name, view) ->
+        match view with
+        | M.V_counter n -> [ name; "counter"; string_of_int n; ""; ""; ""; "" ]
+        | M.V_gauge { value; vmax } ->
+            [ name; "gauge"; fmt_metric value; "max=" ^ fmt_metric vmax; ""; ""; "" ]
+        | M.V_hist { count; mean; p50; p95; p99; _ } ->
+            [
+              name;
+              "hist";
+              string_of_int count;
+              "mean=" ^ fmt_metric mean;
+              "p50=" ^ fmt_metric p50;
+              "p95=" ^ fmt_metric p95;
+              "p99=" ^ fmt_metric p99;
+            ])
+      (M.dump mx)
+  in
+  if rows <> [] then
+    print_kv_table ~title
+      ~header:[ "name"; "kind"; "count/value"; ""; ""; ""; "" ]
+      rows

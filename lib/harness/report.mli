@@ -21,3 +21,8 @@ val to_csv : path:string -> xlabel:string -> series list -> unit
 
 val print_kv_table : title:string -> header:string list -> string list list -> unit
 (** Free-form table (used for Table I). *)
+
+val print_metrics : ?title:string -> Mpicd_obs.Metrics.t -> unit
+(** One row per metric (counters, gauges with high-water marks,
+    histograms with count/mean/p50/p95/p99).  Prints nothing when the
+    registry is empty. *)

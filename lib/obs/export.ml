@@ -1,0 +1,225 @@
+(* Exporters for the observability sink: Chrome-trace-event JSON
+   (loadable in Perfetto / chrome://tracing), a plain-text per-track
+   timeline, and metrics dumps.
+
+   Chrome-trace mapping: virtual nanoseconds map to the format's
+   microsecond [ts]/[dur] fields; each rank becomes one process (pid =
+   rank) whose threads are the span categories, so a rank's p2p
+   operations, protocol phases, callbacks and fiber lifetime stack as
+   separate rows under one process group.  Engine-internal fibers
+   (negative tracks) live in a synthetic "engine" process. *)
+
+let engine_pid = 1000
+
+let tid_of_cat = function
+  | "p2p" -> 0
+  | "proto" -> 1
+  | "callback" -> 2
+  | "fiber" -> 3
+  | _ -> 4
+
+let tid_name = function
+  | 0 -> "p2p ops"
+  | 1 -> "protocol"
+  | 2 -> "callbacks"
+  | 3 -> "fiber"
+  | _ -> "misc"
+
+let pid_of_track track = if track >= 0 then track else engine_pid
+
+let tid_of ~track ~cat = if track >= 0 then tid_of_cat cat else -track
+
+let attr_json (k, v) =
+  Json.quote k ^ ":"
+  ^
+  match (v : Obs.attr) with
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f -> Json.number f
+  | Obs.Str s -> Json.quote s
+  | Obs.Bool b -> string_of_bool b
+
+let args_json = function
+  | [] -> ""
+  | args -> ",\"args\":{" ^ String.concat "," (List.map attr_json args) ^ "}"
+
+let us t = t /. 1000.
+
+let chrome_trace obs =
+  let b = Buffer.create 65536 in
+  let emit_first = ref true in
+  let emit s =
+    if !emit_first then emit_first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  (* Process/thread naming metadata. *)
+  let seen_pids = Hashtbl.create 8 and seen_tids = Hashtbl.create 16 in
+  let name_track ~track ~cat =
+    let pid = pid_of_track track and tid = tid_of ~track ~cat in
+    if not (Hashtbl.mem seen_pids pid) then begin
+      Hashtbl.add seen_pids pid ();
+      let pname = if pid = engine_pid then "engine" else Printf.sprintf "rank %d" pid in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":%s}}"
+           pid (Json.quote pname))
+    end;
+    if not (Hashtbl.mem seen_tids (pid, tid)) then begin
+      Hashtbl.add seen_tids (pid, tid) ();
+      let tname =
+        if pid = engine_pid then Printf.sprintf "fiber %d" tid else tid_name tid
+      in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}"
+           pid tid (Json.quote tname))
+    end;
+    (pid, tid)
+  in
+  List.iter
+    (fun (sp : Obs.span) ->
+      let pid, tid = name_track ~track:sp.track ~cat:sp.cat in
+      if Obs.is_open sp then
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"cat\":%s,\"name\":%s%s}"
+             pid tid
+             (Json.number (us sp.t0))
+             (Json.quote sp.cat) (Json.quote sp.name) (args_json sp.args))
+      else
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"cat\":%s,\"name\":%s%s}"
+             pid tid
+             (Json.number (us sp.t0))
+             (Json.number (us (sp.t1 -. sp.t0)))
+             (Json.quote sp.cat) (Json.quote sp.name) (args_json sp.args)))
+    (Obs.spans obs);
+  List.iter
+    (fun (i : Obs.instant) ->
+      let pid, tid = name_track ~track:i.i_track ~cat:i.i_cat in
+      emit
+        (Printf.sprintf
+           "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"cat\":%s,\"name\":%s%s}"
+           pid tid
+           (Json.number (us i.i_time))
+           (Json.quote i.i_cat) (Json.quote i.i_name) (args_json i.i_args)))
+    (Obs.instants obs);
+  Buffer.add_string b "\n]}";
+  Buffer.contents b
+
+(* --- plain-text per-track timeline --- *)
+
+let attr_text (k, v) =
+  k ^ "="
+  ^
+  match (v : Obs.attr) with
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f -> Printf.sprintf "%g" f
+  | Obs.Str s -> s
+  | Obs.Bool b -> string_of_bool b
+
+let args_text = function
+  | [] -> ""
+  | args -> " [" ^ String.concat " " (List.map attr_text args) ^ "]"
+
+let timeline obs =
+  let b = Buffer.create 16384 in
+  let spans = Obs.spans obs in
+  (* depth = distance to the root through parent links *)
+  let depth_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun (sp : Obs.span) ->
+      let d =
+        match Hashtbl.find_opt depth_tbl sp.parent with
+        | Some pd -> pd + 1
+        | None -> 0
+      in
+      Hashtbl.add depth_tbl sp.sid d)
+    spans;
+  List.iter
+    (fun track ->
+      let mine = List.filter (fun (s : Obs.span) -> s.track = track) spans in
+      if mine <> [] then begin
+        let label =
+          if track >= 0 then Printf.sprintf "rank %d" track
+          else Printf.sprintf "engine fiber %d" (-track)
+        in
+        Buffer.add_string b (Printf.sprintf "== %s ==\n" label);
+        List.iter
+          (fun (sp : Obs.span) ->
+            let indent = String.make (2 * (Hashtbl.find depth_tbl sp.sid)) ' ' in
+            if Obs.is_open sp then
+              Buffer.add_string b
+                (Printf.sprintf "%12.1f %12s  %s%s/%s%s (open)\n" sp.t0 "-"
+                   indent sp.cat sp.name (args_text sp.args))
+            else
+              Buffer.add_string b
+                (Printf.sprintf "%12.1f %12.1f  %s%s/%s%s\n" sp.t0 sp.t1 indent
+                   sp.cat sp.name (args_text sp.args)))
+          mine
+      end)
+    (Obs.tracks obs);
+  if Obs.dropped obs > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "(... %d events dropped: sink full)\n" (Obs.dropped obs));
+  Buffer.contents b
+
+(* --- metrics dumps --- *)
+
+let metrics_json mx =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (name, view) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (Json.quote name);
+      Buffer.add_string b ": ";
+      (match (view : Metrics.view) with
+      | Metrics.V_counter v ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"kind\":\"counter\",\"value\":%d}" v)
+      | Metrics.V_gauge { value; vmax } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"kind\":\"gauge\",\"value\":%s,\"max\":%s}"
+               (Json.number value) (Json.number vmax))
+      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+               count (Json.number sum) (Json.number mean) (Json.number vmin)
+               (Json.number vmax) (Json.number p50) (Json.number p95)
+               (Json.number p99))))
+    (Metrics.dump mx);
+  Buffer.add_string b "\n}";
+  Buffer.contents b
+
+let csv_num f = if Float.is_nan f then "" else Printf.sprintf "%g" f
+
+let metrics_csv mx =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "name,kind,count,value,sum,mean,min,max,p50,p95,p99\n";
+  List.iter
+    (fun (name, view) ->
+      match (view : Metrics.view) with
+      | Metrics.V_counter v ->
+          Buffer.add_string b (Printf.sprintf "%s,counter,,%d,,,,,,,\n" name v)
+      | Metrics.V_gauge { value; vmax } ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,gauge,,%s,,,,%s,,,\n" name (csv_num value)
+               (csv_num vmax))
+      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
+          Buffer.add_string b
+            (Printf.sprintf "%s,histogram,%d,,%s,%s,%s,%s,%s,%s,%s\n" name count
+               (csv_num sum) (csv_num mean) (csv_num vmin) (csv_num vmax)
+               (csv_num p50) (csv_num p95) (csv_num p99)))
+    (Metrics.dump mx);
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

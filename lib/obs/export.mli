@@ -1,0 +1,22 @@
+(** Exporters for {!Obs} sinks and {!Metrics} registries.
+
+    {!chrome_trace} emits Chrome-trace-event JSON (the ["traceEvents"]
+    array format) that loads directly into Perfetto
+    ({:https://ui.perfetto.dev}) or [chrome://tracing]: virtual
+    nanoseconds map to the format's microsecond timestamps, each rank is
+    one process, and span categories become that process's named thread
+    rows. *)
+
+val chrome_trace : Obs.t -> string
+(** Closed spans become ["X"] complete events, still-open spans ["B"]
+    begin events, instants ["i"] events; process/thread name metadata is
+    included.  Output is strict JSON ({!Json.parse} accepts it). *)
+
+val timeline : Obs.t -> string
+(** Human-readable per-track listing, nesting shown by indentation. *)
+
+val metrics_json : Metrics.t -> string
+val metrics_csv : Metrics.t -> string
+
+val write_file : string -> string -> unit
+(** [write_file path contents] (truncating). *)

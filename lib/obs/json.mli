@@ -1,0 +1,31 @@
+(** Minimal JSON: escaping helpers for the exporters and a strict parser
+    used to validate emitted traces (the repo deliberately has no JSON
+    dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val quote : string -> string
+(** [escape] plus surrounding quotes. *)
+
+val number : float -> string
+(** Render a float as a JSON number; NaN becomes [null], infinities are
+    clamped so the output always parses back. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option

@@ -1,0 +1,162 @@
+type counter = { mutable c_val : int }
+
+type gauge = { mutable g_val : float; mutable g_max : float; mutable g_seen : bool }
+
+(* Log-scaled histogram: bucket 0 holds values < 1; bucket i (1 <= i <=
+   max_bucket) holds [2^((i-1)/4), 2^(i/4)), i.e. quarter-powers of two,
+   a <= 9% relative error per bucket.  Exact count/sum/min/max ride
+   alongside so means and extremes are not quantized. *)
+type histogram = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let max_bucket = 256 (* covers up to 2^64 *)
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let intern t name make cast =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> (
+      match cast m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name m)))
+  | None ->
+      let m, v = make () in
+      Hashtbl.add t.tbl name m;
+      v
+
+let counter t name =
+  intern t name
+    (fun () ->
+      let c = { c_val = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  intern t name
+    (fun () ->
+      let g = { g_val = 0.; g_max = neg_infinity; g_seen = false } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  intern t name
+    (fun () ->
+      let h =
+        {
+          buckets = Array.make (max_bucket + 1) 0;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let inc ?(by = 1) c = c.c_val <- c.c_val + by
+let counter_value c = c.c_val
+
+let set g v =
+  g.g_val <- v;
+  g.g_seen <- true;
+  if v > g.g_max then g.g_max <- v
+
+let gauge_value g = g.g_val
+let gauge_max g = if g.g_seen then g.g_max else 0.
+
+let bucket_of v =
+  if not (v >= 1.) then 0 (* catches negatives and NaN too *)
+  else
+    let i = 1 + int_of_float (Float.floor (Float.log2 v *. 4.)) in
+    if i < 1 then 1 else if i > max_bucket then max_bucket else i
+
+(* Geometric midpoint of bucket [i]'s bounds. *)
+let representative = function
+  | 0 -> 0.
+  | i -> Float.pow 2. ((float_of_int i -. 0.5) /. 4.)
+
+let observe h v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let count h = h.h_count
+let sum h = h.h_sum
+let mean h = if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count
+let minimum h = if h.h_count = 0 then Float.nan else h.h_min
+let maximum h = if h.h_count = 0 then Float.nan else h.h_max
+
+let percentile h p =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let rank =
+      Float.max 1. (Float.round (p /. 100. *. float_of_int h.h_count))
+    in
+    let rec walk i acc =
+      if i > max_bucket then h.h_max
+      else
+        let acc = acc + h.buckets.(i) in
+        if float_of_int acc >= rank then
+          Float.min h.h_max (Float.max h.h_min (representative i))
+        else walk (i + 1) acc
+    in
+    walk 0 0
+  end
+
+type view =
+  | V_counter of int
+  | V_gauge of { value : float; vmax : float }
+  | V_hist of {
+      count : int;
+      sum : float;
+      mean : float;
+      vmin : float;
+      vmax : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+let view_of = function
+  | Counter c -> V_counter c.c_val
+  | Gauge g -> V_gauge { value = g.g_val; vmax = gauge_max g }
+  | Histogram h ->
+      V_hist
+        {
+          count = count h;
+          sum = sum h;
+          mean = mean h;
+          vmin = minimum h;
+          vmax = maximum h;
+          p50 = percentile h 50.;
+          p95 = percentile h 95.;
+          p99 = percentile h 99.;
+        }
+
+let dump t =
+  Hashtbl.fold (fun name m acc -> (name, view_of m) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let is_empty t = Hashtbl.length t.tbl = 0

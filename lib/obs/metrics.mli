@@ -1,0 +1,64 @@
+(** Named-metrics registry: counters, gauges and log-scaled histograms.
+
+    Metrics are interned by name on first use, so instrumentation sites
+    can look their handles up cheaply and independently.  Histograms use
+    quarter-power-of-two buckets (<= 9% relative error) with exact
+    count/sum/min/max kept alongside, which is enough for the p50/p95/p99
+    summaries the benchmark reports print.  Recording never allocates
+    after interning and never touches the virtual clock. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Intern (or retrieve) the counter named [name].
+    @raise Invalid_argument if the name is taken by another kind. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+(** Set the current value, tracking the high-water mark. *)
+
+val gauge_value : gauge -> float
+val gauge_max : gauge -> float
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+val sum : histogram -> float
+val mean : histogram -> float
+val minimum : histogram -> float
+val maximum : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h p] for [p] in [0..100]; NaN on an empty histogram.
+    Accuracy is bounded by the log-bucket width (<= ~9%) and clamped to
+    the observed min/max. *)
+
+(** {1 Export view} *)
+
+type view =
+  | V_counter of int
+  | V_gauge of { value : float; vmax : float }
+  | V_hist of {
+      count : int;
+      sum : float;
+      mean : float;
+      vmin : float;
+      vmax : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+val dump : t -> (string * view) list
+(** All metrics, sorted by name. *)
+
+val is_empty : t -> bool

@@ -1,3 +1,5 @@
+module Obs = Mpicd_obs.Obs
+
 type t = {
   mutable clock : float;
   events : (unit -> unit) Heap.t;
@@ -5,6 +7,7 @@ type t = {
   mutable live : int;
   mutable suspended_names : (int * string) list;
   mutable fiber_ids : int;
+  mutable obs : Obs.t;
 }
 
 exception Deadlock of string
@@ -23,9 +26,11 @@ let create () =
     live = 0;
     suspended_names = [];
     fiber_ids = 0;
+    obs = Obs.null;
   }
 
 let now t = t.clock
+let set_obs t o = t.obs <- o
 
 let schedule t ~delay f =
   t.seq <- t.seq + 1;
@@ -40,11 +45,30 @@ let mark_suspended t id name =
 let mark_resumed t id =
   t.suspended_names <- List.filter (fun (i, _) -> i <> id) t.suspended_names
 
-let exec_fiber t ~id ~name f =
+let exec_fiber t ~id ~name ~track f =
   let open Effect.Deep in
+  (* Observability: one span per fiber lifetime, plus suspend/resume
+     instants.  All recording is guarded so a detached sink costs a
+     single branch and allocates nothing. *)
+  let fiber_span =
+    if Obs.enabled t.obs then
+      Obs.span_begin t.obs ~time:t.clock ~track ~cat:"fiber"
+        ~args:[ ("id", Obs.Int id) ]
+        name
+    else Obs.null_span
+  in
+  let fiber_instant what =
+    if Obs.enabled t.obs then
+      Obs.instant t.obs ~time:t.clock ~track ~cat:"fiber"
+        ~args:[ ("fiber", Obs.Str (Printf.sprintf "%s#%d" name id)) ]
+        what
+  in
   match_with f ()
     {
-      retc = (fun () -> t.live <- t.live - 1);
+      retc =
+        (fun () ->
+          t.live <- t.live - 1;
+          Obs.span_end t.obs ~time:t.clock fiber_span);
       exnc = (fun e -> raise e);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -58,22 +82,25 @@ let exec_fiber t ~id ~name f =
                 (fun (k : (a, unit) continuation) ->
                   let resumed = ref false in
                   mark_suspended t id name;
+                  fiber_instant "suspend";
                   let resume v =
                     if !resumed then
                       invalid_arg "Engine: resumer invoked twice";
                     resumed := true;
                     mark_resumed t id;
+                    fiber_instant "resume";
                     schedule t ~delay:0. (fun () -> continue k v)
                   in
                   register resume)
           | _ -> None);
     }
 
-let spawn t ?(name = "fiber") f =
+let spawn t ?(name = "fiber") ?track f =
   t.live <- t.live + 1;
   t.fiber_ids <- t.fiber_ids + 1;
   let id = t.fiber_ids in
-  schedule t ~delay:0. (fun () -> exec_fiber t ~id ~name f)
+  let track = match track with Some r -> r | None -> -id in
+  schedule t ~delay:0. (fun () -> exec_fiber t ~id ~name ~track f)
 
 let at t ~delay f = schedule t ~delay f
 

@@ -22,9 +22,18 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time in nanoseconds. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+val set_obs : t -> Mpicd_obs.Obs.t -> unit
+(** Attach an observability sink: each fiber gets a ["fiber"]-category
+    lifetime span and suspend/resume instants.  Detached (the default,
+    {!Mpicd_obs.Obs.null}) costs one branch per site and records
+    nothing; attaching never perturbs timing or scheduling order. *)
+
+val spawn : t -> ?name:string -> ?track:int -> (unit -> unit) -> unit
 (** [spawn t f] registers a fiber that starts at the current virtual
-    time.  May be called before [run] or from inside a running fiber. *)
+    time.  May be called before [run] or from inside a running fiber.
+    [track] is the observability track its spans are recorded on
+    (callers that model ranks pass the rank); defaults to a per-fiber
+    negative id. *)
 
 val sleep : t -> float -> unit
 (** [sleep t d] advances this fiber's clock by [d] ns.  Must be called

@@ -114,13 +114,27 @@ let diff ~after ~before =
     probes = after.probes - before.probes;
   }
 
+(* Derived metrics: memory amplification is how many bytes the CPU
+   copied per byte that crossed the wire (1.0 = one full staging copy;
+   0.0 = pure zero-copy); mean iov entries shows how fragmented the
+   average message's scatter/gather list was. *)
+let memory_amplification t =
+  if t.bytes_on_wire = 0 then 0.
+  else float_of_int t.bytes_copied /. float_of_int t.bytes_on_wire
+
+let mean_iov_entries t =
+  if t.messages_sent = 0 then 0.
+  else float_of_int t.iov_entries /. float_of_int t.messages_sent
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>msgs=%d (eager %d, rndv %d) wire=%dB iov_entries=%d@,\
      memcpys=%d copied=%dB allocs=%d allocated=%dB peak=%dB@,\
      callbacks: pack=%d unpack=%d query=%d regions=%d ddt_blocks=%d \
-     probes=%d@]"
+     probes=%d@,\
+     derived: mem_amplification=%.2f mean_iov_per_msg=%.2f@]"
     t.messages_sent t.eager_messages t.rndv_messages t.bytes_on_wire
     t.iov_entries t.memcpys t.bytes_copied t.allocs t.bytes_allocated
     t.peak_alloc_bytes t.pack_callbacks t.unpack_callbacks t.query_callbacks
     t.region_queries t.ddt_blocks_processed t.probes
+    (memory_amplification t) (mean_iov_entries t)

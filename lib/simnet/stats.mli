@@ -48,4 +48,14 @@ val diff : after:t -> before:t -> t
     [live_alloc_bytes]/[peak_alloc_bytes] fields of the result carry the
     [after] values. *)
 
+val memory_amplification : t -> float
+(** [bytes_copied / bytes_on_wire]: CPU bytes copied per wire byte
+    (0 when nothing crossed the wire).  1.0 means one full staging
+    copy; 0.0 is the zero-copy ideal. *)
+
+val mean_iov_entries : t -> float
+(** [iov_entries / messages_sent]: average scatter/gather list length
+    per message (0 when no messages were sent). *)
+
 val pp : Format.formatter -> t -> unit
+(** Includes the derived metrics above on a trailing line. *)

@@ -3,18 +3,30 @@ type event = { time : float; category : string; message : string }
 type t = {
   ring : event option array;
   mutable next : int;  (* total events ever recorded *)
+  dropped_by_cat : (string, int) Hashtbl.t;
+      (* events overwritten by the ring bound, per category *)
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { ring = Array.make capacity None; next = 0 }
+  { ring = Array.make capacity None; next = 0; dropped_by_cat = Hashtbl.create 8 }
 
 let record t ~time ~category message =
-  t.ring.(t.next mod Array.length t.ring) <- Some { time; category; message };
+  let slot = t.next mod Array.length t.ring in
+  (match t.ring.(slot) with
+  | Some old ->
+      Hashtbl.replace t.dropped_by_cat old.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.dropped_by_cat old.category))
+  | None -> ());
+  t.ring.(slot) <- Some { time; category; message };
   t.next <- t.next + 1
 
 let length t = min t.next (Array.length t.ring)
 let dropped t = max 0 (t.next - Array.length t.ring)
+
+let dropped_by_category t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.dropped_by_cat []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let events t =
   let cap = Array.length t.ring in
@@ -40,12 +52,20 @@ let counts t =
 
 let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0
+  t.next <- 0;
+  Hashtbl.reset t.dropped_by_cat
 
 let pp ppf t =
   List.iter
     (fun e ->
       Format.fprintf ppf "%12.1f  %-12s %s@." e.time e.category e.message)
     (events t);
-  if dropped t > 0 then
-    Format.fprintf ppf "(... %d earlier events dropped)@." (dropped t)
+  if dropped t > 0 then begin
+    let per_cat =
+      dropped_by_category t
+      |> List.map (fun (c, n) -> Printf.sprintf "%s=%d" c n)
+      |> String.concat ", "
+    in
+    Format.fprintf ppf "(... %d earlier events dropped: %s)@." (dropped t)
+      per_cat
+  end

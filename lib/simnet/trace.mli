@@ -29,5 +29,11 @@ val length : t -> int
 val dropped : t -> int
 (** Events lost to the ring bound. *)
 
+val dropped_by_category : t -> (string * int) list
+(** Events lost to the ring bound, per category, sorted by category —
+    so a truncated trace shows {e what} it lost (e.g. all the early
+    ["send"] decisions) instead of being silently partial.  [pp]
+    includes this breakdown in its trailer line. *)
+
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -2,6 +2,8 @@ module Buf = Mpicd_buf.Buf
 module Engine = Mpicd_simnet.Engine
 module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
+module Obs = Mpicd_obs.Obs
+module Metrics = Mpicd_obs.Metrics
 
 exception Callback_error of int
 
@@ -53,6 +55,9 @@ type envelope = {
   e_payload : payload;
   mutable e_unexpected_alloc : int;
       (* receiver bytes allocated to hold this envelope while unexpected *)
+  e_sent_at : float;  (* virtual send-post time, for latency histograms *)
+  mutable e_queued_at : float;
+      (* when it entered the unexpected queue; NaN if never queued *)
 }
 
 type posted = { pr_tag : int64; pr_mask : int64; pr_dt : recv_dt; pr_req : request }
@@ -80,6 +85,7 @@ and context = {
       (* per (src,dst) pair: earliest next delivery time, for FIFO order *)
   mutable jitter : (unit -> float) option;
   mutable trace : Mpicd_simnet.Trace.t option;
+  mutable obs : Obs.t;
 }
 
 type endpoint = { ep_src : worker; ep_dst : worker }
@@ -93,6 +99,7 @@ let create_context ~engine ~config ~stats =
     channels = Hashtbl.create 16;
     jitter = None;
     trace = None;
+    obs = Obs.null;
   }
 
 let engine c = c.engine
@@ -100,15 +107,48 @@ let config c = c.config
 let stats c = c.stats
 let set_channel_jitter c j = c.jitter <- j
 let set_trace c t = c.trace <- t
+let set_obs c o = c.obs <- o
 
+(* With no trace attached, skip the Format machinery entirely
+   (ikfprintf consumes the arguments without building the string);
+   the guard must come before formatting, not after. *)
 let trace ctx category fmt =
-  Printf.ksprintf
-    (fun msg ->
-      match ctx.trace with
-      | None -> ()
-      | Some t ->
+  match ctx.trace with
+  | None -> Printf.ikfprintf (fun () -> ()) () fmt
+  | Some t ->
+      Printf.ksprintf
+        (fun msg ->
           Mpicd_simnet.Trace.record t ~time:(Engine.now ctx.engine) ~category msg)
-    fmt
+        fmt
+
+(* --- observability helpers ---
+
+   All span durations below are *derived* from the same modeled delays
+   the simulation charges elsewhere; recording never advances the clock
+   or touches [Stats], so an attached sink observes an unchanged run. *)
+
+let obs_on ctx = Obs.enabled ctx.obs
+
+let observe ctx name v =
+  if obs_on ctx then Metrics.observe (Metrics.histogram (Obs.metrics ctx.obs) name) v
+
+(* Tile [n] per-callback spans uniformly across a phase's modeled
+   interval, attributing the phase's virtual time to its callback
+   invocations, and feed the per-callback cost histogram. *)
+let tile_callbacks ctx ~track ~t0 ~t1 ~n ~name ~hist ?parent () =
+  if obs_on ctx && n > 0 && t1 > t0 then begin
+    let per = (t1 -. t0) /. float_of_int n in
+    for i = 0 to n - 1 do
+      let s0 = t0 +. (per *. float_of_int i) in
+      ignore
+        (Obs.span_complete ctx.obs ~track ~cat:"callback" ~t0:s0 ~t1:(s0 +. per)
+           ?parent name)
+    done;
+    let h = Metrics.histogram (Obs.metrics ctx.obs) hist in
+    for _ = 1 to n do
+      Metrics.observe h per
+    done
+  end
 
 let create_worker ctx =
   let id = ctx.next_worker in
@@ -269,7 +309,15 @@ let process_match w (pr : posted) (env : envelope) =
   let finish_recv ~delay status =
     Engine.at e ~delay (fun () -> complete pr.pr_req status)
   in
+  (* How long the envelope sat in the unexpected queue before a
+     matching receive arrived. *)
+  if not (Float.is_nan env.e_queued_at) then
+    observe ctx "unexpected_residency_ns" (Engine.now e -. env.e_queued_at);
   if env.e_total > capacity then begin
+    if obs_on ctx then
+      Obs.instant ctx.obs ~time:(Engine.now e) ~track:w.id ~cat:"proto"
+        ~args:[ ("expected", Obs.Int env.e_total); ("capacity", Obs.Int capacity) ]
+        "truncated";
     (* Truncation: no data is delivered; sender completes normally
        (it either already did, for eager, or completes now). *)
     (match env.e_payload with
@@ -298,7 +346,26 @@ let process_match w (pr : posted) (env : envelope) =
         in
         match deposit ctx pr.pr_dt frags ~zcopy:false with
         | cpu_time ->
-            finish_recv ~delay:(alloc_delay +. cpu_time)
+            let delay = alloc_delay +. cpu_time in
+            if obs_on ctx then begin
+              let t0 = Engine.now e in
+              if delay > 0. then begin
+                let sp =
+                  Obs.span_complete ctx.obs ~track:w.id ~cat:"proto" ~t0
+                    ~t1:(t0 +. delay)
+                    ~args:[ ("bytes", Obs.Int env.e_total) ]
+                    "unpack"
+                in
+                match pr.pr_dt with
+                | Rd_generic _ ->
+                    tile_callbacks ctx ~track:w.id ~t0:(t0 +. alloc_delay)
+                      ~t1:(t0 +. delay) ~n:(List.length frags) ~name:"unpack_cb"
+                      ~hist:"unpack_cb_ns" ~parent:sp ()
+                | Rd_contig _ | Rd_iov _ -> ()
+              end;
+              observe ctx "msg_latency_ns_eager" (t0 +. delay -. env.e_sent_at)
+            end;
+            finish_recv ~delay
               { len = env.e_total; tag = env.e_tag; error = None }
         | exception Callback_error code ->
             finish_recv ~delay:alloc_delay
@@ -350,6 +417,54 @@ let process_match w (pr : posted) (env : envelope) =
                   l.rndv_handshake_ns +. l.rndv_reg_ns
                   +. Float.max wire (Float.max cpu_send cpu_recv)
                 in
+                (* Phase spans for the rendezvous: handshake, then the
+                   wire transfer overlapped with sender pack and
+                   receiver unpack — the same decomposition the
+                   duration formula above models. *)
+                if obs_on ctx then begin
+                  let t0 = Engine.now e in
+                  let sp =
+                    Obs.span_complete ctx.obs ~track:w.id ~cat:"proto" ~t0
+                      ~t1:(t0 +. duration)
+                      ~args:
+                        [ ("bytes", Obs.Int size); ("src", Obs.Int env.e_src) ]
+                      "rndv"
+                  in
+                  let hs_end = t0 +. l.rndv_handshake_ns +. l.rndv_reg_ns in
+                  ignore
+                    (Obs.span_complete ctx.obs ~track:w.id ~cat:"proto" ~t0
+                       ~t1:hs_end ~parent:sp "handshake");
+                  if wire > 0. then
+                    ignore
+                      (Obs.span_complete ctx.obs ~track:env.e_src ~cat:"proto"
+                         ~t0:hs_end ~t1:(hs_end +. wire)
+                         ~args:[ ("bytes", Obs.Int size) ]
+                         ~parent:sp "wire");
+                  if cpu_send > 0. then begin
+                    let sp_pack =
+                      Obs.span_complete ctx.obs ~track:env.e_src ~cat:"proto"
+                        ~t0:hs_end ~t1:(hs_end +. cpu_send) ~parent:sp "pack"
+                    in
+                    tile_callbacks ctx ~track:env.e_src ~t0:hs_end
+                      ~t1:(hs_end +. cpu_send) ~n:send_cbs ~name:"pack_cb"
+                      ~hist:"pack_cb_ns" ~parent:sp_pack ()
+                  end;
+                  if cpu_recv > 0. then begin
+                    let sp_un =
+                      Obs.span_complete ctx.obs ~track:w.id ~cat:"proto"
+                        ~t0:hs_end ~t1:(hs_end +. cpu_recv) ~parent:sp "unpack"
+                    in
+                    match pr.pr_dt with
+                    | Rd_generic _ ->
+                        tile_callbacks ctx ~track:w.id ~t0:hs_end
+                          ~t1:(hs_end +. cpu_recv) ~n:(List.length frags)
+                          ~name:"unpack_cb" ~hist:"unpack_cb_ns" ~parent:sp_un
+                          ()
+                    | Rd_contig _ | Rd_iov _ -> ()
+                  end;
+                  observe ctx "msg_latency_ns_rndv"
+                    (t0 +. duration -. env.e_sent_at)
+                end;
                 Engine.at e ~delay:duration (fun () ->
                     complete r.r_request
                       { len = size; tag = env.e_tag; error = None };
@@ -374,6 +489,11 @@ let deliver w env =
   match find_posted [] w.posted with
   | Some pr ->
       trace w.ctx "match" "worker %d matched posted recv tag=%Lx" w.id env.e_tag;
+      if obs_on w.ctx then
+        Obs.instant w.ctx.obs ~time:(Engine.now w.ctx.engine) ~track:w.id
+          ~cat:"proto"
+          ~args:[ ("src", Obs.Int env.e_src); ("bytes", Obs.Int env.e_total) ]
+          "match";
       process_match w pr env
   | None ->
       trace w.ctx "unexpected" "worker %d queued tag=%Lx %dB" w.id env.e_tag
@@ -384,7 +504,18 @@ let deliver w env =
           env.e_unexpected_alloc <- env.e_total;
           Stats.record_alloc w.ctx.stats env.e_total
       | P_rndv _ -> ());
+      env.e_queued_at <- Engine.now w.ctx.engine;
       w.unexpected <- w.unexpected @ [ env ];
+      if obs_on w.ctx then begin
+        let mx = Obs.metrics w.ctx.obs in
+        Obs.instant w.ctx.obs ~time:env.e_queued_at ~track:w.id ~cat:"proto"
+          ~args:[ ("src", Obs.Int env.e_src); ("bytes", Obs.Int env.e_total) ]
+          "unexpected";
+        Metrics.inc (Metrics.counter mx "unexpected_total");
+        Metrics.set
+          (Metrics.gauge mx (Printf.sprintf "unexpected_depth.w%d" w.id))
+          (float_of_int (List.length w.unexpected))
+      end;
       let info =
         { p_tag = env.e_tag; p_len = env.e_total; p_src_worker = env.e_src }
       in
@@ -429,6 +560,16 @@ let ship ep ~after env =
   in
   let arrival = Float.max (Engine.now e +. after +. jitter) !chan in
   chan := arrival;
+  if obs_on ctx then begin
+    (* Eager payload bytes ride this delivery; a rendezvous only ships
+       its RTS control message here (data moves at match time). *)
+    let name = match env.e_payload with P_eager _ -> "wire" | P_rndv _ -> "rts" in
+    ignore
+      (Obs.span_complete ctx.obs ~track:ep.ep_src.id ~cat:"proto"
+         ~t0:(Engine.now e) ~t1:arrival
+         ~args:[ ("dst", Obs.Int ep.ep_dst.id); ("bytes", Obs.Int env.e_total) ]
+         name)
+  end;
   Engine.at e ~delay:(arrival -. Engine.now e) (fun () -> deliver ep.ep_dst env)
 
 let tag_send ep ~tag dt =
@@ -448,6 +589,7 @@ let tag_send ep ~tag dt =
         ep.ep_src.id tag total entries;
       Stats.record_message ctx.stats ~eager:false ~wire_bytes:total;
       Stats.record_iov_entries ctx.stats entries;
+      observe ctx "msg_bytes_iov" (float_of_int total);
       let env =
         {
           e_tag = tag;
@@ -455,6 +597,8 @@ let tag_send ep ~tag dt =
           e_src = ep.ep_src.id;
           e_payload = P_rndv { r_dt = dt; r_request = req };
           e_unexpected_alloc = 0;
+          e_sent_at = Engine.now e;
+          e_queued_at = Float.nan;
         }
       in
       ship ep ~after:l.latency_ns env
@@ -479,10 +623,26 @@ let tag_send ep ~tag dt =
                 +. g.sg_overhead_ns )
           | Sd_iov _ -> assert false
         with
-        | (frags, _ncb), cpu_time ->
+        | (frags, ncb), cpu_time ->
             Engine.sleep e cpu_time;
             trace ctx "send" "worker %d eager tag=%Lx %dB" ep.ep_src.id tag total;
             Stats.record_message ctx.stats ~eager:true ~wire_bytes:total;
+            if obs_on ctx then begin
+              observe ctx "msg_bytes_eager" (float_of_int total);
+              (* The sleep above charged the pack cost; the span covers
+                 exactly that interval. *)
+              if cpu_time > 0. then begin
+                let t1 = Engine.now e in
+                let sp =
+                  Obs.span_complete ctx.obs ~track:ep.ep_src.id ~cat:"proto"
+                    ~t0:(t1 -. cpu_time) ~t1
+                    ~args:[ ("bytes", Obs.Int total) ]
+                    "pack"
+                in
+                tile_callbacks ctx ~track:ep.ep_src.id ~t0:(t1 -. cpu_time) ~t1
+                  ~n:ncb ~name:"pack_cb" ~hist:"pack_cb_ns" ~parent:sp ()
+              end
+            end;
             let env =
               {
                 e_tag = tag;
@@ -490,6 +650,8 @@ let tag_send ep ~tag dt =
                 e_src = ep.ep_src.id;
                 e_payload = P_eager frags;
                 e_unexpected_alloc = 0;
+                e_sent_at = Engine.now e;
+                e_queued_at = Float.nan;
               }
             in
             ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
@@ -501,6 +663,7 @@ let tag_send ep ~tag dt =
         (* Rendezvous: only the RTS travels now. *)
         trace ctx "send" "worker %d rndv tag=%Lx %dB" ep.ep_src.id tag total;
         Stats.record_message ctx.stats ~eager:false ~wire_bytes:total;
+        observe ctx "msg_bytes_rndv" (float_of_int total);
         let env =
           {
             e_tag = tag;
@@ -508,6 +671,8 @@ let tag_send ep ~tag dt =
             e_src = ep.ep_src.id;
             e_payload = P_rndv { r_dt = dt; r_request = req };
             e_unexpected_alloc = 0;
+            e_sent_at = Engine.now e;
+            e_queued_at = Float.nan;
           }
         in
         ship ep ~after:l.latency_ns env
@@ -529,7 +694,13 @@ let tag_recv w ~tag ~mask dt =
   in
   (match find [] w.unexpected with
   | Some env -> process_match w pr env
-  | None -> w.posted <- w.posted @ [ pr ]);
+  | None ->
+      w.posted <- w.posted @ [ pr ];
+      if obs_on w.ctx then
+        Metrics.set
+          (Metrics.gauge (Obs.metrics w.ctx.obs)
+             (Printf.sprintf "posted_depth.w%d" w.id))
+          (float_of_int (List.length w.posted)));
   req
 
 let wait (req : request) = Engine.Ivar.read req.r_engine req.ivar

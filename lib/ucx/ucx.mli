@@ -145,6 +145,15 @@ val set_trace : context -> Mpicd_simnet.Trace.t option -> unit
     unexpected arrivals and completions are recorded with virtual
     timestamps. *)
 
+val set_obs : context -> Mpicd_obs.Obs.t -> unit
+(** Attach a structured span/metrics sink.  Protocol phases (pack, wire,
+    rts, rendezvous handshake, unpack) become ["proto"] spans on the
+    worker's track, individual pack/unpack callback invocations become
+    ["callback"] spans tiled across their phase, and message-size /
+    latency / queue-depth metrics are recorded in the sink's registry.
+    Pass [Mpicd_obs.Obs.null] to detach; recording never perturbs the
+    simulation. *)
+
 (** {1 Test-only knobs} *)
 
 val set_channel_jitter : context -> (unit -> float) option -> unit

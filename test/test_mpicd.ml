@@ -5,6 +5,7 @@ let () =
       Test_simnet.suite;
       Test_datatype.suite;
       Test_ucx.suite;
+      Test_obs.suite;
       Test_core.suite;
       Test_derive.suite;
       Test_pickle.suite;

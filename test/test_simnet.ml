@@ -239,17 +239,18 @@ let test_fiber_exception_propagates () =
   | () -> Alcotest.fail "expected exception"
   | exception Failure msg -> Alcotest.(check string) "message" "fiber boom" msg)
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let test_stats_pp_smoke () =
   let s = Stats.create () in
   Stats.record_message s ~eager:true ~wire_bytes:42;
   let rendered = Format.asprintf "%a" Stats.pp s in
-  Alcotest.(check bool) "mentions wire bytes" true
-    (let contains hay needle =
-       let nl = String.length needle and hl = String.length hay in
-       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-       go 0
-     in
-     contains rendered "42")
+  Alcotest.(check bool) "mentions wire bytes" true (contains rendered "42");
+  Alcotest.(check bool) "includes derived line" true
+    (contains rendered "mem_amplification")
 
 (* Mutex *)
 
@@ -320,6 +321,22 @@ let test_trace_ring_drops () =
   Trace.clear t;
   check_int "cleared" 0 (Trace.length t)
 
+let test_trace_dropped_by_category () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.record t ~time:1. ~category:"send" "1";
+  Trace.record t ~time:2. ~category:"send" "2";
+  Trace.record t ~time:3. ~category:"match" "3";
+  Trace.record t ~time:4. ~category:"match" "4";
+  (* the two "send" events were overwritten *)
+  Alcotest.(check (list (pair string int)))
+    "per-category drops" [ ("send", 2) ] (Trace.dropped_by_category t);
+  let rendered = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "pp names the lost category" true
+    (contains rendered "send=2");
+  Trace.clear t;
+  Alcotest.(check (list (pair string int)))
+    "clear resets drops" [] (Trace.dropped_by_category t)
+
 (* Config / Stats *)
 
 let test_config_costs () =
@@ -357,6 +374,33 @@ let test_stats_diff () =
   check_int "delta messages" 1 d.messages_sent;
   check_int "delta wire" 32 d.bytes_on_wire;
   check_int "delta pack" 1 d.pack_callbacks
+
+(* diff measures an interval, but live/peak are levels, not deltas: the
+   result must carry the [after] values unchanged. *)
+let test_stats_diff_live_peak_carry_over () =
+  let s = Stats.create () in
+  Stats.record_alloc s 1000;
+  Stats.record_free s 400;
+  let before = Stats.snapshot s in
+  Stats.record_alloc s 200;
+  let d = Stats.diff ~after:s ~before in
+  check_int "delta allocs" 1 d.allocs;
+  check_int "delta allocated" 200 d.bytes_allocated;
+  check_int "live carries after" 800 d.live_alloc_bytes;
+  check_int "peak carries after" 1000 d.peak_alloc_bytes;
+  check_int "after live unchanged" 800 s.live_alloc_bytes;
+  check_int "after peak unchanged" 1000 s.peak_alloc_bytes
+
+let test_stats_derived () =
+  let s = Stats.create () in
+  check_float "amplification on empty" 0. (Stats.memory_amplification s);
+  check_float "mean iov on empty" 0. (Stats.mean_iov_entries s);
+  Stats.record_message s ~eager:true ~wire_bytes:1000;
+  Stats.record_message s ~eager:false ~wire_bytes:1000;
+  Stats.record_copy s 3000;
+  Stats.record_iov_entries s 7;
+  check_float "amplification" 1.5 (Stats.memory_amplification s);
+  check_float "mean iov" 3.5 (Stats.mean_iov_entries s)
 
 let test_stats_reset () =
   let s = Stats.create () in
@@ -424,9 +468,13 @@ let suite =
       tc "mutex releases on exception" `Quick test_mutex_with_lock_releases_on_exn;
       tc "trace basic" `Quick test_trace_basic;
       tc "trace ring drops" `Quick test_trace_ring_drops;
+      tc "trace drops by category" `Quick test_trace_dropped_by_category;
       tc "config cost helpers" `Quick test_config_costs;
       tc "stats counters" `Quick test_stats_counters;
       tc "stats diff" `Quick test_stats_diff;
+      tc "stats diff carries live/peak" `Quick
+        test_stats_diff_live_peak_carry_over;
+      tc "stats derived metrics" `Quick test_stats_derived;
       tc "stats reset" `Quick test_stats_reset;
       QCheck_alcotest.to_alcotest prop_heap_sorted;
       QCheck_alcotest.to_alcotest prop_rng_int_in_range;
