@@ -71,6 +71,24 @@ let config_term =
   in
   Term.(const make $ eager $ iov $ ddt $ latency $ bw)
 
+let faults_term =
+  let fault_conv =
+    let parse s =
+      match Mpicd_simnet.Fault.of_string s with
+      | Ok p -> `Ok p
+      | Error msg -> `Error msg
+    in
+    (parse, Mpicd_simnet.Fault.pp)
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Inject faults from $(docv) (e.g. 'seed=3,drop=0.02,corrupt=0.01'); \
+           measurements then include the reliable-delivery recovery cost. \
+           See docs/FAULTS.md for the plan grammar.")
+
 (* The figure generators bake in Config.default; for the CLI we re-run
    single kernels/methods under the chosen config instead. *)
 
@@ -157,15 +175,24 @@ let kernel_cmd =
   let reps_arg =
     Arg.(value & opt int 4 & info [ "reps" ] ~docv:"N" ~doc:"Measured rounds.")
   in
-  let run config name reps =
+  let run config name reps faults =
     match Registry.find name with
     | None ->
         Printf.eprintf "unknown kernel %S (try `mpicd_bench list`)\n" name;
         exit 2
     | Some (module K : Kernel.KERNEL) ->
         let k = (module K : Kernel.KERNEL) in
+        let rel = Mpicd_simnet.Stats.create () in
         let bw make =
-          (H.pingpong ~config ~reps ~bytes:K.wire_bytes make).H.bandwidth_mib_s
+          let r = H.pingpong ~config ~reps ?faults ~bytes:K.wire_bytes make in
+          let s = r.H.stats in
+          rel.retransmits <- rel.retransmits + s.retransmits;
+          rel.frags_dropped <- rel.frags_dropped + s.frags_dropped;
+          rel.frags_corrupted <- rel.frags_corrupted + s.frags_corrupted;
+          rel.frags_duplicated <- rel.frags_duplicated + s.frags_duplicated;
+          rel.iov_fallbacks <- rel.iov_fallbacks + s.iov_fallbacks;
+          rel.flap_waits <- rel.flap_waits + s.flap_waits;
+          r.H.bandwidth_mib_s
         in
         Format.printf "kernel %s: %s wire bytes, %d blocks@."
           K.name
@@ -194,12 +221,19 @@ let kernel_cmd =
           (List.map
              (fun (m, bw) ->
                [ m; (match bw with None -> "-" | Some b -> Printf.sprintf "%.0f" b) ])
-             rows)
+             rows);
+        (* A fault-free baseline must report zero retransmits; with
+           --faults this summarizes the recovery work across methods. *)
+        Format.printf
+          "@.reliability: retransmits=%d drops=%d corrupt=%d dups=%d \
+           iov_fallbacks=%d flap_waits=%d@."
+          rel.retransmits rel.frags_dropped rel.frags_corrupted
+          rel.frags_duplicated rel.iov_fallbacks rel.flap_waits
   in
   Cmd.v
     (Cmd.info "kernel"
        ~doc:"Run one DDTBench kernel under a configurable cost model.")
-    Term.(const run $ config_term $ kernel_arg $ reps_arg)
+    Term.(const run $ config_term $ kernel_arg $ reps_arg $ faults_term)
 
 let () =
   let doc = "mpicd reproduction benchmarks" in

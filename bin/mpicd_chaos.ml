@@ -1,0 +1,208 @@
+(* mpicd-chaos: deterministic fault-injection sweep.
+
+   Runs every protocol path (eager/rendezvous x contiguous/generic/iov)
+   under a catalogue of fault plans at three fixed seeds, verifying
+   payload integrity after every delivery.  The same sweep replays
+   identically on every machine — plans are pure data and all fault
+   decisions come from the plan's own RNG stream (docs/FAULTS.md).
+
+   Run via `dune build @chaos` (part of `dune runtest`).  Exits
+   non-zero if any payload is damaged, a run deadlocks, or a fault-free
+   baseline reports reliability events (the zero-overhead guarantee). *)
+
+module Buf = Mpicd_buf.Buf
+module Stats = Mpicd_simnet.Stats
+module Fault = Mpicd_simnet.Fault
+module Mpi = Mpicd.Mpi
+module Custom = Mpicd.Custom
+module Dt = Mpicd_datatype.Datatype
+
+let seeds = [ 1; 2; 3 ]
+let iters = 10
+let failures = ref 0
+
+let failf fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %s\n" msg)
+    fmt
+
+let pattern n =
+  let b = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 b i ((i * 29 + 3) land 0xff)
+  done;
+  b
+
+(* --- protocol paths: (send buffer, recv buffer, verify-and-reset) --- *)
+
+let bytes_path n () =
+  let src = pattern n in
+  let dst = Buf.create n in
+  ( (fun () -> Mpi.Bytes src),
+    (fun () -> Mpi.Bytes dst),
+    fun () ->
+      let ok = Buf.equal src dst in
+      Buf.fill dst '\000';
+      ok )
+
+let typed_path ~count () =
+  let dt = Dt.vector ~count ~blocklength:2 ~stride:4 Dt.int32 in
+  let src = pattern (Dt.extent dt) in
+  let dst = Buf.create (Dt.extent dt) in
+  ( (fun () -> Mpi.Typed { dt; count = 1; base = src }),
+    (fun () -> Mpi.Typed { dt; count = 1; base = dst }),
+    fun () ->
+      let ok = ref true in
+      Dt.iter_blocks dt ~count:1 ~f:(fun ~disp ~len ->
+          for i = disp to disp + len - 1 do
+            if Buf.get_u8 src i <> Buf.get_u8 dst i then ok := false
+          done);
+      Buf.fill dst '\000';
+      !ok )
+
+(* Custom datatype with a 4-byte packed header plus the buffer itself
+   as a zero-copy region — the iov path the transport cannot checksum
+   fragment-wise (docs/FAULTS.md). *)
+let buf_region_dt () : Buf.t Custom.t =
+  Custom.create
+    {
+      Custom.state = (fun _ ~count:_ -> ());
+      state_free = ignore;
+      query = (fun () _ ~count:_ -> 4);
+      pack =
+        (fun () b ~count:_ ~offset ~dst ->
+          let len = min (Buf.length dst) (4 - offset) in
+          for i = 0 to len - 1 do
+            Buf.set_u8 dst i ((Buf.length b lsr (8 * (offset + i))) land 0xff)
+          done;
+          len);
+      unpack =
+        (fun () b ~count:_ ~offset ~src ->
+          for i = 0 to Buf.length src - 1 do
+            if (Buf.length b lsr (8 * (offset + i))) land 0xff <> Buf.get_u8 src i
+            then raise (Custom.Error 99)
+          done);
+      region_count = Some (fun () _ ~count:_ -> 1);
+      regions = Some (fun () b ~count:_ -> [| b |]);
+    }
+
+let custom_path n () =
+  let dt = buf_region_dt () in
+  let src = pattern n in
+  let dst = Buf.create n in
+  ( (fun () -> Mpi.Custom { dt; obj = src; count = 1 }),
+    (fun () -> Mpi.Custom { dt; obj = dst; count = 1 }),
+    fun () ->
+      let ok = Buf.equal src dst in
+      Buf.fill dst '\000';
+      ok )
+
+let paths =
+  [
+    ("eager-contig", fun () -> bytes_path 1024 ());
+    ("rndv-contig", fun () -> bytes_path (128 * 1024) ());
+    ("eager-generic", fun () -> typed_path ~count:64 ());
+    ("rndv-generic", fun () -> typed_path ~count:4096 ());
+    ("iov-custom", fun () -> custom_path 40000 ());
+  ]
+
+(* --- plan catalogue, in the --faults plan-string grammar --- *)
+
+let plan_specs =
+  [
+    ("clean", "");
+    ("drop", "drop=0.05,rto=5000");
+    ("corrupt", "corrupt=0.05,rto=5000");
+    ("dup", "dup=0.1");
+    ("delay", "delay_p=0.2,delay=2000");
+    ("flap", "flap=50000/5000");
+    ("mixed", "drop=0.03,corrupt=0.02,dup=0.05,rto=5000");
+  ]
+
+let plan_of ~seed spec =
+  let s =
+    if spec = "" then Printf.sprintf "seed=%d" seed
+    else Printf.sprintf "seed=%d,%s" seed spec
+  in
+  match Fault.of_string s with
+  | Ok p -> p
+  | Error e ->
+      failf "plan %S: %s" s e;
+      Fault.make ~seed ()
+
+(* One cell: [iters] verified messages 0 -> 1 under one plan. *)
+let run_cell ~plan ~path mk =
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let send_buf, recv_buf, verify = mk () in
+  let damaged = ref 0 in
+  (try
+     Mpi.run w (fun comm ->
+         if Mpi.rank comm = 0 then
+           for i = 1 to iters do
+             Mpi.send comm ~dst:1 ~tag:i (send_buf ())
+           done
+         else
+           for i = 1 to iters do
+             ignore (Mpi.recv comm ~source:0 ~tag:i (recv_buf ()));
+             if not (verify ()) then incr damaged
+           done)
+   with e -> failf "%s: run raised %s" path (Printexc.to_string e));
+  if !damaged > 0 then failf "%s: %d damaged payload(s)" path !damaged;
+  Mpi.world_stats w
+
+let () =
+  (* Baseline: no plan attached at all must report zero reliability
+     events and perform zero reliability work. *)
+  List.iter
+    (fun (path, mk) ->
+      let w = Mpi.create_world ~size:2 () in
+      let send_buf, recv_buf, verify = mk () in
+      Mpi.run w (fun comm ->
+          if Mpi.rank comm = 0 then
+            for i = 1 to iters do
+              Mpi.send comm ~dst:1 ~tag:i (send_buf ())
+            done
+          else
+            for i = 1 to iters do
+              ignore (Mpi.recv comm ~source:0 ~tag:i (recv_buf ()));
+              if not (verify ()) then failf "baseline %s: payload damaged" path
+            done);
+      let s = Mpi.world_stats w in
+      if Stats.reliability_events s <> 0 then
+        failf "baseline %s: %d reliability events without a fault plan" path
+          (Stats.reliability_events s))
+    paths;
+  Printf.printf "baseline: zero reliability events on all %d paths\n\n"
+    (List.length paths);
+  Printf.printf "%-8s %-8s %-14s %6s %6s %6s %6s %6s %6s\n" "plan" "seed"
+    "path" "retx" "drop" "corr" "dup" "flap" "fall";
+  List.iter
+    (fun (pname, spec) ->
+      List.iter
+        (fun seed ->
+          let plan = plan_of ~seed spec in
+          List.iter
+            (fun (path, mk) ->
+              let s = run_cell ~plan ~path mk in
+              (* a clean plan attached engages the reliable protocol
+                 (acks flow) but must do zero recovery work *)
+              if
+                pname = "clean"
+                && Stats.reliability_events s <> s.Stats.acks
+              then
+                failf "clean plan %s seed %d: recovery work on a clean link"
+                  path seed;
+              Printf.printf "%-8s %-8d %-14s %6d %6d %6d %6d %6d %6d\n" pname
+                seed path s.Stats.retransmits s.Stats.frags_dropped
+                s.Stats.frags_corrupted s.Stats.frags_duplicated
+                s.Stats.flap_waits s.Stats.iov_fallbacks)
+            paths)
+        seeds)
+    plan_specs;
+  Printf.printf "\n%s\n"
+    (if !failures = 0 then "chaos sweep: all cells passed"
+     else Printf.sprintf "chaos sweep: %d FAILURE(S)" !failures);
+  exit (if !failures = 0 then 0 else 1)

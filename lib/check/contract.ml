@@ -176,6 +176,45 @@ let check ?(seed = 0x5eed) ?(rounds = 8) s =
                       raise Exit
                 done
               with Exit -> ());
+             (* --- retransmission idempotence: a lossy transport may
+                re-pack an arbitrary window of the stream when a
+                fragment is retransmitted (see docs/FAULTS.md); the
+                re-packed bytes must equal the original stream --- *)
+             (try
+                for _round = 1 to rounds do
+                  if q1 > 0 then begin
+                    let offset = Rng.int rng q1 in
+                    let room = 1 + Rng.int rng (min (q1 - offset) 64) in
+                    let frag = Buf.create room in
+                    match Custom.pack op ~offset ~dst:frag with
+                    | exception e ->
+                        addf ~id:"CB-REPACK-NONIDEMPOTENT"
+                          ~severity:Finding.Error
+                          "re-packing offset %d for a retransmission raised %s"
+                          offset (Printexc.to_string e);
+                        raise Exit
+                    | n when n > 0 && n <= room && offset + n <= q1 ->
+                        if
+                          not
+                            (Buf.equal
+                               (Buf.sub frag ~pos:0 ~len:n)
+                               (Buf.sub reference ~pos:offset ~len:n))
+                        then begin
+                          addf ~id:"CB-REPACK-NONIDEMPOTENT"
+                            ~severity:Finding.Error
+                            ~suggestion:
+                              "retransmitted fragments are re-packed from the \
+                               same offset; pack must be a pure function of \
+                               (offset, length), never of call history"
+                            "re-packing the window at offset %d produced \
+                             bytes that differ from the original stream"
+                            offset;
+                          raise Exit
+                        end
+                    | _ -> ()
+                  end
+                done
+              with Exit -> ());
              (* --- round trip through a sink object --- *)
              match s.make_sink with
              | None -> ()

@@ -11,6 +11,10 @@
     - the packed bytes do not depend on where fragment boundaries fall
       (driven by deterministic boundary fuzzing seeded from
       {!Mpicd_simnet.Rng});
+    - re-packing an arbitrary mid-stream window reproduces the original
+      bytes — required for correctness under the reliable-delivery
+      protocol, which re-packs fragments when retransmitting them
+      (docs/FAULTS.md);
     - [unpack ∘ pack] round-trips bytewise (and, when an object equality
       is supplied, object-wise);
     - regions are non-overlapping, agree with [region_count], and

@@ -92,6 +92,22 @@ module Monitor = struct
           go s (count - 1)
 end
 
+type error =
+  | Truncated of { expected : int; capacity : int }
+  | Callback_failed of int
+  | Timeout of { retries : int }
+  | Peer_failed of { peer : int }
+  | Data_corrupted
+
+exception Mpi_error of error
+
+(* MPI-style per-communicator error handling: raise (the default,
+   MPI_ERRORS_ARE_FATAL in spirit but catchable), abort the rank, or
+   return a degraded status and stash the error (MPI_ERRORS_RETURN). *)
+type errhandler = Errors_raise | Errors_abort | Errors_return
+
+exception Aborted of { rank : int; error : error }
+
 type world = {
   engine : Engine.t;
   config : Config.t;
@@ -103,6 +119,8 @@ type world = {
   mutable next_cid : int;  (* communicator-id allocator (rank 0 side) *)
   mutable monitor : Monitor.t option;
   mutable obs : Obs.t;
+  errh : (int, errhandler) Hashtbl.t;  (* cid -> handler; absent = raise *)
+  last_errors : (int * int, error) Hashtbl.t;  (* (cid, comm rank) -> error *)
 }
 
 type comm = {
@@ -134,6 +152,8 @@ let create_world ?(config = Config.default) ~size () =
     next_cid = 1;
     monitor = None;
     obs = Obs.null;
+    errh = Hashtbl.create 8;
+    last_errors = Hashtbl.create 8;
   }
 
 let world_engine w = w.engine
@@ -143,6 +163,8 @@ let world_size w = Array.length w.workers
 let set_unpack_shuffle w ~seed = w.shuffle <- Option.map Rng.create seed
 let set_trace w t = Ucx.set_trace w.ucx t
 let set_monitor w m = w.monitor <- m
+let set_faults w p = Ucx.set_faults w.ucx p
+let faults w = Ucx.faults w.ucx
 
 (* One sink observes every layer: MPI operations here, protocol phases
    in the transport, fiber scheduling in the engine. *)
@@ -154,6 +176,14 @@ let set_obs w o =
 let comm_for_rank w r =
   if r < 0 || r >= world_size w then invalid_arg "Mpi.comm_for_rank: bad rank";
   { w; c_rank = r; group = Array.init (world_size w) Fun.id; cid = 0; bar_seq = 0 }
+
+let set_errhandler c h = Hashtbl.replace c.w.errh c.cid h
+
+let get_errhandler c =
+  Option.value ~default:Errors_raise (Hashtbl.find_opt c.w.errh c.cid)
+
+let last_error c = Hashtbl.find_opt c.w.last_errors (c.cid, c.c_rank)
+let clear_last_error c = Hashtbl.remove c.w.last_errors (c.cid, c.c_rank)
 
 let spawn_rank w r f =
   let comm = comm_for_rank w r in
@@ -249,12 +279,6 @@ type buffer =
   | Bytes of Buf.t
   | Typed of { dt : Datatype.t; count : int; base : Buf.t }
   | Custom : { dt : 'o Custom.t; obj : 'o; count : int } -> buffer
-
-type error =
-  | Truncated of { expected : int; capacity : int }
-  | Callback_failed of int
-
-exception Mpi_error of error
 
 type status = { source : int; tag : int; len : int }
 
@@ -491,6 +515,9 @@ type request = {
 let lift_error : Ucx.error -> error = function
   | Ucx.Truncated { expected; capacity } -> Truncated { expected; capacity }
   | Ucx.Callback_failed code -> Callback_failed code
+  | Ucx.Timeout { retries } -> Timeout { retries }
+  | Ucx.Peer_failed { peer } -> Peer_failed { peer }
+  | Ucx.Data_corrupted -> Data_corrupted
 
 (* Statuses report communicator-relative source ranks: translate the
    world rank in the wire tag back through the group. *)
@@ -581,7 +608,16 @@ let make_request ?span c ucx_req cleanup =
         | None -> ());
         cleanup u;
         match u.error with
-        | Some e -> raise (Mpi_error (lift_error e))
+        | Some e -> (
+            let err = lift_error e in
+            match get_errhandler c with
+            | Errors_raise -> raise (Mpi_error err)
+            | Errors_abort -> raise (Aborted { rank = c.c_rank; error = err })
+            | Errors_return ->
+                (* degraded continuation: stash the error for
+                   [last_error] and hand back a zero-length status *)
+                Hashtbl.replace c.w.last_errors (c.cid, c.c_rank) err;
+                decode_status c u)
         | None -> decode_status c u);
     result = None;
     r_engine = c.w.engine;
@@ -646,7 +682,12 @@ let monitor_record c kind ~op_kind ~peer ~tag ~blocking buf (ureq : Ucx.request)
                         (Printf.sprintf "truncated: expected %d bytes, capacity %d"
                            expected capacity)
                   | Some (Ucx.Callback_failed code) ->
-                      Some (Printf.sprintf "callback failed with code %d" code));
+                      Some (Printf.sprintf "callback failed with code %d" code)
+                  | Some (Ucx.Timeout { retries }) ->
+                      Some (Printf.sprintf "timeout after %d retries" retries)
+                  | Some (Ucx.Peer_failed { peer }) ->
+                      Some (Printf.sprintf "peer %d failed" peer)
+                  | Some Ucx.Data_corrupted -> Some "data corrupted");
               }
       in
       Monitor.add m op peek
@@ -857,6 +898,10 @@ let comm_split c ~color ~key =
     in
     idx 0 members
   in
+  (* child communicators inherit the parent's error handler *)
+  (match Hashtbl.find_opt c.w.errh c.cid with
+  | Some h -> Hashtbl.replace c.w.errh my_cid h
+  | None -> ());
   { w = c.w; c_rank = new_rank; group; cid = my_cid; bar_seq = 0 }
 
 let comm_dup c = comm_split c ~color:0 ~key:c.c_rank

@@ -60,6 +60,20 @@ val set_obs : world -> Mpicd_obs.Obs.t -> unit
     Recording is passive: it never changes timing, matching, or
     [Stats]. *)
 
+val set_faults : world -> Mpicd_simnet.Fault.t option -> unit
+(** Attach (or detach) a fault-injection plan to the world's transport:
+    fragments may be dropped, corrupted, duplicated or delayed, links
+    may flap, and ranks may crash, all deterministically from the
+    plan's seed.  The transport recovers through a reliable-delivery
+    protocol (sequence numbers, CRC-32, ack/nack, retransmission with
+    exponential backoff on the virtual clock); unrecoverable failures
+    surface as [Timeout], [Peer_failed] or [Data_corrupted] through the
+    communicator's {!errhandler}.  With [None] (the default) behaviour
+    is bit-identical to a fault-free build.  See docs/FAULTS.md. *)
+
+val faults : world -> Mpicd_simnet.Fault.t option
+(** The currently attached fault plan, if any. *)
+
 val set_unpack_shuffle : world -> seed:int option -> unit
 (** Test knob: when set, unpack fragments of custom datatypes created
     with [~inorder:false] are presented out of order (the paper's
@@ -170,8 +184,39 @@ val buffer_size : buffer -> int
 type error =
   | Truncated of { expected : int; capacity : int }
   | Callback_failed of int
+  | Timeout of { retries : int }
+      (** reliable delivery gave up after [retries] retransmissions, or
+          a rendezvous handshake timed out ([retries = 0]); only occurs
+          with a fault plan attached (see {!set_faults}) *)
+  | Peer_failed of { peer : int }
+      (** the peer (world rank) crashed mid-transfer *)
+  | Data_corrupted
+      (** retries exhausted on checksum failures, or end-to-end
+          verification failed after the packed-path fallback *)
 
 exception Mpi_error of error
+
+type errhandler =
+  | Errors_raise  (** raise {!Mpi_error} at the waiting call (default) *)
+  | Errors_abort  (** raise {!Aborted}: treat any error as rank-fatal *)
+  | Errors_return
+      (** MPI_ERRORS_RETURN: the waiting call returns a zero-length
+          status; the error is available via {!last_error} *)
+
+exception Aborted of { rank : int; error : error }
+
+val set_errhandler : comm -> errhandler -> unit
+(** Set how operations on this communicator surface transport errors.
+    The handler is shared by all ranks of the communicator and is
+    inherited by communicators derived via {!comm_split}/{!comm_dup}. *)
+
+val get_errhandler : comm -> errhandler
+
+val last_error : comm -> error option
+(** Under [Errors_return]: the most recent error swallowed by a
+    degraded completion on this communicator at this rank. *)
+
+val clear_last_error : comm -> unit
 
 type status = { source : int; tag : int; len : int }
 

@@ -42,10 +42,11 @@ let charge_ddt_blocks comm n =
 
 let charge_ns comm ns = charge comm ns
 
-let pingpong ?(config = Config.default) ?(warmup = 2) ?(reps = 10) ?obs ~bytes
-    make =
+let pingpong ?(config = Config.default) ?(warmup = 2) ?(reps = 10) ?obs ?faults
+    ~bytes make =
   let w = Mpi.create_world ~config ~size:2 () in
   (match obs with Some o -> Mpi.set_obs w o | None -> ());
+  (match faults with Some _ -> Mpi.set_faults w faults | None -> ());
   let impl = make () in
   let measured = ref 0. in
   let base_stats = ref (Stats.create ()) in

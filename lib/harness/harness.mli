@@ -31,13 +31,17 @@ val pingpong :
   ?warmup:int ->
   ?reps:int ->
   ?obs:Mpicd_obs.Obs.t ->
+  ?faults:Mpicd_simnet.Fault.t ->
   bytes:int ->
   (unit -> impl) ->
   result
 (** [pingpong ~bytes make] measures [make ()] (a fresh impl with its own
     buffers per measurement).  Defaults: warmup 2, reps 10.  [obs], if
     given, is attached to the measurement world (see [Mpi.set_obs]);
-    attaching it never changes the measured result. *)
+    attaching it never changes the measured result.  [faults], if given,
+    attaches a fault-injection plan (see [Mpi.set_faults]): the measured
+    latency then includes retransmissions and recovery, and the result's
+    [stats] carry the reliability counters. *)
 
 (** {1 Cost-charging helpers for benchmark implementations}
 

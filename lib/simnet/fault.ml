@@ -1,0 +1,204 @@
+type link_plan = {
+  drop_p : float;
+  corrupt_p : float;
+  dup_p : float;
+  delay_p : float;
+  delay_ns : float;
+  flap_period_ns : float;
+  flap_down_ns : float;
+}
+
+let clean_link =
+  {
+    drop_p = 0.;
+    corrupt_p = 0.;
+    dup_p = 0.;
+    delay_p = 0.;
+    delay_ns = 0.;
+    flap_period_ns = 0.;
+    flap_down_ns = 0.;
+  }
+
+type t = {
+  seed : int;
+  link : link_plan;
+  overrides : ((int * int) * link_plan) list;
+  crashes : (int * float) list;
+  max_retries : int;
+  rto_ns : float;
+  backoff : float;
+  rndv_timeout_ns : float;
+}
+
+let default =
+  {
+    seed = 1;
+    link = clean_link;
+    overrides = [];
+    crashes = [];
+    max_retries = 8;
+    rto_ns = 50_000.;
+    backoff = 2.;
+    rndv_timeout_ns = 0.;
+  }
+
+let make ?(seed = default.seed) ?(link = default.link) ?(overrides = [])
+    ?(crashes = []) ?(max_retries = default.max_retries)
+    ?(rto_ns = default.rto_ns) ?(backoff = default.backoff)
+    ?(rndv_timeout_ns = default.rndv_timeout_ns) () =
+  { seed; link; overrides; crashes; max_retries; rto_ns; backoff; rndv_timeout_ns }
+
+let link_plan t ~src ~dst =
+  match List.assoc_opt (src, dst) t.overrides with
+  | Some lp -> lp
+  | None -> t.link
+
+let rto t ~attempt = t.rto_ns *. (t.backoff ** float_of_int attempt)
+
+let up_at t ~src ~dst ~now =
+  let lp = link_plan t ~src ~dst in
+  if lp.flap_period_ns <= 0. || lp.flap_down_ns <= 0. then now
+  else
+    let phase = Float.rem now lp.flap_period_ns in
+    if phase < lp.flap_down_ns then now -. phase +. lp.flap_down_ns else now
+
+let crashed t ~rank ~now =
+  List.exists (fun (r, t0) -> r = rank && now >= t0) t.crashes
+
+type fate = {
+  f_drop : bool;
+  f_corrupt : bool;
+  f_dup : bool;
+  f_delay_ns : float;
+}
+
+type runtime = { r_plan : t; r_rng : Rng.t }
+
+let start p = { r_plan = p; r_rng = Rng.create p.seed }
+let plan r = r.r_plan
+
+(* Always five draws per fragment so the decision sequence stays
+   aligned whichever branches fire. *)
+let fate r ~src ~dst =
+  let lp = link_plan r.r_plan ~src ~dst in
+  let d_drop = Rng.float r.r_rng 1.0 in
+  let d_corrupt = Rng.float r.r_rng 1.0 in
+  let d_dup = Rng.float r.r_rng 1.0 in
+  let d_delay = Rng.float r.r_rng 1.0 in
+  let d_mag = Rng.float r.r_rng 1.0 in
+  {
+    f_drop = d_drop < lp.drop_p;
+    f_corrupt = d_corrupt < lp.corrupt_p;
+    f_dup = d_dup < lp.dup_p;
+    f_delay_ns = (if d_delay < lp.delay_p then d_mag *. lp.delay_ns else 0.);
+  }
+
+let corrupt_bit r ~len = (Rng.int r.r_rng (max 1 len), Rng.int r.r_rng 8)
+
+(* --- plan strings --- *)
+
+let to_string t =
+  let b = Buffer.create 128 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  addf "seed=%d" t.seed;
+  let l = t.link in
+  if l.drop_p > 0. then addf ",drop=%g" l.drop_p;
+  if l.corrupt_p > 0. then addf ",corrupt=%g" l.corrupt_p;
+  if l.dup_p > 0. then addf ",dup=%g" l.dup_p;
+  if l.delay_p > 0. then addf ",delay_p=%g" l.delay_p;
+  if l.delay_ns > 0. then addf ",delay=%g" l.delay_ns;
+  if l.flap_period_ns > 0. then
+    addf ",flap=%g/%g" l.flap_period_ns l.flap_down_ns;
+  List.iter (fun (r, at) -> addf ",crash=%d@%g" r at) t.crashes;
+  addf ",retries=%d" t.max_retries;
+  addf ",rto=%g" t.rto_ns;
+  addf ",backoff=%g" t.backoff;
+  if t.rndv_timeout_ns > 0. then addf ",rndv_timeout=%g" t.rndv_timeout_ns;
+  Buffer.contents b
+
+let of_string s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_float key v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. -> Ok f
+    | _ -> err "fault plan: %s expects a non-negative number, got %S" key v
+  in
+  let parse_int key v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> err "fault plan: %s expects an integer, got %S" key v
+  in
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  List.fold_left
+    (fun acc field ->
+      let* t = acc in
+      match String.index_opt field '=' with
+      | None -> err "fault plan: expected key=value, got %S" field
+      | Some i -> (
+          let key = String.sub field 0 i in
+          let v = String.sub field (i + 1) (String.length field - i - 1) in
+          let set_link f = Ok { t with link = f t.link } in
+          match key with
+          | "seed" ->
+              let* n = parse_int key v in
+              Ok { t with seed = n }
+          | "drop" ->
+              let* p = parse_float key v in
+              set_link (fun l -> { l with drop_p = p })
+          | "corrupt" ->
+              let* p = parse_float key v in
+              set_link (fun l -> { l with corrupt_p = p })
+          | "dup" ->
+              let* p = parse_float key v in
+              set_link (fun l -> { l with dup_p = p })
+          | "delay_p" ->
+              let* p = parse_float key v in
+              set_link (fun l -> { l with delay_p = p })
+          | "delay" ->
+              let* ns = parse_float key v in
+              set_link (fun l -> { l with delay_ns = ns })
+          | "flap" -> (
+              match String.split_on_char '/' v with
+              | [ p; d ] ->
+                  let* period = parse_float "flap period" p in
+                  let* down = parse_float "flap down" d in
+                  if down > period then
+                    err "fault plan: flap down-window %g exceeds period %g" down
+                      period
+                  else
+                    set_link (fun l ->
+                        { l with flap_period_ns = period; flap_down_ns = down })
+              | _ -> err "fault plan: flap expects PERIOD/DOWN, got %S" v)
+          | "crash" -> (
+              match String.index_opt v '@' with
+              | None -> err "fault plan: crash expects RANK@TIME, got %S" v
+              | Some j ->
+                  let* rank = parse_int "crash rank" (String.sub v 0 j) in
+                  let* at =
+                    parse_float "crash time"
+                      (String.sub v (j + 1) (String.length v - j - 1))
+                  in
+                  Ok { t with crashes = t.crashes @ [ (rank, at) ] })
+          | "retries" ->
+              let* n = parse_int key v in
+              if n < 0 then err "fault plan: retries must be >= 0"
+              else Ok { t with max_retries = n }
+          | "rto" ->
+              let* ns = parse_float key v in
+              Ok { t with rto_ns = ns }
+          | "backoff" ->
+              let* f = parse_float key v in
+              if f < 1. then err "fault plan: backoff must be >= 1"
+              else Ok { t with backoff = f }
+          | "rndv_timeout" ->
+              let* ns = parse_float key v in
+              Ok { t with rndv_timeout_ns = ns }
+          | _ -> err "fault plan: unknown key %S" key))
+    (Ok default) fields
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,122 @@
+(** Deterministic, seed-driven fault injection for the simulated
+    interconnect.
+
+    A fault {e plan} describes what can go wrong on the wire — per-link
+    drop / duplicate / corruption probabilities, extra delay (reorder
+    pressure), periodic link flaps, and rank crashes at fixed virtual
+    times — plus the reliability-protocol parameters the transport uses
+    to recover (retransmission timeout, exponential backoff, retry cap).
+
+    Plans are pure data: the same [(config, plan)] pair always replays
+    the same faults, because every random decision is drawn from a
+    dedicated splitmix64 stream seeded by the plan ([seed]) and {e not}
+    from any generator the fault-free simulation uses.  Enabling faults
+    therefore never perturbs the timing or ordering of the fault-free
+    portions of a run. *)
+
+(** Per-link misbehaviour.  All probabilities are in [0, 1] and apply
+    independently to each wire fragment. *)
+type link_plan = {
+  drop_p : float;  (** fragment is lost in flight *)
+  corrupt_p : float;  (** one bit of the fragment flips in flight *)
+  dup_p : float;  (** fragment is delivered twice *)
+  delay_p : float;  (** fragment suffers extra latency *)
+  delay_ns : float;  (** maximum extra latency when delayed *)
+  flap_period_ns : float;
+      (** link availability period; [0.] means the link never flaps *)
+  flap_down_ns : float;
+      (** down-window at the start of each period (the link is down
+          during [[k*period, k*period + down)] for every [k >= 0]) *)
+}
+
+val clean_link : link_plan
+(** A perfectly reliable link (all probabilities and windows zero). *)
+
+type t = {
+  seed : int;  (** seed of the dedicated fault-decision RNG stream *)
+  link : link_plan;  (** default plan for every link *)
+  overrides : ((int * int) * link_plan) list;
+      (** per-[(src, dst)] worker-pair overrides of [link] *)
+  crashes : (int * float) list;
+      (** [(rank, t)]: worker [rank] is dead from virtual time [t] on *)
+  max_retries : int;  (** retransmission attempts per fragment *)
+  rto_ns : float;  (** initial retransmission timeout *)
+  backoff : float;  (** RTO multiplier per successive retry *)
+  rndv_timeout_ns : float;
+      (** rendezvous-handshake timeout: a sent RTS that stays unmatched
+          this long fails with [Timeout]; [0.] disables the timer *)
+}
+
+val default : t
+(** No faults, [seed = 1], [max_retries = 8], [rto_ns = 50_000.]
+    (50 us), [backoff = 2.], handshake timeout disabled. *)
+
+val make :
+  ?seed:int ->
+  ?link:link_plan ->
+  ?overrides:((int * int) * link_plan) list ->
+  ?crashes:(int * float) list ->
+  ?max_retries:int ->
+  ?rto_ns:float ->
+  ?backoff:float ->
+  ?rndv_timeout_ns:float ->
+  unit ->
+  t
+(** [make ()] is {!default}; keyword arguments override fields. *)
+
+val link_plan : t -> src:int -> dst:int -> link_plan
+(** The effective plan for one direction of a worker pair. *)
+
+val rto : t -> attempt:int -> float
+(** [rto_ns *. backoff ^ attempt]: the wait before retransmission
+    number [attempt + 1]. *)
+
+val up_at : t -> src:int -> dst:int -> now:float -> float
+(** Earliest virtual time [>= now] at which the link is up ([now]
+    itself when the link is not flapping or currently up). *)
+
+val crashed : t -> rank:int -> now:float -> bool
+
+(** {1 Runtime: plan + dedicated decision stream} *)
+
+(** The fate of one wire fragment.  Decisions are mutually independent;
+    the transport applies them in the order drop > corrupt > dup. *)
+type fate = {
+  f_drop : bool;
+  f_corrupt : bool;
+  f_dup : bool;
+  f_delay_ns : float;  (** extra in-flight latency, [0.] if none *)
+}
+
+type runtime
+(** A plan paired with its decision stream.  Two runtimes started from
+    equal plans draw identical decision sequences. *)
+
+val start : t -> runtime
+val plan : runtime -> t
+
+val fate : runtime -> src:int -> dst:int -> fate
+(** Draw the fate of the next fragment on [src -> dst].  Always
+    consumes the same number of stream values regardless of outcome, so
+    decision sequences are stable under plan-probability changes. *)
+
+val corrupt_bit : runtime -> len:int -> int * int
+(** [(byte, bit)] position of an in-flight single-bit flip in a
+    fragment of [len] bytes ([len >= 1]). *)
+
+(** {1 Plan strings}
+
+    The [--faults] CLI flag and the chaos runner describe plans as
+    comma-separated [key=value] lists, e.g.
+    ["seed=42,drop=0.05,corrupt=0.01,retries=8,rto=50000"].  Keys:
+    [seed], [drop], [corrupt], [dup], [delay_p], [delay] (ns),
+    [flap=PERIOD/DOWN] (ns), [crash=RANK\@TIME] (repeatable),
+    [retries], [rto] (ns), [backoff], [rndv_timeout] (ns).  Per-link
+    overrides have no string syntax; build them with {!make}. *)
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+(** Canonical plan string; [of_string (to_string t) = Ok t] for plans
+    without overrides. *)
+
+val pp : Format.formatter -> t -> unit

@@ -16,6 +16,16 @@ type t = {
   mutable region_queries : int;
   mutable ddt_blocks_processed : int;
   mutable probes : int;
+  (* reliability counters: all stay 0 unless a fault plan is attached *)
+  mutable retransmits : int;
+  mutable frags_dropped : int;
+  mutable frags_corrupted : int;
+  mutable frags_duplicated : int;
+  mutable acks : int;
+  mutable nacks : int;
+  mutable iov_fallbacks : int;
+  mutable flap_waits : int;
+  mutable delivery_timeouts : int;
 }
 
 let create () =
@@ -37,6 +47,15 @@ let create () =
     region_queries = 0;
     ddt_blocks_processed = 0;
     probes = 0;
+    retransmits = 0;
+    frags_dropped = 0;
+    frags_corrupted = 0;
+    frags_duplicated = 0;
+    acks = 0;
+    nacks = 0;
+    iov_fallbacks = 0;
+    flap_waits = 0;
+    delivery_timeouts = 0;
   }
 
 let reset t =
@@ -56,7 +75,16 @@ let reset t =
   t.query_callbacks <- 0;
   t.region_queries <- 0;
   t.ddt_blocks_processed <- 0;
-  t.probes <- 0
+  t.probes <- 0;
+  t.retransmits <- 0;
+  t.frags_dropped <- 0;
+  t.frags_corrupted <- 0;
+  t.frags_duplicated <- 0;
+  t.acks <- 0;
+  t.nacks <- 0;
+  t.iov_fallbacks <- 0;
+  t.flap_waits <- 0;
+  t.delivery_timeouts <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -90,6 +118,16 @@ let record_ddt_blocks t n =
 
 let record_probe t = t.probes <- t.probes + 1
 
+let record_retransmit t = t.retransmits <- t.retransmits + 1
+let record_frag_drop t = t.frags_dropped <- t.frags_dropped + 1
+let record_frag_corrupt t = t.frags_corrupted <- t.frags_corrupted + 1
+let record_frag_dup t = t.frags_duplicated <- t.frags_duplicated + 1
+let record_ack t = t.acks <- t.acks + 1
+let record_nack t = t.nacks <- t.nacks + 1
+let record_iov_fallback t = t.iov_fallbacks <- t.iov_fallbacks + 1
+let record_flap_wait t = t.flap_waits <- t.flap_waits + 1
+let record_delivery_timeout t = t.delivery_timeouts <- t.delivery_timeouts + 1
+
 let snapshot t = { t with messages_sent = t.messages_sent }
 
 let diff ~after ~before =
@@ -112,6 +150,15 @@ let diff ~after ~before =
     ddt_blocks_processed =
       after.ddt_blocks_processed - before.ddt_blocks_processed;
     probes = after.probes - before.probes;
+    retransmits = after.retransmits - before.retransmits;
+    frags_dropped = after.frags_dropped - before.frags_dropped;
+    frags_corrupted = after.frags_corrupted - before.frags_corrupted;
+    frags_duplicated = after.frags_duplicated - before.frags_duplicated;
+    acks = after.acks - before.acks;
+    nacks = after.nacks - before.nacks;
+    iov_fallbacks = after.iov_fallbacks - before.iov_fallbacks;
+    flap_waits = after.flap_waits - before.flap_waits;
+    delivery_timeouts = after.delivery_timeouts - before.delivery_timeouts;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -126,15 +173,29 @@ let mean_iov_entries t =
   if t.messages_sent = 0 then 0.
   else float_of_int t.iov_entries /. float_of_int t.messages_sent
 
+let reliability_events t =
+  t.retransmits + t.frags_dropped + t.frags_corrupted + t.frags_duplicated
+  + t.acks + t.nacks + t.iov_fallbacks + t.flap_waits + t.delivery_timeouts
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>msgs=%d (eager %d, rndv %d) wire=%dB iov_entries=%d@,\
      memcpys=%d copied=%dB allocs=%d allocated=%dB peak=%dB@,\
      callbacks: pack=%d unpack=%d query=%d regions=%d ddt_blocks=%d \
      probes=%d@,\
-     derived: mem_amplification=%.2f mean_iov_per_msg=%.2f@]"
+     derived: mem_amplification=%.2f mean_iov_per_msg=%.2f"
     t.messages_sent t.eager_messages t.rndv_messages t.bytes_on_wire
     t.iov_entries t.memcpys t.bytes_copied t.allocs t.bytes_allocated
     t.peak_alloc_bytes t.pack_callbacks t.unpack_callbacks t.query_callbacks
     t.region_queries t.ddt_blocks_processed t.probes
-    (memory_amplification t) (mean_iov_entries t)
+    (memory_amplification t) (mean_iov_entries t);
+  (* The reliability line appears only when something fired, so the
+     rendering of fault-free runs is byte-identical to the pre-fault
+     format. *)
+  if reliability_events t > 0 then
+    Format.fprintf ppf
+      "@,reliability: retx=%d drops=%d corrupt=%d dups=%d acks=%d nacks=%d \
+       iov_fallbacks=%d flap_waits=%d timeouts=%d"
+      t.retransmits t.frags_dropped t.frags_corrupted t.frags_duplicated
+      t.acks t.nacks t.iov_fallbacks t.flap_waits t.delivery_timeouts;
+  Format.fprintf ppf "@]"

@@ -23,6 +23,17 @@ type t = {
   mutable region_queries : int;
   mutable ddt_blocks_processed : int;
   mutable probes : int;
+  (* Reliability counters (see docs/FAULTS.md): all remain 0 unless a
+     fault plan is attached to the transport. *)
+  mutable retransmits : int;
+  mutable frags_dropped : int;
+  mutable frags_corrupted : int;
+  mutable frags_duplicated : int;
+  mutable acks : int;
+  mutable nacks : int;
+  mutable iov_fallbacks : int;
+  mutable flap_waits : int;
+  mutable delivery_timeouts : int;
 }
 
 val create : unit -> t
@@ -39,6 +50,22 @@ val record_query_cb : t -> unit
 val record_region_query : t -> unit
 val record_ddt_blocks : t -> int -> unit
 val record_probe : t -> unit
+
+(** {1 Reliability events} (recorded by the transport's reliable-delivery
+    protocol; see docs/FAULTS.md) *)
+
+val record_retransmit : t -> unit
+val record_frag_drop : t -> unit
+val record_frag_corrupt : t -> unit
+val record_frag_dup : t -> unit
+val record_ack : t -> unit
+val record_nack : t -> unit
+val record_iov_fallback : t -> unit
+val record_flap_wait : t -> unit
+val record_delivery_timeout : t -> unit
+
+val reliability_events : t -> int
+(** Sum of all reliability counters; 0 iff the run was fault-free. *)
 
 val snapshot : t -> t
 (** Independent copy of the current counters. *)

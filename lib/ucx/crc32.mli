@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) over {!Buf}
+    slices.
+
+    The reliable-delivery protocol stamps every wire fragment with this
+    checksum; any single-bit in-flight corruption is guaranteed to
+    change the digest, which is what lets the receiver nack a corrupted
+    fragment instead of depositing garbage. *)
+
+val digest : Mpicd_buf.Buf.t -> int32
+
+val digest_sub : Mpicd_buf.Buf.t -> pos:int -> len:int -> int32
+(** Digest of the slice [\[pos, pos+len)].
+    @raise Invalid_argument if the range does not fit. *)

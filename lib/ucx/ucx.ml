@@ -2,6 +2,7 @@ module Buf = Mpicd_buf.Buf
 module Engine = Mpicd_simnet.Engine
 module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
+module Fault = Mpicd_simnet.Fault
 module Obs = Mpicd_obs.Obs
 module Metrics = Mpicd_obs.Metrics
 
@@ -34,6 +35,9 @@ type recv_dt =
 type error =
   | Truncated of { expected : int; capacity : int }
   | Callback_failed of int
+  | Timeout of { retries : int }
+  | Peer_failed of { peer : int }
+  | Data_corrupted
 
 type status = { len : int; tag : int64; error : error option }
 
@@ -42,6 +46,9 @@ type request = { ivar : status Engine.Ivar.t; r_engine : Engine.t }
 type payload =
   | P_eager of Buf.t list  (* snapshot fragments *)
   | P_rndv of rndv
+  | P_nack of error
+      (* poison envelope: a failed transfer notifying the receiver, so a
+         posted receive completes with an error instead of deadlocking *)
 
 and rndv = {
   r_dt : send_dt;
@@ -58,6 +65,8 @@ type envelope = {
   e_sent_at : float;  (* virtual send-post time, for latency histograms *)
   mutable e_queued_at : float;
       (* when it entered the unexpected queue; NaN if never queued *)
+  mutable e_matched : bool;
+      (* set by [process_match]; guards the rendezvous-handshake timer *)
 }
 
 type posted = { pr_tag : int64; pr_mask : int64; pr_dt : recv_dt; pr_req : request }
@@ -86,6 +95,10 @@ and context = {
   mutable jitter : (unit -> float) option;
   mutable trace : Mpicd_simnet.Trace.t option;
   mutable obs : Obs.t;
+  mutable faults : Fault.runtime option;
+      (* [None] (the default) leaves every fault-free code path exactly
+         as it was: the reliable-delivery protocol only engages when a
+         plan is attached *)
 }
 
 type endpoint = { ep_src : worker; ep_dst : worker }
@@ -100,6 +113,7 @@ let create_context ~engine ~config ~stats =
     jitter = None;
     trace = None;
     obs = Obs.null;
+    faults = None;
   }
 
 let engine c = c.engine
@@ -108,6 +122,8 @@ let stats c = c.stats
 let set_channel_jitter c j = c.jitter <- j
 let set_trace c t = c.trace <- t
 let set_obs c o = c.obs <- o
+let set_faults c p = c.faults <- Option.map Fault.start p
+let faults c = Option.map Fault.plan c.faults
 
 (* With no trace attached, skip the Format machinery entirely
    (ikfprintf consumes the arguments without building the string);
@@ -297,7 +313,318 @@ let tag_matches ~tag ~mask env_tag =
   Int64.logand env_tag mask = Int64.logand tag mask
 
 let complete req status = Engine.Ivar.fill req.ivar status
+
+(* Fault paths can race a completion against a timeout timer; whichever
+   fires second must not double-fill the ivar. *)
+let complete_if_pending req status =
+  if not (Engine.Ivar.is_filled req.ivar) then complete req status
+
 let make_request e = { ivar = Engine.Ivar.create (); r_engine = e }
+
+(* --- reliable delivery (engaged only when a fault plan is attached) ---
+
+   With a fault plan attached the wire is lossy, so payload and control
+   streams move through a stop-and-wait-per-fragment protocol: the
+   stream is cut into [frag_size] wire fragments, each carrying a
+   sequence number and (on checksummed paths) a CRC32; the receiver
+   acks the window cumulatively, nacks CRC mismatches, and suppresses
+   duplicates by sequence number.  The sending fiber sleeps through
+   serialization, retransmission timeouts and the final ack round trip,
+   so every recovery costs virtual time and shows up in [Stats]/[Obs].
+   Both endpoints live in one address space, so the receiver half of
+   the state machine is evaluated inline at each fragment's modeled
+   arrival time — the virtual clock still charges both directions. *)
+
+let fault_instant ctx ~track ~time name args =
+  if obs_on ctx then begin
+    Obs.instant ctx.obs ~time ~track ~cat:"fault" ~args name;
+    Metrics.inc (Metrics.counter (Obs.metrics ctx.obs) ("fault." ^ name))
+  end
+
+(* Wire-fragment lengths of a [total]-byte stream; control messages
+   (total = 0) still occupy one zero-length fragment. *)
+let wire_frag_sizes (l : Config.link) total =
+  if total <= 0 then [ 0 ]
+  else
+    let rec go off acc =
+      if off >= total then List.rev acc
+      else
+        let n = min l.frag_size (total - off) in
+        go (off + n) (n :: acc)
+    in
+    go 0 []
+
+(* Cut a stream into fragment-sized slices (zero-copy subs), so
+   deposit-side callback counts match the fault-free protocol. *)
+let reslice (l : Config.link) stream =
+  let total = Buf.length stream in
+  let rec go off acc =
+    if off >= total then List.rev acc
+    else
+      let n = min l.frag_size (total - off) in
+      go (off + n) (Buf.sub stream ~pos:off ~len:n :: acc)
+  in
+  go 0 []
+
+type xfer = {
+  x_lag : float;
+      (* delivery lag: the last fragment lands [x_lag] ns after the
+         transfer call returns (its latency + any extra fault delay) *)
+  x_delivered : Buf.t;  (* the receiver's view of the stream *)
+  x_dirty : bool;
+      (* delivered <> sent: corruption slipped through; only possible
+         when [checksum] was false (zero-copy DMA path) *)
+}
+
+(* Move [stream] from [src_id] to [dst_id] under the attached fault
+   plan.  Must run in a fiber; returns once the last fragment has been
+   serialized (the caller schedules delivery [x_lag] later and the
+   cumulative ack one link latency after that). *)
+let reliable_transfer ctx fr ~src_id ~dst_id ~stream ~checksum =
+  let e = ctx.engine in
+  let l = link ctx in
+  let plan = Fault.plan fr in
+  let t_start = Engine.now e in
+  let delivered = Buf.copy stream in
+  let dirty = ref false in
+  let retx = ref 0 in
+  let failure = ref None in
+  let frag_sizes = wire_frag_sizes l (Buf.length stream) in
+  let last_lag = ref l.latency_ns in
+  let rec send_frag seq off len attempt =
+    let now = Engine.now e in
+    (* link flap: wait for the link to come back up *)
+    let up = Fault.up_at plan ~src:src_id ~dst:dst_id ~now in
+    if up > now then begin
+      Stats.record_flap_wait ctx.stats;
+      trace ctx "fault" "link %d->%d down, waiting %.0fns" src_id dst_id
+        (up -. now);
+      fault_instant ctx ~track:src_id ~time:now "link_down"
+        [ ("until", Obs.Float up) ];
+      Engine.sleep e (up -. now)
+    end;
+    let now = Engine.now e in
+    let dead =
+      Fault.crashed plan ~rank:dst_id ~now
+      || Fault.crashed plan ~rank:src_id ~now
+    in
+    let fate = Fault.fate fr ~src:src_id ~dst:dst_id in
+    let retry cause =
+      if attempt >= plan.Fault.max_retries then begin
+        Stats.record_delivery_timeout ctx.stats;
+        fault_instant ctx ~track:src_id ~time:(Engine.now e)
+          "delivery_timeout"
+          [ ("seq", Obs.Int seq); ("attempts", Obs.Int (attempt + 1)) ];
+        failure :=
+          Some
+            (if Fault.crashed plan ~rank:dst_id ~now:(Engine.now e) then
+               Peer_failed { peer = dst_id }
+             else
+               match cause with
+               | `Corrupt -> Data_corrupted
+               | `Drop -> Timeout { retries = attempt })
+      end
+      else begin
+        Engine.sleep e (Fault.rto plan ~attempt);
+        incr retx;
+        Stats.record_retransmit ctx.stats;
+        trace ctx "fault" "retransmit seq=%d attempt=%d %d->%d" seq
+          (attempt + 1) src_id dst_id;
+        fault_instant ctx ~track:src_id ~time:(Engine.now e) "retransmit"
+          [ ("seq", Obs.Int seq); ("attempt", Obs.Int (attempt + 1)) ];
+        send_frag seq off len (attempt + 1)
+      end
+    in
+    if dead || fate.Fault.f_drop then begin
+      Stats.record_frag_drop ctx.stats;
+      trace ctx "fault" "drop seq=%d %d->%d" seq src_id dst_id;
+      fault_instant ctx ~track:src_id ~time:now "frag_drop"
+        [ ("seq", Obs.Int seq) ];
+      retry `Drop
+    end
+    else if fate.Fault.f_corrupt && checksum && len > 0 then begin
+      (* The fragment arrives with one bit flipped; its CRC32 no longer
+         matches, so the receiver nacks and the sender retransmits. *)
+      Stats.record_frag_corrupt ctx.stats;
+      let sent_crc = Crc32.digest_sub stream ~pos:off ~len in
+      let byte, bit = Fault.corrupt_bit fr ~len in
+      let corrupted = Buf.copy (Buf.sub stream ~pos:off ~len) in
+      Buf.set_u8 corrupted byte (Buf.get_u8 corrupted byte lxor (1 lsl bit));
+      assert (Crc32.digest corrupted <> sent_crc);
+      let fly =
+        Config.wire_time l len +. l.latency_ns +. fate.Fault.f_delay_ns
+      in
+      Stats.record_nack ctx.stats;
+      trace ctx "fault" "corrupt seq=%d %d->%d: crc mismatch, nack" seq src_id
+        dst_id;
+      fault_instant ctx ~track:dst_id ~time:(now +. fly) "nack"
+        [ ("seq", Obs.Int seq) ];
+      (* wait out the corrupted flight plus the nack's return leg *)
+      Engine.sleep e (fly +. l.latency_ns);
+      retry `Corrupt
+    end
+    else begin
+      (* Delivered.  On non-checksummed (zero-copy DMA) paths a corrupt
+         fate slips through into the receiver's copy. *)
+      if fate.Fault.f_corrupt && len > 0 then begin
+        Stats.record_frag_corrupt ctx.stats;
+        let byte, bit = Fault.corrupt_bit fr ~len in
+        Buf.set_u8 delivered (off + byte)
+          (Buf.get_u8 delivered (off + byte) lxor (1 lsl bit));
+        dirty := true;
+        trace ctx "fault" "corrupt seq=%d %d->%d passed unchecked" seq src_id
+          dst_id;
+        fault_instant ctx ~track:dst_id ~time:now "frag_corrupt"
+          [ ("seq", Obs.Int seq) ]
+      end;
+      if fate.Fault.f_dup then begin
+        (* the second copy is delivered and suppressed by seq number *)
+        Stats.record_frag_dup ctx.stats;
+        trace ctx "fault" "dup seq=%d %d->%d suppressed" seq src_id dst_id;
+        fault_instant ctx ~track:dst_id ~time:now "dup_suppressed"
+          [ ("seq", Obs.Int seq) ]
+      end;
+      (* pipelined serialization: the sender occupies the wire for the
+         fragment's serialization time; the flight latency overlaps the
+         next fragment and is reported as [x_lag] for the last one *)
+      Engine.sleep e (Config.wire_time l len);
+      last_lag := l.latency_ns +. fate.Fault.f_delay_ns
+    end
+  in
+  (let rec loop seq off = function
+     | [] -> ()
+     | len :: rest ->
+         send_frag seq off len 0;
+         if !failure = None then loop (seq + 1) (off + len) rest
+   in
+   loop 0 0 frag_sizes);
+  match !failure with
+  | Some err -> Error err
+  | None ->
+      (* cumulative ack for the whole window *)
+      Stats.record_ack ctx.stats;
+      fault_instant ctx ~track:dst_id ~time:(Engine.now e +. !last_lag) "ack"
+        [ ("bytes", Obs.Int (Buf.length stream)) ];
+      if obs_on ctx then
+        ignore
+          (Obs.span_complete ctx.obs ~track:src_id ~cat:"proto" ~t0:t_start
+             ~t1:(Engine.now e +. !last_lag)
+             ~args:
+               [
+                 ("bytes", Obs.Int (Buf.length stream));
+                 ("frags", Obs.Int (List.length frag_sizes));
+                 ("retx", Obs.Int !retx);
+               ]
+             "rel_xfer");
+      Ok { x_lag = !last_lag; x_delivered = delivered; x_dirty = !dirty }
+
+(* Fault-mode rendezvous data movement.  Runs in its own fiber because
+   the reliable protocol sleeps; timing is phase-serial (handshake,
+   pack, wire + recovery, unpack) rather than the fault-free overlapped
+   model — reliability changes the clock by design. *)
+let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
+  let ctx = w.ctx in
+  let e = ctx.engine in
+  let l = link ctx in
+  let c = cpu ctx in
+  let size = env.e_total in
+  let fail_both err =
+    complete_if_pending r.r_request { len = 0; tag = env.e_tag; error = Some err };
+    complete pr.pr_req { len = 0; tag = env.e_tag; error = Some err }
+  in
+  Engine.spawn e ~name:"rel_rndv" ~track:env.e_src (fun () ->
+      Engine.sleep e (l.rndv_handshake_ns +. l.rndv_reg_ns);
+      match materialize ctx r.r_dt with
+      | exception Callback_error code -> fail_both (Callback_failed code)
+      | frags, send_cbs -> (
+          (* sender-side staging CPU, as in the fault-free model *)
+          let cpu_send =
+            match r.r_dt with
+            | Sd_generic g ->
+                Config.alloc_time c l.frag_size
+                +. Config.memcpy_time c size
+                +. (float_of_int send_cbs *. c.pack_cb_overhead_ns)
+                +. g.sg_overhead_ns
+            | Sd_iov bufs ->
+                (* per-entry scatter/gather setup, as in the fault-free
+                   wire-time formula *)
+                iov_cost ctx (List.length bufs)
+            | Sd_contig _ -> 0.
+          in
+          (match r.r_dt with
+          | Sd_generic _ -> Stats.record_copy ctx.stats size
+          | Sd_contig _ | Sd_iov _ -> ());
+          Engine.sleep e cpu_send;
+          let stream = Buf.concat frags in
+          (* Per-fragment CRC32 protects bounce-buffer streams (generic
+             pack) and plain contiguous RDMA (NIC-level ICRC).  The iov
+             scatter/gather DMA validates only an end-to-end digest
+             after the scatter, so its corruption is detected too late
+             to nack a fragment — that is what triggers the one-shot
+             packed-path fallback below. *)
+          let checksum =
+            match r.r_dt with
+            | Sd_iov _ -> false
+            | Sd_contig _ | Sd_generic _ -> true
+          in
+          let final =
+            match
+              reliable_transfer ctx fr ~src_id:env.e_src ~dst_id:w.id ~stream
+                ~checksum
+            with
+            | Error _ as err -> err
+            | Ok x when not x.x_dirty -> Ok (x, false)
+            | Ok x -> (
+                (* End-to-end digest mismatch on the zero-copy path:
+                   fall back — exactly once — to the CRC-protected
+                   packed path before surfacing an error. *)
+                Engine.sleep e x.x_lag (* the bad data had to land first *);
+                Stats.record_iov_fallback ctx.stats;
+                trace ctx "fault"
+                  "iov e2e digest mismatch %d->%d: falling back to packed path"
+                  env.e_src w.id;
+                fault_instant ctx ~track:w.id ~time:(Engine.now e)
+                  "iov_fallback"
+                  [ ("bytes", Obs.Int size) ];
+                (* the retry stages through a packed bounce buffer *)
+                Stats.record_copy ctx.stats size;
+                Engine.sleep e
+                  (Config.alloc_time c size +. Config.memcpy_time c size);
+                match
+                  reliable_transfer ctx fr ~src_id:env.e_src ~dst_id:w.id
+                    ~stream ~checksum:true
+                with
+                | Error _ as err -> err
+                | Ok x2 -> Ok (x2, true))
+          in
+          match final with
+          | Error err ->
+              trace ctx "fault" "rndv %d->%d failed" env.e_src w.id;
+              fail_both err
+          | Ok (x, fell_back) -> (
+              Engine.sleep e x.x_lag (* data lands *);
+              let zcopy =
+                if fell_back then
+                  match pr.pr_dt with
+                  | Rd_generic _ -> false
+                  | Rd_contig _ | Rd_iov _ -> true
+                else
+                  match (r.r_dt, pr.pr_dt) with
+                  | (Sd_contig _ | Sd_iov _), (Rd_contig _ | Rd_iov _) -> true
+                  | Sd_generic _, (Rd_contig _ | Rd_iov _) -> true
+                  | _, Rd_generic _ -> false
+              in
+              match deposit ctx pr.pr_dt (reslice l x.x_delivered) ~zcopy with
+              | exception Callback_error code ->
+                  fail_both (Callback_failed code)
+              | cpu_recv ->
+                  Engine.sleep e cpu_recv;
+                  complete pr.pr_req
+                    { len = size; tag = env.e_tag; error = None };
+                  (* the sender completes when the final ack crosses back *)
+                  Engine.at e ~delay:l.latency_ns (fun () ->
+                      complete_if_pending r.r_request
+                        { len = size; tag = env.e_tag; error = None }))))
 
 (* Process a matched (posted, envelope) pair at the current virtual
    time.  All data movement happens here; completions are scheduled
@@ -305,6 +632,7 @@ let make_request e = { ivar = Engine.Ivar.create (); r_engine = e }
 let process_match w (pr : posted) (env : envelope) =
   let ctx = w.ctx in
   let e = ctx.engine in
+  env.e_matched <- true;
   let capacity = recv_dt_capacity pr.pr_dt in
   let finish_recv ~delay status =
     Engine.at e ~delay (fun () -> complete pr.pr_req status)
@@ -321,7 +649,7 @@ let process_match w (pr : posted) (env : envelope) =
     (* Truncation: no data is delivered; sender completes normally
        (it either already did, for eager, or completes now). *)
     (match env.e_payload with
-    | P_eager _ -> ()
+    | P_eager _ | P_nack _ -> ()
     | P_rndv r ->
         complete r.r_request { len = env.e_total; tag = env.e_tag; error = None });
     finish_recv ~delay:0.
@@ -333,6 +661,13 @@ let process_match w (pr : posted) (env : envelope) =
   end
   else
     match env.e_payload with
+    | P_nack err ->
+        (* Poison envelope: the sender's transfer failed after the
+           receive was (or would be) matched; complete the receive with
+           the sender-side error instead of leaving it pending. *)
+        finish_recv ~delay:0. { len = 0; tag = env.e_tag; error = Some err }
+    | P_rndv r when Option.is_some ctx.faults ->
+        process_match_faulty w pr env r (Option.get ctx.faults)
     | P_eager frags -> (
         (* Data already arrived in bounce buffers; receiver copies or
            unpacks it into place.  If it sat in the unexpected queue we
@@ -503,7 +838,7 @@ let deliver w env =
       | P_eager _ ->
           env.e_unexpected_alloc <- env.e_total;
           Stats.record_alloc w.ctx.stats env.e_total
-      | P_rndv _ -> ());
+      | P_rndv _ | P_nack _ -> ());
       env.e_queued_at <- Engine.now w.ctx.engine;
       w.unexpected <- w.unexpected @ [ env ];
       if obs_on w.ctx then begin
@@ -563,7 +898,12 @@ let ship ep ~after env =
   if obs_on ctx then begin
     (* Eager payload bytes ride this delivery; a rendezvous only ships
        its RTS control message here (data moves at match time). *)
-    let name = match env.e_payload with P_eager _ -> "wire" | P_rndv _ -> "rts" in
+    let name =
+      match env.e_payload with
+      | P_eager _ -> "wire"
+      | P_rndv _ -> "rts"
+      | P_nack _ -> "nack"
+    in
     ignore
       (Obs.span_complete ctx.obs ~track:ep.ep_src.id ~cat:"proto"
          ~t0:(Engine.now e) ~t1:arrival
@@ -571,6 +911,60 @@ let ship ep ~after env =
          name)
   end;
   Engine.at e ~delay:(arrival -. Engine.now e) (fun () -> deliver ep.ep_dst env)
+
+(* Fault-mode RTS shipping: the rendezvous control message itself
+   traverses the reliable protocol (it can be dropped and
+   retransmitted), and an optional handshake timer abandons the send if
+   no matching receive turns up in time. *)
+let ship_rts_reliable ep fr (env : envelope) (req : request) =
+  let ctx = ep.ep_src.ctx in
+  let e = ctx.engine in
+  let l = link ctx in
+  let plan = Fault.plan fr in
+  Engine.spawn e ~name:"rel_rts" ~track:ep.ep_src.id (fun () ->
+      match
+        reliable_transfer ctx fr ~src_id:ep.ep_src.id ~dst_id:ep.ep_dst.id
+          ~stream:(Buf.create 0) ~checksum:true
+      with
+      | Ok x ->
+          ship ep ~after:x.x_lag env;
+          if plan.Fault.rndv_timeout_ns > 0. then
+            Engine.at e ~delay:(x.x_lag +. plan.Fault.rndv_timeout_ns)
+              (fun () ->
+                if
+                  (not env.e_matched)
+                  && not (Engine.Ivar.is_filled req.ivar)
+                then begin
+                  Stats.record_delivery_timeout ctx.stats;
+                  trace ctx "fault" "rndv handshake timeout %d->%d tag=%Lx"
+                    ep.ep_src.id ep.ep_dst.id env.e_tag;
+                  fault_instant ctx ~track:ep.ep_src.id ~time:(Engine.now e)
+                    "rndv_timeout"
+                    [ ("dst", Obs.Int ep.ep_dst.id) ];
+                  (* withdraw the RTS so a late receive cannot match it *)
+                  ep.ep_dst.unexpected <-
+                    List.filter (fun x -> x != env) ep.ep_dst.unexpected;
+                  complete req
+                    {
+                      len = 0;
+                      tag = env.e_tag;
+                      error = Some (Timeout { retries = 0 });
+                    }
+                end)
+      | Error err ->
+          complete req { len = 0; tag = env.e_tag; error = Some err };
+          (* poison the receiver so a posted receive completes too *)
+          ship ep ~after:l.latency_ns
+            {
+              e_tag = env.e_tag;
+              e_total = 0;
+              e_src = ep.ep_src.id;
+              e_payload = P_nack err;
+              e_unexpected_alloc = 0;
+              e_sent_at = Engine.now e;
+              e_queued_at = Float.nan;
+              e_matched = false;
+            })
 
 let tag_send ep ~tag dt =
   let ctx = ep.ep_src.ctx in
@@ -599,9 +993,12 @@ let tag_send ep ~tag dt =
           e_unexpected_alloc = 0;
           e_sent_at = Engine.now e;
           e_queued_at = Float.nan;
+          e_matched = false;
         }
       in
-      ship ep ~after:l.latency_ns env
+      (match ctx.faults with
+      | None -> ship ep ~after:l.latency_ns env
+      | Some fr -> ship_rts_reliable ep fr env req)
   | Sd_contig _ | Sd_generic _ ->
       if total <= l.eager_limit then begin
         (* Eager: snapshot/pack synchronously, then fire and forget. *)
@@ -643,21 +1040,79 @@ let tag_send ep ~tag dt =
                   ~n:ncb ~name:"pack_cb" ~hist:"pack_cb_ns" ~parent:sp ()
               end
             end;
-            let env =
+            (match ctx.faults with
+            | None ->
+                let env =
+                  {
+                    e_tag = tag;
+                    e_total = total;
+                    e_src = ep.ep_src.id;
+                    e_payload = P_eager frags;
+                    e_unexpected_alloc = 0;
+                    e_sent_at = Engine.now e;
+                    e_queued_at = Float.nan;
+                    e_matched = false;
+                  }
+                in
+                ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
+                complete req { len = total; tag; error = None }
+            | Some fr ->
+                (* Reliable eager: fragments traverse the protocol and
+                   the send completes only at the final ack, so retry
+                   exhaustion can surface Timeout to the sender. *)
+                Engine.spawn e ~name:"rel_eager" ~track:ep.ep_src.id
+                  (fun () ->
+                    let stream = Buf.concat frags in
+                    match
+                      reliable_transfer ctx fr ~src_id:ep.ep_src.id
+                        ~dst_id:ep.ep_dst.id ~stream ~checksum:true
+                    with
+                    | Ok x ->
+                        let env =
+                          {
+                            e_tag = tag;
+                            e_total = total;
+                            e_src = ep.ep_src.id;
+                            e_payload = P_eager (reslice l x.x_delivered);
+                            e_unexpected_alloc = 0;
+                            e_sent_at = Engine.now e;
+                            e_queued_at = Float.nan;
+                            e_matched = false;
+                          }
+                        in
+                        ship ep ~after:x.x_lag env;
+                        Engine.sleep e x.x_lag;
+                        complete req { len = total; tag; error = None }
+                    | Error err ->
+                        complete req { len = 0; tag; error = Some err };
+                        ship ep ~after:l.latency_ns
+                          {
+                            e_tag = tag;
+                            e_total = 0;
+                            e_src = ep.ep_src.id;
+                            e_payload = P_nack err;
+                            e_unexpected_alloc = 0;
+                            e_sent_at = Engine.now e;
+                            e_queued_at = Float.nan;
+                            e_matched = false;
+                          }))
+        | exception Callback_error code ->
+            let err = Callback_failed code in
+            complete req { len = 0; tag; error = Some err };
+            (* A failed pack must not leave the peer's posted receive
+               pending forever: notify it with a poison envelope. *)
+            Stats.record_nack ctx.stats;
+            ship ep ~after:l.latency_ns
               {
                 e_tag = tag;
-                e_total = total;
+                e_total = 0;
                 e_src = ep.ep_src.id;
-                e_payload = P_eager frags;
+                e_payload = P_nack err;
                 e_unexpected_alloc = 0;
                 e_sent_at = Engine.now e;
                 e_queued_at = Float.nan;
+                e_matched = false;
               }
-            in
-            ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
-            complete req { len = total; tag; error = None }
-        | exception Callback_error code ->
-            complete req { len = 0; tag; error = Some (Callback_failed code) }
       end
       else begin
         (* Rendezvous: only the RTS travels now. *)
@@ -673,9 +1128,12 @@ let tag_send ep ~tag dt =
             e_unexpected_alloc = 0;
             e_sent_at = Engine.now e;
             e_queued_at = Float.nan;
+            e_matched = false;
           }
         in
-        ship ep ~after:l.latency_ns env
+        (match ctx.faults with
+        | None -> ship ep ~after:l.latency_ns env
+        | Some fr -> ship_rts_reliable ep fr env req)
       end);
   req
 

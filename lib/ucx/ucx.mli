@@ -96,6 +96,15 @@ val recv_dt_capacity : recv_dt -> int
 type error =
   | Truncated of { expected : int; capacity : int }
   | Callback_failed of int
+  | Timeout of { retries : int }
+      (** the reliable-delivery protocol gave up after [retries]
+          retransmissions (or a rendezvous handshake timed out, with
+          [retries = 0]) *)
+  | Peer_failed of { peer : int }
+      (** the destination (or source) worker crashed mid-transfer *)
+  | Data_corrupted
+      (** retries exhausted with checksum failures, or end-to-end
+          verification failed after the packed-path fallback *)
 
 type status = { len : int; tag : int64; error : error option }
 
@@ -153,6 +162,29 @@ val set_obs : context -> Mpicd_obs.Obs.t -> unit
     latency / queue-depth metrics are recorded in the sink's registry.
     Pass [Mpicd_obs.Obs.null] to detach; recording never perturbs the
     simulation. *)
+
+(** {1 Fault injection} *)
+
+val set_faults : context -> Mpicd_simnet.Fault.t option -> unit
+(** Attach (or detach, with [None]) a fault plan.  With a plan attached
+    every payload fragment — eager data, rendezvous data, and the RTS
+    control message — traverses a reliable-delivery protocol: fragments
+    carry sequence numbers and CRC-32 checksums, the receiver acks/nacks
+    them, and the sender retransmits with exponential backoff on the
+    virtual clock, so recovery costs simulated time and shows up in
+    {!Stats} and the attached {!Mpicd_obs.Obs} sink.  Retry exhaustion
+    surfaces [Timeout], [Peer_failed] or [Data_corrupted] through the
+    request status on {e both} sides of the transfer.  The iovec path
+    models scatter/gather DMA whose corruption is only detected
+    end-to-end: a dirty iov transfer falls back — once — to the
+    CRC-protected packed path before any error is surfaced.
+
+    With no plan attached ([None], the default) every code path is the
+    pre-fault one: timing, statistics and traces are bit-identical to a
+    build without fault injection.  See docs/FAULTS.md. *)
+
+val faults : context -> Mpicd_simnet.Fault.t option
+(** The currently attached fault plan, if any. *)
 
 (** {1 Test-only knobs} *)
 

@@ -1,0 +1,577 @@
+(* Tests for fault injection: the simnet fault plan, the transport's
+   reliable-delivery protocol, and MPI-level error propagation.
+
+   The zero-overhead test pins latency and counters to constants
+   captured on the tree *before* fault injection existed: with no plan
+   attached, every measurement must stay bit-identical. *)
+
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Fault = Mpicd_simnet.Fault
+module Ucx = Mpicd_ucx.Ucx
+module Obs = Mpicd_obs.Obs
+module Metrics = Mpicd_obs.Metrics
+module Mpi = Mpicd.Mpi
+module Custom = Mpicd.Custom
+module Dt = Mpicd_datatype.Datatype
+module H = Mpicd_harness.Harness
+module Registry = Mpicd_ddtbench.Registry
+module Kernel = Mpicd_ddtbench.Kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.))
+
+let pattern n =
+  let b = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 b i ((i * 31 + 7) land 0xff)
+  done;
+  b
+
+(* --- the Fault plan itself --- *)
+
+let test_plan_string_roundtrip () =
+  let p =
+    Fault.make ~seed:9
+      ~link:
+        {
+          Fault.clean_link with
+          drop_p = 0.05;
+          corrupt_p = 0.01;
+          flap_period_ns = 1000.;
+          flap_down_ns = 100.;
+        }
+      ~crashes:[ (1, 5000.) ] ~max_retries:4 ~rto_ns:1000. ~backoff:1.5
+      ~rndv_timeout_ns:2000. ()
+  in
+  (match Fault.of_string (Fault.to_string p) with
+  | Ok q -> check_bool "of_string (to_string p) = p" true (p = q)
+  | Error e -> Alcotest.fail e);
+  (match Fault.of_string "seed=3,drop=0.5,flap=1000/100,crash=1@5000,retries=2" with
+  | Ok q ->
+      check_int "seed" 3 q.Fault.seed;
+      check_float "drop" 0.5 q.Fault.link.Fault.drop_p;
+      check_float "flap period" 1000. q.Fault.link.Fault.flap_period_ns;
+      check_float "flap down" 100. q.Fault.link.Fault.flap_down_ns;
+      check_bool "crash" true (q.Fault.crashes = [ (1, 5000.) ]);
+      check_int "retries" 2 q.Fault.max_retries
+  | Error e -> Alcotest.fail e);
+  match Fault.of_string "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown keys must be rejected"
+  | Error _ -> ()
+
+let test_rto_backoff () =
+  let p = Fault.make ~rto_ns:1000. ~backoff:2. () in
+  check_float "first timeout" 1000. (Fault.rto p ~attempt:0);
+  check_float "fourth timeout" 8000. (Fault.rto p ~attempt:3)
+
+let test_flap_window () =
+  let p =
+    Fault.make
+      ~link:{ Fault.clean_link with flap_period_ns = 1000.; flap_down_ns = 100. }
+      ()
+  in
+  let up now = Fault.up_at p ~src:0 ~dst:1 ~now in
+  check_float "down at period start" 100. (up 50.);
+  check_float "up mid-period" 500. (up 500.);
+  check_float "down again next period" 2100. (up 2050.);
+  let clean = Fault.make () in
+  check_float "clean link never waits" 123.
+    (Fault.up_at clean ~src:0 ~dst:1 ~now:123.)
+
+let test_crash_schedule () =
+  let p = Fault.make ~crashes:[ (1, 500.) ] () in
+  check_bool "alive before" false (Fault.crashed p ~rank:1 ~now:499.);
+  check_bool "dead at the instant" true (Fault.crashed p ~rank:1 ~now:500.);
+  check_bool "other ranks unaffected" false (Fault.crashed p ~rank:0 ~now:1e12)
+
+let test_fate_stream_determinism () =
+  let p =
+    Fault.make ~seed:5
+      ~link:
+        {
+          Fault.clean_link with
+          drop_p = 0.3;
+          corrupt_p = 0.3;
+          dup_p = 0.3;
+          delay_p = 0.3;
+          delay_ns = 500.;
+        }
+      ()
+  in
+  let a = Fault.start p and b = Fault.start p in
+  let saw_event = ref false in
+  for i = 1 to 200 do
+    let fa = Fault.fate a ~src:0 ~dst:1 and fb = Fault.fate b ~src:0 ~dst:1 in
+    if fa <> fb then Alcotest.failf "fate streams diverge at draw %d" i;
+    if fa.Fault.f_drop || fa.Fault.f_corrupt || fa.Fault.f_dup then
+      saw_event := true
+  done;
+  check_bool "events actually occur" true !saw_event;
+  (* a clean plan draws nothing *)
+  let c = Fault.start (Fault.make ()) in
+  for _ = 1 to 50 do
+    let f = Fault.fate c ~src:0 ~dst:1 in
+    if f.Fault.f_drop || f.Fault.f_corrupt || f.Fault.f_dup || f.Fault.f_delay_ns <> 0.
+    then Alcotest.fail "clean plan produced a fault"
+  done
+
+(* --- zero overhead when disabled ---
+
+   Constants captured on the pre-fault-injection tree (same workloads,
+   same seeds).  Exact float equality is the point: attaching no plan
+   must leave the virtual clock and every counter untouched. *)
+
+let bytes_impl n () =
+  {
+    H.send =
+      (fun comm ~dst ~tag -> Mpi.send comm ~dst ~tag (Mpi.Bytes (pattern n)));
+    H.recv =
+      (fun comm ~source ~tag ->
+        ignore (Mpi.recv comm ~source ~tag (Mpi.Bytes (Buf.create n))));
+  }
+
+let test_zero_overhead_golden () =
+  let kernel = Option.get (Registry.find "NAS_MG_x") in
+  let (module K : Kernel.KERNEL) = kernel in
+  let r =
+    H.pingpong ~reps:3 ~bytes:K.wire_bytes
+      (Mpicd_figures.Methods.k_custom_pack kernel)
+  in
+  let s = r.H.stats in
+  check_float "custom_pack latency" 77.654223999999957 r.H.latency_us;
+  check_float "custom_pack bandwidth" 1609.6999436888336 r.H.bandwidth_mib_s;
+  check_int "custom_pack msgs" 6 s.Stats.messages_sent;
+  check_int "custom_pack wire" 786432 s.Stats.bytes_on_wire;
+  check_int "custom_pack rndv" 6 s.Stats.rndv_messages;
+  check_int "custom_pack iov entries" 6 s.Stats.iov_entries;
+  check_int "custom_pack memcpys" 13 s.Stats.memcpys;
+  check_int "custom_pack copied" 1572864 s.Stats.bytes_copied;
+  check_int "custom_pack allocs" 12 s.Stats.allocs;
+  check_int "custom_pack allocated" 1572864 s.Stats.bytes_allocated;
+  check_int "custom_pack peak alloc" 262144 s.Stats.peak_alloc_bytes;
+  check_int "custom_pack pack cbs" 96 s.Stats.pack_callbacks;
+  check_int "custom_pack unpack cbs" 96 s.Stats.unpack_callbacks;
+  check_int "custom_pack query cbs" 12 s.Stats.query_callbacks;
+  check_int "custom_pack reliability events" 0 (Stats.reliability_events s);
+  let r = H.pingpong ~reps:3 ~bytes:1024 (bytes_impl 1024) in
+  let s = r.H.stats in
+  check_float "eager latency" 1.6902880000000007 r.H.latency_us;
+  check_float "eager bandwidth" 577.74917647170162 r.H.bandwidth_mib_s;
+  check_int "eager msgs" 6 s.Stats.messages_sent;
+  check_int "eager wire" 6144 s.Stats.bytes_on_wire;
+  check_int "eager eager" 6 s.Stats.eager_messages;
+  check_int "eager memcpys" 7 s.Stats.memcpys;
+  check_int "eager copied" 6144 s.Stats.bytes_copied;
+  check_int "eager reliability events" 0 (Stats.reliability_events s);
+  let r = H.pingpong ~reps:3 ~bytes:(128 * 1024) (bytes_impl (128 * 1024)) in
+  let s = r.H.stats in
+  check_float "rndv latency" 18.353263999999999 r.H.latency_us;
+  check_float "rndv bandwidth" 6810.7776360651706 r.H.bandwidth_mib_s;
+  check_int "rndv msgs" 6 s.Stats.messages_sent;
+  check_int "rndv wire" 786432 s.Stats.bytes_on_wire;
+  check_int "rndv rndv" 6 s.Stats.rndv_messages;
+  check_int "rndv memcpys" 1 s.Stats.memcpys;
+  check_int "rndv reliability events" 0 (Stats.reliability_events s)
+
+(* --- fault matrix: protocol paths x fault kinds ---
+
+   Each cell sends [iters] tagged messages 0 -> 1 under an adverse plan
+   and verifies payload integrity after every delivery.  The per-plan
+   assertions check the plan's fault kind actually fired somewhere in
+   the sweep (per-cell counts are seed-dependent details). *)
+
+let run_faulty ?obs ~plan ~iters mk =
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  (match obs with Some o -> Mpi.set_obs w o | None -> ());
+  let send_buf, recv_buf, verify = mk () in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        for i = 1 to iters do
+          Mpi.send comm ~dst:1 ~tag:i (send_buf ())
+        done
+      else
+        for i = 1 to iters do
+          ignore (Mpi.recv comm ~source:0 ~tag:i (recv_buf ()));
+          verify i
+        done);
+  Mpi.world_stats w
+
+let bytes_path n () =
+  let src = pattern n in
+  let dst = Buf.create n in
+  ( (fun () -> Mpi.Bytes src),
+    (fun () -> Mpi.Bytes dst),
+    fun r ->
+      if not (Buf.equal src dst) then
+        Alcotest.failf "bytes(%d): payload damaged at round %d" n r;
+      Buf.fill dst '\000' )
+
+let typed_path ~count () =
+  let dt = Dt.vector ~count ~blocklength:2 ~stride:4 Dt.int32 in
+  let ext = Dt.extent dt in
+  let src = pattern ext in
+  let dst = Buf.create ext in
+  ( (fun () -> Mpi.Typed { dt; count = 1; base = src }),
+    (fun () -> Mpi.Typed { dt; count = 1; base = dst }),
+    fun r ->
+      Dt.iter_blocks dt ~count:1 ~f:(fun ~disp ~len ->
+          for i = disp to disp + len - 1 do
+            if Buf.get_u8 src i <> Buf.get_u8 dst i then
+              Alcotest.failf "typed: byte %d damaged at round %d" i r
+          done);
+      Buf.fill dst '\000' )
+
+(* Custom datatype with one zero-copy region: a 4-byte length header in
+   the packed stream, the buffer itself as an iov entry.  The unpack
+   callback validates the header, so header corruption is loud; region
+   corruption is only caught by the transport's end-to-end check. *)
+let buf_region_dt () : Buf.t Custom.t =
+  Custom.create
+    {
+      Custom.state = (fun _ ~count:_ -> ());
+      state_free = ignore;
+      query = (fun () _ ~count:_ -> 4);
+      pack =
+        (fun () b ~count:_ ~offset ~dst ->
+          let len = min (Buf.length dst) (4 - offset) in
+          for i = 0 to len - 1 do
+            Buf.set_u8 dst i ((Buf.length b lsr (8 * (offset + i))) land 0xff)
+          done;
+          len);
+      unpack =
+        (fun () b ~count:_ ~offset ~src ->
+          for i = 0 to Buf.length src - 1 do
+            if (Buf.length b lsr (8 * (offset + i))) land 0xff <> Buf.get_u8 src i
+            then raise (Custom.Error 99)
+          done);
+      region_count = Some (fun () _ ~count:_ -> 1);
+      regions = Some (fun () b ~count:_ -> [| b |]);
+    }
+
+let custom_path n () =
+  let dt = buf_region_dt () in
+  let src = pattern n in
+  let dst = Buf.create n in
+  ( (fun () -> Mpi.Custom { dt; obj = src; count = 1 }),
+    (fun () -> Mpi.Custom { dt; obj = dst; count = 1 }),
+    fun r ->
+      if not (Buf.equal src dst) then
+        Alcotest.failf "custom: payload damaged at round %d" r;
+      Buf.fill dst '\000' )
+
+let fault_paths =
+  [
+    ("eager-contig", fun () -> bytes_path 1024 ());
+    ("rndv-contig", fun () -> bytes_path (128 * 1024) ());
+    ("eager-generic", fun () -> typed_path ~count:64 ());
+    ("rndv-generic", fun () -> typed_path ~count:4096 ());
+    ("iov-custom", fun () -> custom_path 40000 ());
+  ]
+
+let sum_reliability (total : Stats.t) (s : Stats.t) =
+  total.Stats.retransmits <- total.Stats.retransmits + s.Stats.retransmits;
+  total.Stats.frags_dropped <- total.Stats.frags_dropped + s.Stats.frags_dropped;
+  total.Stats.frags_corrupted <-
+    total.Stats.frags_corrupted + s.Stats.frags_corrupted;
+  total.Stats.frags_duplicated <-
+    total.Stats.frags_duplicated + s.Stats.frags_duplicated;
+  total.Stats.iov_fallbacks <- total.Stats.iov_fallbacks + s.Stats.iov_fallbacks;
+  total.Stats.flap_waits <- total.Stats.flap_waits + s.Stats.flap_waits;
+  total.Stats.acks <- total.Stats.acks + s.Stats.acks
+
+let sweep plan =
+  let total = Stats.create () in
+  List.iter
+    (fun (_, mk) -> sum_reliability total (run_faulty ~plan ~iters:12 mk))
+    fault_paths;
+  total
+
+let test_matrix_drop () =
+  let t =
+    sweep (Fault.make ~seed:11 ~link:{ Fault.clean_link with drop_p = 0.05 } ~rto_ns:5000. ())
+  in
+  check_bool "fragments were dropped" true (t.Stats.frags_dropped > 0);
+  check_bool "drops were repaired by retransmission" true
+    (t.Stats.retransmits >= t.Stats.frags_dropped)
+
+let test_matrix_corrupt () =
+  let t =
+    sweep
+      (Fault.make ~seed:12 ~link:{ Fault.clean_link with corrupt_p = 0.05 } ~rto_ns:5000. ())
+  in
+  check_bool "fragments were corrupted" true (t.Stats.frags_corrupted > 0);
+  check_bool "corruption on the unchecksummed iov path fell back" true
+    (t.Stats.iov_fallbacks > 0)
+
+let test_matrix_dup () =
+  let t =
+    sweep (Fault.make ~seed:13 ~link:{ Fault.clean_link with dup_p = 0.1 } ())
+  in
+  check_bool "fragments were duplicated" true (t.Stats.frags_duplicated > 0);
+  check_int "duplicates cost no retransmissions" 0 t.Stats.retransmits
+
+let test_matrix_flap () =
+  let t =
+    sweep
+      (Fault.make ~seed:14
+         ~link:
+           {
+             Fault.clean_link with
+             flap_period_ns = 50_000.;
+             flap_down_ns = 5_000.;
+           }
+         ())
+  in
+  check_bool "senders waited out down-windows" true (t.Stats.flap_waits > 0);
+  check_int "flaps alone cause no retransmissions" 0 t.Stats.retransmits
+
+let test_matrix_delay () =
+  let t =
+    sweep
+      (Fault.make ~seed:15
+         ~link:{ Fault.clean_link with delay_p = 0.2; delay_ns = 2000. }
+         ())
+  in
+  (* delays reorder arrivals but lose nothing *)
+  check_int "no retransmissions" 0 t.Stats.retransmits;
+  check_bool "transfers still acked" true (t.Stats.acks > 0)
+
+(* --- replayability: same plan, same recovery, to the event --- *)
+
+let reliability_fingerprint seed =
+  let plan =
+    Fault.make ~seed
+      ~link:{ Fault.clean_link with drop_p = 0.05; corrupt_p = 0.02 }
+      ~rto_ns:5000. ()
+  in
+  let s = run_faulty ~plan ~iters:6 (fun () -> bytes_path (128 * 1024) ()) in
+  ( s.Stats.retransmits,
+    s.Stats.frags_dropped,
+    s.Stats.frags_corrupted,
+    s.Stats.acks,
+    s.Stats.nacks )
+
+let test_fixed_seed_replay () =
+  let a = reliability_fingerprint 8 in
+  check_bool "same seed replays the same recovery" true
+    (a = reliability_fingerprint 8);
+  let retx, drops, corrupt, _, _ = a in
+  check_int "seed-8 retransmits" 13 retx;
+  check_int "seed-8 drops" 9 drops;
+  check_int "seed-8 corruptions" 4 corrupt;
+  check_bool "other seeds draw other fates" true
+    (reliability_fingerprint 7 <> a || reliability_fingerprint 9 <> a)
+
+(* --- giving up: retry exhaustion, crashes, handshake timeouts --- *)
+
+let test_retry_exhaustion () =
+  let plan =
+    Fault.make
+      ~link:{ Fault.clean_link with drop_p = 1.0 }
+      ~max_retries:2 ~rto_ns:1000. ()
+  in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let got_send = ref None and got_recv = ref None in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        match Mpi.send comm ~dst:1 ~tag:5 (Mpi.Bytes (pattern 512)) with
+        | () -> Alcotest.fail "send survived a 100% lossy link"
+        | exception Mpi.Mpi_error e -> got_send := Some e
+      else
+        match Mpi.recv comm ~source:0 ~tag:5 (Mpi.Bytes (Buf.create 512)) with
+        | _ -> Alcotest.fail "recv completed on a 100% lossy link"
+        | exception Mpi.Mpi_error e -> got_recv := Some e);
+  (match !got_send with
+  | Some (Mpi.Timeout { retries }) -> check_int "retries reported" 2 retries
+  | _ -> Alcotest.fail "sender: expected Timeout");
+  (match !got_recv with
+  | Some (Mpi.Timeout _) -> ()
+  | _ -> Alcotest.fail "receiver: expected the poison nack to carry Timeout");
+  check_int "gave up exactly once" 1 (Mpi.world_stats w).Stats.delivery_timeouts
+
+let test_peer_crash () =
+  let plan = Fault.make ~crashes:[ (1, 0.) ] ~max_retries:1 ~rto_ns:1000. () in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let got = ref None in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        match Mpi.send comm ~dst:1 ~tag:1 (Mpi.Bytes (pattern 256)) with
+        | () -> Alcotest.fail "send to a crashed rank succeeded"
+        | exception Mpi.Mpi_error e -> got := Some e
+      else
+        (* the crashed rank's fiber still runs (the model kills the
+           link, not the code); its receive fails via the poison nack *)
+        match Mpi.recv comm ~source:0 ~tag:1 (Mpi.Bytes (Buf.create 256)) with
+        | _ -> Alcotest.fail "recv on a crashed rank succeeded"
+        | exception Mpi.Mpi_error _ -> ());
+  match !got with
+  | Some (Mpi.Peer_failed { peer }) -> check_int "failed peer" 1 peer
+  | _ -> Alcotest.fail "expected Peer_failed on the sender"
+
+let test_rndv_handshake_timeout () =
+  let plan = Fault.make ~rndv_timeout_ns:10_000. () in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let got = ref None in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        (* rendezvous-sized send; rank 1 never posts a receive *)
+        match Mpi.send comm ~dst:1 ~tag:1 (Mpi.Bytes (pattern (128 * 1024))) with
+        | () -> Alcotest.fail "unmatched rendezvous send completed"
+        | exception Mpi.Mpi_error e -> got := Some e);
+  (match !got with
+  | Some (Mpi.Timeout { retries = 0 }) -> ()
+  | _ -> Alcotest.fail "expected a handshake Timeout with retries = 0");
+  check_int "timeout recorded" 1 (Mpi.world_stats w).Stats.delivery_timeouts
+
+(* --- per-communicator error handlers --- *)
+
+let lossy_plan () =
+  Fault.make ~link:{ Fault.clean_link with drop_p = 1.0 } ~max_retries:1
+    ~rto_ns:1000. ()
+
+let test_errors_return () =
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some (lossy_plan ()));
+  Mpi.run w (fun comm ->
+      Mpi.set_errhandler comm Mpi.Errors_return;
+      if Mpi.rank comm = 0 then begin
+        Mpi.send comm ~dst:1 ~tag:1 (Mpi.Bytes (pattern 256));
+        (match Mpi.last_error comm with
+        | Some (Mpi.Timeout _) -> ()
+        | _ -> Alcotest.fail "sender: expected a stashed Timeout");
+        Mpi.clear_last_error comm;
+        check_bool "cleared" true (Mpi.last_error comm = None)
+      end
+      else begin
+        let st = Mpi.recv comm ~source:0 ~tag:1 (Mpi.Bytes (Buf.create 256)) in
+        check_int "degraded status is empty" 0 st.Mpi.len;
+        match Mpi.last_error comm with
+        | Some (Mpi.Timeout _) -> ()
+        | _ -> Alcotest.fail "receiver: expected a stashed Timeout"
+      end)
+
+let test_errors_abort () =
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some (lossy_plan ()));
+  Mpi.run w (fun comm ->
+      Mpi.set_errhandler comm Mpi.Errors_abort;
+      if Mpi.rank comm = 0 then
+        match Mpi.send comm ~dst:1 ~tag:1 (Mpi.Bytes (pattern 256)) with
+        | () -> Alcotest.fail "send survived"
+        | exception Mpi.Aborted { rank = 0; error = Mpi.Timeout _ } -> ()
+        | exception _ -> Alcotest.fail "expected Aborted on the sender"
+      else
+        match Mpi.recv comm ~source:0 ~tag:1 (Mpi.Bytes (Buf.create 256)) with
+        | _ -> Alcotest.fail "recv survived"
+        | exception Mpi.Aborted { rank = 1; _ } -> ()
+        | exception _ -> Alcotest.fail "expected Aborted on the receiver")
+
+let test_errhandler_inherited_by_split () =
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.run w (fun comm ->
+      Mpi.set_errhandler comm Mpi.Errors_return;
+      let sub = Mpi.comm_split comm ~color:0 ~key:0 in
+      check_bool "split inherits the parent handler" true
+        (Mpi.get_errhandler sub = Mpi.Errors_return);
+      check_bool "world default is raise" true
+        (Mpi.get_errhandler comm = Mpi.Errors_return))
+
+(* --- iov corruption falls back to the packed path, exactly once --- *)
+
+let test_iov_fallback_once () =
+  let obs = Obs.create () in
+  let plan =
+    Fault.make ~seed:2
+      ~link:{ Fault.clean_link with corrupt_p = 0.3 }
+      ~rto_ns:5000. ()
+  in
+  let s = run_faulty ~obs ~plan ~iters:1 (fun () -> custom_path 40000 ()) in
+  check_int "fell back to the packed path once" 1 s.Stats.iov_fallbacks;
+  let falls =
+    List.filter
+      (fun (i : Obs.instant) -> i.Obs.i_name = "iov_fallback")
+      (Obs.instants obs)
+  in
+  check_int "one fallback instant in the trace" 1 (List.length falls);
+  check_bool "instants carry the fault category" true
+    (List.for_all (fun (i : Obs.instant) -> i.Obs.i_cat = "fault") falls);
+  check_int "fault.iov_fallback metric" 1
+    (Metrics.counter_value
+       (Metrics.counter (Obs.metrics obs) "fault.iov_fallback"))
+
+(* --- eager callback failure ships a poison nack (no fault plan) ---
+
+   Before reliable delivery, a pack callback raising mid-eager-send
+   completed the sender but left the peer's posted receive pending
+   forever.  The poison nack is part of the base protocol. *)
+
+let test_eager_pack_failure_nacks_receiver () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config:Config.default ~stats in
+  let w0 = Ucx.create_worker ctx in
+  let w1 = Ucx.create_worker ctx in
+  let ep01 = Ucx.connect w0 w1 in
+  ignore (Ucx.connect w1 w0);
+  let failing =
+    Ucx.Sd_generic
+      {
+        sg_packed_size = 256;
+        sg_pack = (fun ~offset:_ ~dst:_ -> raise (Ucx.Callback_error 9));
+        sg_finish = ignore;
+        sg_overhead_ns = 0.;
+      }
+  in
+  let sender_done = ref false and receiver_done = ref false in
+  Engine.spawn engine (fun () ->
+      let st = Ucx.wait (Ucx.tag_send ep01 ~tag:3L failing) in
+      (match st.Ucx.error with
+      | Some (Ucx.Callback_failed 9) -> ()
+      | _ -> Alcotest.fail "sender: expected Callback_failed");
+      sender_done := true);
+  Engine.spawn engine (fun () ->
+      let st =
+        Ucx.wait (Ucx.tag_recv w1 ~tag:3L ~mask:(-1L) (Ucx.Rd_contig (Buf.create 256)))
+      in
+      (match st.Ucx.error with
+      | Some (Ucx.Callback_failed 9) -> ()
+      | _ -> Alcotest.fail "receiver: expected the nack's Callback_failed");
+      receiver_done := true);
+  Engine.run engine;
+  check_bool "sender completed" true !sender_done;
+  check_bool "receiver completed (no deadlock)" true !receiver_done;
+  check_int "nack counted" 1 stats.Stats.nacks
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "faults",
+    [
+      tc "plan string roundtrip" `Quick test_plan_string_roundtrip;
+      tc "rto backoff" `Quick test_rto_backoff;
+      tc "flap windows" `Quick test_flap_window;
+      tc "crash schedule" `Quick test_crash_schedule;
+      tc "fate stream determinism" `Quick test_fate_stream_determinism;
+      tc "zero overhead when disabled (golden)" `Quick test_zero_overhead_golden;
+      tc "matrix: drop" `Quick test_matrix_drop;
+      tc "matrix: corrupt" `Quick test_matrix_corrupt;
+      tc "matrix: duplicate" `Quick test_matrix_dup;
+      tc "matrix: link flap" `Quick test_matrix_flap;
+      tc "matrix: delay" `Quick test_matrix_delay;
+      tc "fixed seed replays exact recovery" `Quick test_fixed_seed_replay;
+      tc "retry exhaustion -> Timeout" `Quick test_retry_exhaustion;
+      tc "peer crash -> Peer_failed" `Quick test_peer_crash;
+      tc "rendezvous handshake timeout" `Quick test_rndv_handshake_timeout;
+      tc "Errors_return stashes the error" `Quick test_errors_return;
+      tc "Errors_abort raises Aborted" `Quick test_errors_abort;
+      tc "errhandler inherited by comm_split" `Quick test_errhandler_inherited_by_split;
+      tc "iov corruption falls back once" `Quick test_iov_fallback_once;
+      tc "eager pack failure nacks receiver" `Quick test_eager_pack_failure_nacks_receiver;
+    ] )

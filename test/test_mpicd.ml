@@ -20,4 +20,5 @@ let () =
       Test_threaded.suite;
       Test_device.suite;
       Test_check.suite;
+      Test_faults.suite;
     ]

@@ -32,6 +32,10 @@ let expect_ok (st : Ucx.status) =
   | None -> ()
   | Some (Ucx.Truncated _) -> Alcotest.fail "unexpected truncation"
   | Some (Ucx.Callback_failed c) -> Alcotest.failf "callback failed: %d" c
+  | Some (Ucx.Timeout { retries }) ->
+      Alcotest.failf "unexpected timeout after %d retries" retries
+  | Some (Ucx.Peer_failed { peer }) -> Alcotest.failf "peer %d failed" peer
+  | Some Ucx.Data_corrupted -> Alcotest.fail "data corrupted"
 
 let test_contig_eager_roundtrip () =
   with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
