@@ -11,11 +11,13 @@
    baseline reports reliability events (the zero-overhead guarantee). *)
 
 module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
 module Stats = Mpicd_simnet.Stats
 module Fault = Mpicd_simnet.Fault
 module Mpi = Mpicd.Mpi
 module Custom = Mpicd.Custom
 module Dt = Mpicd_datatype.Datatype
+module Coll = Mpicd_collectives.Collectives
 
 let seeds = [ 1; 2; 3 ]
 let iters = 10
@@ -153,7 +155,183 @@ let run_cell ~plan ~path mk =
   if !damaged > 0 then failf "%s: %d damaged payload(s)" path !damaged;
   Mpi.world_stats w
 
+(* --- crash sweep: process failure during a collective ---
+
+   A 5-rank world runs [Coll.resilient_allreduce_f64] while the plan
+   crashes ranks at fixed virtual times (docs/RESILIENCE.md).  Checked
+   per cell: no rank hangs (every fiber records an outcome and the run
+   terminates); every surviving rank commits a result; each committed
+   result is exactly the reduction over the committing rank's final
+   group; ranks that give up are crashed ranks failing with
+   [Peer_failed]/[Revoked]; completion lands within a bounded virtual
+   deadline of the last crash; and the whole cell replays bit-identically
+   (outcomes and counters) when run a second time with the same seed. *)
+
+let crash_size = 5
+let crash_floats = 4096 (* 32 KiB per message: the rendezvous path *)
+
+(* integer-valued contributions, so tree-reduction order cannot perturb
+   the sums and committed results compare exactly *)
+let contribution r =
+  Array.init crash_floats (fun j -> float_of_int ((r + 1) * ((j mod 7) + 1)))
+
+type crash_outcome =
+  | Committed of { group : int list; data : float array; shrinks : int; t : float }
+  | Gave_up of { err : string; t : float }
+
+let err_name : Mpi.error -> string = function
+  | Mpi.Peer_failed { peer } -> Printf.sprintf "peer_failed:%d" peer
+  | Mpi.Revoked -> "revoked"
+  | Mpi.Timeout _ -> "timeout"
+  | Mpi.Data_corrupted -> "data_corrupted"
+  | Mpi.Truncated _ -> "truncated"
+  | Mpi.Callback_failed c -> Printf.sprintf "callback_failed:%d" c
+
+let data_digest data =
+  Array.fold_left
+    (fun acc v -> Int64.add (Int64.mul acc 31L) (Int64.bits_of_float v))
+    7L data
+
+let crash_outcome_str = function
+  | Committed { group; data; shrinks; t } ->
+      Printf.sprintf "ok group=[%s] digest=%Lx shrinks=%d t=%.0f"
+        (String.concat ";" (List.map string_of_int group))
+        (data_digest data) shrinks t
+  | Gave_up { err; t } -> Printf.sprintf "gave_up %s t=%.0f" err t
+
+let crash_specs =
+  [
+    ("crash-mid", "crash=3@20000,hb=100000,rto=5000");
+    ("crash-root", "crash=0@15000,hb=100000,rto=5000");
+    ("crash-two", "crash=1@10000,crash=4@60000,hb=100000,rto=5000");
+    ("crash-late", "crash=2@2000000,hb=100000,rto=5000");
+    ("crash-drop", "crash=2@30000,drop=0.03,hb=100000,rto=5000");
+  ]
+
+let run_crash_cell ~plan =
+  let w = Mpi.create_world ~size:crash_size () in
+  Mpi.set_faults w (Some plan);
+  let engine = Mpi.world_engine w in
+  let outcomes = Array.make crash_size None in
+  (try
+     Mpi.run w (fun comm ->
+         let me = Mpi.rank comm in
+         let data = contribution me in
+         match Coll.resilient_allreduce_f64 comm ~op:`Sum data with
+         | comm', shrinks ->
+             let group =
+               List.init (Mpi.size comm') (Mpi.world_rank_of comm')
+             in
+             outcomes.(me) <-
+               Some
+                 (Committed
+                    { group; data = Array.copy data; shrinks;
+                      t = Engine.now engine })
+         | exception Mpi.Mpi_error err ->
+             outcomes.(me) <-
+               Some (Gave_up { err = err_name err; t = Engine.now engine }))
+   with e -> failf "crash cell: run raised %s" (Printexc.to_string e));
+  (outcomes, Mpi.world_stats w)
+
+let check_crash_cell ~name ~seed ~plan outcomes =
+  let crashed r = Fault.crash_time plan ~rank:r <> None in
+  let crash_max =
+    List.fold_left
+      (fun m (_, t) -> Float.max m t)
+      0. (Fault.earliest_crashes plan)
+  in
+  (* generous, but bounded: detection latency is hb + 2 latencies and
+     recovery (revoke, shrink, retry) is a few hundred microseconds *)
+  let deadline = crash_max +. 10e6 in
+  let expected group =
+    let acc = Array.make crash_floats 0. in
+    List.iter
+      (fun r ->
+        let c = contribution r in
+        Array.iteri (fun j v -> acc.(j) <- acc.(j) +. v) c)
+      group;
+    acc
+  in
+  Array.iteri
+    (fun r oc ->
+      match oc with
+      | None -> failf "%s seed %d: rank %d has no outcome (hang?)" name seed r
+      | Some (Committed { group; data; t; _ }) ->
+          if not (List.mem r group) then
+            failf "%s seed %d: rank %d committed a group excluding itself"
+              name seed r;
+          if data <> expected group then
+            failf "%s seed %d: rank %d result is not the reduction over %s"
+              name seed r
+              (String.concat ";" (List.map string_of_int group));
+          if t > deadline then
+            failf "%s seed %d: rank %d finished at %.0f, past deadline %.0f"
+              name seed r t deadline
+      | Some (Gave_up { err; t }) ->
+          if not (crashed r) then
+            failf "%s seed %d: surviving rank %d gave up (%s)" name seed r err;
+          (match String.index_opt err ':' with
+          | Some i when String.sub err 0 i = "peer_failed" -> ()
+          | _ when err = "revoked" -> ()
+          | _ -> failf "%s seed %d: rank %d gave up with %s" name seed r err);
+          if t > deadline then
+            failf "%s seed %d: rank %d gave up at %.0f, past deadline %.0f"
+              name seed r t deadline)
+    outcomes
+
+let crash_stats_str (s : Stats.t) =
+  Printf.sprintf "retx=%d detect=%d cancel=%d revoke=%d shrink=%d agree=%d"
+    s.Stats.retransmits s.Stats.failures_detected s.Stats.ops_cancelled
+    s.Stats.comm_revokes s.Stats.comm_shrinks s.Stats.comm_agreements
+
+let crash_sweep () =
+  Printf.printf "%-12s %-6s %-10s %s\n" "plan" "seed" "outcome" "resilience";
+  List.iter
+    (fun (name, spec) ->
+      List.iter
+        (fun seed ->
+          let plan = plan_of ~seed spec in
+          let outcomes, stats = run_crash_cell ~plan in
+          check_crash_cell ~name ~seed ~plan outcomes;
+          (* exact replay: the same seed must reproduce the same
+             outcomes and the same event counts *)
+          let outcomes2, stats2 = run_crash_cell ~plan in
+          let render ocs =
+            String.concat "|"
+              (Array.to_list
+                 (Array.map
+                    (function
+                      | None -> "none" | Some oc -> crash_outcome_str oc)
+                    ocs))
+          in
+          if render outcomes <> render outcomes2 then
+            failf "%s seed %d: replay diverged:\n  %s\n  %s" name seed
+              (render outcomes) (render outcomes2);
+          if crash_stats_str stats <> crash_stats_str stats2 then
+            failf "%s seed %d: replay counter mismatch: %s vs %s" name seed
+              (crash_stats_str stats) (crash_stats_str stats2);
+          let ok, gave =
+            Array.fold_left
+              (fun (ok, gave) -> function
+                | Some (Committed _) -> (ok + 1, gave)
+                | Some (Gave_up _) -> (ok, gave + 1)
+                | None -> (ok, gave))
+              (0, 0) outcomes
+          in
+          Printf.printf "%-12s %-6d ok=%d quit=%d %s\n" name seed ok gave
+            (crash_stats_str stats))
+        seeds)
+    crash_specs
+
 let () =
+  let only_crashes = Array.mem "--crashes" Sys.argv in
+  if only_crashes then begin
+    crash_sweep ();
+    Printf.printf "\n%s\n"
+      (if !failures = 0 then "crash sweep: all cells passed"
+       else Printf.sprintf "crash sweep: %d FAILURE(S)" !failures);
+    exit (if !failures = 0 then 0 else 1)
+  end;
   (* Baseline: no plan attached at all must report zero reliability
      events and perform zero reliability work. *)
   List.iter
@@ -202,6 +380,8 @@ let () =
             paths)
         seeds)
     plan_specs;
+  Printf.printf "\n";
+  crash_sweep ();
   Printf.printf "\n%s\n"
     (if !failures = 0 then "chaos sweep: all cells passed"
      else Printf.sprintf "chaos sweep: %d FAILURE(S)" !failures);

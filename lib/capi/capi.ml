@@ -155,7 +155,8 @@ let buffer_of ~buf ~count = function
 let code_of_error : Mpi.error -> int = function
   | Mpi.Truncated _ -> mpi_err_truncate
   | Mpi.Callback_failed c -> c
-  | Mpi.Timeout _ | Mpi.Peer_failed _ | Mpi.Data_corrupted -> mpi_err_other
+  | Mpi.Timeout _ | Mpi.Peer_failed _ | Mpi.Data_corrupted | Mpi.Revoked ->
+      mpi_err_other
 
 let mpi_send ~buf ~count ~datatype ~dest ~tag ~comm =
   match buffer_of ~buf ~count datatype with

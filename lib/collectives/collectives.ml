@@ -15,9 +15,36 @@ let tag_of ~seq ~op ~round =
   if round >= 1024 then invalid_arg "Collectives: too many rounds";
   (seq * 4096) + (op * 1024) + round
 
+(* Failure protection shared by every collective.  The sequence number
+   must already have been taken (so ranks that fail fast stay aligned
+   with ranks that run the body).  [body] receives a [track] function it
+   must apply to every nonblocking send it posts; when any internal
+   operation raises, we poison the collective for our peers, then drain
+   the tracked requests — [Mpi.wait] on an already-finalized request
+   replays its memoized outcome, so datatype callback state is released
+   exactly once even on abort — and finally surface the error through
+   the communicator's error handler. *)
+let protected comm body =
+  match K.collective_ready comm with
+  | Some err -> K.collective_error comm err
+  | None -> (
+      let tracked = ref [] in
+      let track r =
+        tracked := r :: !tracked;
+        r
+      in
+      try body track
+      with Mpi.Mpi_error err ->
+        K.poison_collective comm err;
+        List.iter
+          (fun r -> match Mpi.wait r with _ -> () | exception _ -> ())
+          !tracked;
+        K.collective_error comm err)
+
 let barrier comm =
   let n = Mpi.size comm and me = Mpi.rank comm in
   let seq = K.fresh_seq comm in
+  protected comm @@ fun track ->
   if n > 1 then begin
     let empty () = Mpi.Bytes (Buf.create 0) in
     let round = ref 0 in
@@ -26,7 +53,7 @@ let barrier comm =
       let to_ = (me + !dist) mod n in
       let from = (me - !dist + n) mod n in
       let tag = tag_of ~seq ~op:op_barrier ~round:!round in
-      let s = K.isend_k comm K.Internal ~dst:to_ ~tag (empty ()) in
+      let s = track (K.isend_k comm K.Internal ~dst:to_ ~tag (empty ())) in
       ignore (K.recv_k comm K.Internal ~source:from ~tag (empty ()));
       ignore (Mpi.wait s);
       incr round;
@@ -38,6 +65,7 @@ let bcast comm ~root buf =
   let n = Mpi.size comm and me = Mpi.rank comm in
   if root < 0 || root >= n then invalid_arg "Collectives.bcast: bad root";
   let seq = K.fresh_seq comm in
+  protected comm @@ fun _track ->
   if n > 1 then begin
     let tag = tag_of ~seq ~op:op_bcast ~round:0 in
     let vrank = (me - root + n) mod n in
@@ -67,6 +95,7 @@ let gather comm ~root ~send ~recv =
   let n = Mpi.size comm and me = Mpi.rank comm in
   if root < 0 || root >= n then invalid_arg "Collectives.gather: bad root";
   let seq = K.fresh_seq comm in
+  protected comm @@ fun _track ->
   let tag = tag_of ~seq ~op:op_move ~round:0 in
   if me = root then
     for i = 0 to n - 1 do
@@ -78,6 +107,7 @@ let scatter comm ~root ~send ~recv =
   let n = Mpi.size comm and me = Mpi.rank comm in
   if root < 0 || root >= n then invalid_arg "Collectives.scatter: bad root";
   let seq = K.fresh_seq comm in
+  protected comm @@ fun _track ->
   let tag = tag_of ~seq ~op:op_move ~round:0 in
   if me = root then
     for i = 0 to n - 1 do
@@ -88,6 +118,7 @@ let scatter comm ~root ~send ~recv =
 let allgather comm ~send ~recv =
   let n = Mpi.size comm and me = Mpi.rank comm in
   let seq = K.fresh_seq comm in
+  protected comm @@ fun track ->
   if n > 1 then begin
     let right = (me + 1) mod n and left = (me - 1 + n) mod n in
     (* ring: in round s we forward the contribution of rank
@@ -98,7 +129,7 @@ let allgather comm ~send ~recv =
       let incoming_owner = (me - s - 1 + n) mod n in
       let out = if outgoing_owner = me then send else recv outgoing_owner in
       let inc = recv incoming_owner in
-      let sreq = K.isend_k comm K.Internal ~dst:right ~tag out in
+      let sreq = track (K.isend_k comm K.Internal ~dst:right ~tag out) in
       ignore (K.recv_k comm K.Internal ~source:left ~tag inc);
       ignore (Mpi.wait sreq)
     done
@@ -107,13 +138,15 @@ let allgather comm ~send ~recv =
 let alltoall comm ~send ~recv =
   let n = Mpi.size comm and me = Mpi.rank comm in
   let seq = K.fresh_seq comm in
+  protected comm @@ fun track ->
   let tag = tag_of ~seq ~op:op_move ~round:1 in
   (* pairwise exchange schedule: in round r, partner = me xor r (for
      power-of-two sizes) falling back to shifted pairing otherwise *)
   let reqs = ref [] in
   for peer = 0 to n - 1 do
     if peer <> me then
-      reqs := K.isend_k comm K.Internal ~dst:peer ~tag (send peer) :: !reqs
+      reqs :=
+        track (K.isend_k comm K.Internal ~dst:peer ~tag (send peer)) :: !reqs
   done;
   for peer = 0 to n - 1 do
     if peer <> me then
@@ -148,6 +181,7 @@ let reduce_f64 comm ~root ~op data =
   let n = Mpi.size comm and me = Mpi.rank comm in
   if root < 0 || root >= n then invalid_arg "Collectives.reduce_f64: bad root";
   let seq = K.fresh_seq comm in
+  protected comm @@ fun _track ->
   if n > 1 then begin
     let vrank = (me - root + n) mod n in
     let scratch = Array.make (Array.length data) 0. in
@@ -180,3 +214,65 @@ let allreduce_f64 comm ~op data =
   let b = buf_of_floats data in
   bcast comm ~root:0 (Mpi.Bytes b);
   floats_into b data
+
+(* --- fault-tolerant allreduce --- *)
+
+let process_failure = function
+  | Mpi.Peer_failed _ | Mpi.Revoked | Mpi.Timeout _ | Mpi.Data_corrupted ->
+      true
+  | _ -> false
+
+let resilient_allreduce_f64 ?max_attempts comm ~op data =
+  let max_attempts =
+    match max_attempts with Some m -> m | None -> Mpi.size comm + 2
+  in
+  (* Keep a pristine copy of the local contribution: a failed attempt
+     may have partially reduced [data] (non-root ranks use it as
+     scratch), so every retry restarts from the original values. *)
+  let orig = Array.copy data in
+  (* A stashed process failure, under [Errors_return]. *)
+  let stashed comm =
+    match Mpi.last_error comm with
+    | Some err when process_failure err ->
+        Mpi.clear_last_error comm;
+        Some err
+    | _ -> None
+  in
+  let rec attempt comm shrinks attempts =
+    Array.blit orig 0 data 0 (Array.length orig);
+    let failed =
+      match allreduce_f64 comm ~op data with
+      | () -> stashed comm
+      | exception Mpi.Mpi_error err when process_failure err -> Some err
+    in
+    (* Commit or retry must be decided uniformly: a rank whose attempt
+       happened to complete before a peer died would otherwise return
+       while the others shrink — and the shrink agreement would wait
+       for it forever.  So every attempt ends with a fault-tolerant
+       agreement on collective success (the canonical ULFM loop).
+       Failures already known locally are acknowledged first, so a
+       crash that only interrupted {e other} ranks' attempts does not
+       turn the agreement itself into an error here. *)
+    Mpi.comm_failure_ack comm;
+    let ok =
+      match Mpi.comm_agree comm ~flags:(if failed = None then 1 else 0) with
+      | v -> ( match stashed comm with Some _ -> false | None -> v land 1 = 1)
+      | exception Mpi.Mpi_error err when process_failure err -> false
+    in
+    if ok then (comm, shrinks)
+    else if attempts >= max_attempts then
+      raise
+        (Mpi.Mpi_error
+           (match failed with Some err -> err | None -> Mpi.Revoked))
+    else begin
+      (* Flush every member out of the broken pattern, then rebuild on
+         the survivors and retry.  A process failure shrinks the group,
+         so progress is guaranteed; [max_attempts] only guards against
+         non-crash errors (e.g. [Timeout] on a hopeless link) repeating
+         on an undiminished group. *)
+      Mpi.comm_revoke comm;
+      let comm' = Mpi.comm_shrink comm in
+      attempt comm' (shrinks + 1) (attempts + 1)
+    end
+  in
+  attempt comm 0 1

@@ -55,3 +55,29 @@ val reduce_f64 :
 val allreduce_f64 :
   Mpi.comm -> op:[ `Sum | `Max | `Min ] -> float array -> unit
 (** {!reduce_f64} to rank 0 followed by {!bcast}. *)
+
+val resilient_allreduce_f64 :
+  ?max_attempts:int ->
+  Mpi.comm ->
+  op:[ `Sum | `Max | `Min ] ->
+  float array ->
+  Mpi.comm * int
+(** Fault-tolerant {!allreduce_f64} in the canonical ULFM recovery
+    loop: after every attempt the members agree fault-tolerantly
+    ({!Mpi.comm_agree}) on whether {e all} of them succeeded — so the
+    decision to commit or retry is uniform even when a failure
+    interrupted only some ranks — and on failure the communicator is
+    revoked, shrunk to the survivors ({!Mpi.comm_shrink}), the local
+    contribution restored from a pristine copy and the reduction
+    retried on the new communicator.  Returns the communicator the
+    reduction finally succeeded on (the input one if no failure
+    occurred) and the number of shrinks performed.  The result in
+    [data] is the reduction over the members of the {e returned}
+    communicator; note that a rank crashing {e after} the reduction
+    completed leaves the committed result including its contribution,
+    exactly as in MPI.  Raises [Mpi_error (Peer_failed _)] at a caller
+    that is itself presumed dead, and re-raises the last error after
+    [max_attempts] attempts (default: the initial group size + 2 —
+    process failures shrink the group so only non-crash errors such as
+    [Timeout] on a hopeless link can repeat).  Works under
+    [Errors_raise] and [Errors_return] handlers. *)

@@ -98,6 +98,7 @@ type error =
   | Timeout of { retries : int }
   | Peer_failed of { peer : int }
   | Data_corrupted
+  | Revoked
 
 exception Mpi_error of error
 
@@ -107,6 +108,40 @@ exception Mpi_error of error
 type errhandler = Errors_raise | Errors_abort | Errors_return
 
 exception Aborted of { rank : int; error : error }
+
+(* An operation registered for failure-triggered cancellation: enough to
+   decide whether a declared failure or a communicator revocation makes
+   it undeliverable, plus the transport request to cancel. *)
+type oentry = {
+  oe_req : Ucx.request;
+  oe_tag : int64;
+  oe_cid : int;
+  oe_rank : int;  (* world rank of the posting side *)
+  oe_peer : int;  (* world rank of the peer; -1 for any-source receives *)
+  oe_internal : bool;  (* posted on the Internal (collective) channel *)
+}
+
+(* Shared-state slot for the fault-tolerant agreement protocol behind
+   [comm_agree] and [comm_shrink].  Each participant folds its
+   contribution in and the slot completes once every group member has
+   either contributed or been declared failed — so the death of a
+   participant can never block the survivors. *)
+type agree_slot = {
+  s_group : int array;  (* comm rank -> world rank *)
+  s_combine : int -> int -> int;
+  s_shrink : bool;  (* completion allocates a cid and a survivor set *)
+  mutable s_acc : int;
+  mutable s_ack_acc : int;
+      (* AND of the contributors' acknowledged-failure masks: a failed
+         non-contributor raises [Peer_failed] at every caller unless
+         every contributor had acknowledged it — an agreed, hence
+         uniform, verdict (cf. ULFM MPI_Comm_agree) *)
+  mutable s_contrib : int;  (* bitmask of comm ranks that contributed *)
+  mutable s_result : (int * int) option;  (* (combined value, contrib mask) *)
+  mutable s_new_cid : int;  (* shrink only; -1 until completion *)
+  mutable s_survivors : int array;  (* shrink only; comm ranks, at completion *)
+  mutable s_waiters : (int * int) Engine.resumer list;
+}
 
 type world = {
   engine : Engine.t;
@@ -121,6 +156,19 @@ type world = {
   mutable obs : Obs.t;
   errh : (int, errhandler) Hashtbl.t;  (* cid -> handler; absent = raise *)
   last_errors : (int * int, error) Hashtbl.t;  (* (cid, comm rank) -> error *)
+  (* --- resilience state (all empty on a healthy run) --- *)
+  outstanding : (int, oentry list ref) Hashtbl.t;
+      (* world rank -> its pending operations, for cancellation *)
+  revoked : (int, float) Hashtbl.t;  (* cid -> first revoke time *)
+  revoked_seen : (int * int, float) Hashtbl.t;
+      (* (cid, world rank) -> when the revocation reached that rank *)
+  col_poison : (int * int, error) Hashtbl.t;
+      (* (cid, world rank): a collective on cid failed at that rank; the
+         communicator is broken for collectives until shrunk *)
+  acked : (int * int, int list) Hashtbl.t;
+      (* (cid, world rank) -> comm ranks whose failure was acknowledged *)
+  slots : (int * int * int, agree_slot) Hashtbl.t;
+      (* (cid, opcode, per-rank call index) -> agreement slot *)
 }
 
 type comm = {
@@ -129,7 +177,111 @@ type comm = {
   group : int array;  (* comm rank -> world rank *)
   cid : int;  (* communicator id, part of the tag space *)
   mutable bar_seq : int;
+  mutable agree_seq : int;  (* per-rank [comm_agree] call index *)
+  mutable shrink_seq : int;  (* per-rank [comm_shrink] call index *)
 }
+
+let alloc_cid w =
+  let cid = w.next_cid in
+  if cid > 63 (* = max_cid, defined with the tag encoding below *) then
+    failwith "Mpi: communicator id space exhausted";
+  w.next_cid <- cid + 1;
+  cid
+
+(* Cancel [owner]'s live registered operations matching [pred],
+   completing each with [err].  Completed entries are pruned. *)
+let cancel_outstanding w ~owner ~pred err =
+  match Hashtbl.find_opt w.outstanding owner with
+  | None -> ()
+  | Some lr ->
+      let live = List.filter (fun e -> not (Ucx.is_completed e.oe_req)) !lr in
+      lr := live;
+      List.iter
+        (fun e ->
+          if pred e then
+            ignore (Ucx.try_cancel w.ucx e.oe_req ~tag:e.oe_tag err))
+        live
+
+let register_outstanding w (e : oentry) =
+  if Ucx.is_completed e.oe_req then ()
+  else begin
+    let lr =
+      match Hashtbl.find_opt w.outstanding e.oe_rank with
+      | Some lr -> lr
+      | None ->
+          let lr = ref [] in
+          Hashtbl.add w.outstanding e.oe_rank lr;
+          lr
+    in
+    (* bound the list: drop completed entries once it grows *)
+    if List.length !lr > 64 then
+      lr := List.filter (fun e -> not (Ucx.is_completed e.oe_req)) !lr;
+    lr := e :: !lr
+  end
+
+(* Complete an agreement slot if every group member has contributed or
+   died; idempotent.  Called by each contributor and re-checked by the
+   failure listener, so a participant crash can complete a slot. *)
+let try_complete_slot w (slot : agree_slot) =
+  match slot.s_result with
+  | Some _ -> ()
+  | None ->
+      let n = Array.length slot.s_group in
+      let all = ref true in
+      for i = 0 to n - 1 do
+        if
+          slot.s_contrib land (1 lsl i) = 0
+          && not (Ucx.is_failed w.ucx ~rank:slot.s_group.(i))
+        then all := false
+      done;
+      if !all then begin
+        if slot.s_shrink then begin
+          Stats.record_comm_shrink w.stats;
+          slot.s_new_cid <- alloc_cid w;
+          (* survivor set, fixed once at completion time so every
+             caller — however late — sees the same membership *)
+          let surv = ref [] in
+          for i = n - 1 downto 0 do
+            if
+              slot.s_acc land (1 lsl i) = 0
+              && not (Ucx.is_failed w.ucx ~rank:slot.s_group.(i))
+            then surv := i :: !surv
+          done;
+          slot.s_survivors <- Array.of_list !surv
+        end
+        else Stats.record_comm_agreement w.stats;
+        let r = (slot.s_acc, slot.s_contrib) in
+        slot.s_result <- Some r;
+        if Obs.enabled w.obs then
+          Obs.instant w.obs ~time:(Engine.now w.engine) ~track:0
+            ~cat:"resilience"
+            ~args:[ ("value", Obs.Int slot.s_acc) ]
+            (if slot.s_shrink then "shrink_complete" else "agree_complete");
+        let ws = slot.s_waiters in
+        slot.s_waiters <- [];
+        List.iter (fun resume -> resume r) ws
+      end
+
+(* Failure listener: runs once per declared failure, from the detector
+   fiber or the declaring send path.  Cancels every pending operation
+   the failure makes undeliverable — the dead rank's own, and any other
+   rank's operation directed at it (any-source receives are left
+   pending, as in ULFM) — then re-checks agreement slots the dead rank
+   may have been blocking. *)
+let handle_rank_failure w ~rank ~time =
+  if Obs.enabled w.obs then
+    Obs.instant w.obs ~time ~track:rank ~cat:"resilience"
+      ~args:[ ("rank", Obs.Int rank) ]
+      "proc_failed";
+  let err = Ucx.Peer_failed { peer = rank } in
+  Hashtbl.iter
+    (fun owner _ ->
+      if owner = rank then
+        cancel_outstanding w ~owner ~pred:(fun _ -> true) err
+      else
+        cancel_outstanding w ~owner ~pred:(fun e -> e.oe_peer = rank) err)
+    w.outstanding;
+  Hashtbl.iter (fun _ slot -> try_complete_slot w slot) w.slots
 
 let create_world ?(config = Config.default) ~size () =
   if size < 1 then invalid_arg "Mpi.create_world: size must be >= 1";
@@ -141,20 +293,30 @@ let create_world ?(config = Config.default) ~size () =
     Array.init size (fun s ->
         Array.init size (fun d -> Ucx.connect workers.(s) workers.(d)))
   in
-  {
-    engine;
-    config;
-    stats;
-    ucx;
-    workers;
-    eps;
-    shuffle = None;
-    next_cid = 1;
-    monitor = None;
-    obs = Obs.null;
-    errh = Hashtbl.create 8;
-    last_errors = Hashtbl.create 8;
-  }
+  let w =
+    {
+      engine;
+      config;
+      stats;
+      ucx;
+      workers;
+      eps;
+      shuffle = None;
+      next_cid = 1;
+      monitor = None;
+      obs = Obs.null;
+      errh = Hashtbl.create 8;
+      last_errors = Hashtbl.create 8;
+      outstanding = Hashtbl.create 8;
+      revoked = Hashtbl.create 4;
+      revoked_seen = Hashtbl.create 8;
+      col_poison = Hashtbl.create 8;
+      acked = Hashtbl.create 4;
+      slots = Hashtbl.create 8;
+    }
+  in
+  Ucx.on_failure ucx (fun ~rank ~time -> handle_rank_failure w ~rank ~time);
+  w
 
 let world_engine w = w.engine
 let world_stats w = w.stats
@@ -175,7 +337,15 @@ let set_obs w o =
 
 let comm_for_rank w r =
   if r < 0 || r >= world_size w then invalid_arg "Mpi.comm_for_rank: bad rank";
-  { w; c_rank = r; group = Array.init (world_size w) Fun.id; cid = 0; bar_seq = 0 }
+  {
+    w;
+    c_rank = r;
+    group = Array.init (world_size w) Fun.id;
+    cid = 0;
+    bar_seq = 0;
+    agree_seq = 0;
+    shrink_seq = 0;
+  }
 
 let set_errhandler c h = Hashtbl.replace c.w.errh c.cid h
 
@@ -225,7 +395,6 @@ let kind_shift = 44
 let cid_shift = 38
 let user_mask = 0x3F_FFFF_FFFFL (* 38 bits *)
 let max_user_tag = 0x3F_FFFF_FFFF (* 2^38 - 1 *)
-let max_cid = 63
 
 let encode_tag ~src ~kind ~cid ~utag =
   Int64.logor
@@ -506,7 +675,9 @@ let make_recv_dt c = function
 type request = {
   ucx_req : Ucx.request;
   finalize : Ucx.status -> status;
-  mutable result : status option;
+  mutable outcome : (status, exn) result option;
+      (* memoized finalization: cleanup and error handling run exactly
+         once; a second wait/test replays the same status or exception *)
   r_engine : Engine.t;
   r_obs : Obs.t;
   r_track : int;  (* world rank of the posting side *)
@@ -518,6 +689,15 @@ let lift_error : Ucx.error -> error = function
   | Ucx.Timeout { retries } -> Timeout { retries }
   | Ucx.Peer_failed { peer } -> Peer_failed { peer }
   | Ucx.Data_corrupted -> Data_corrupted
+  | Ucx.Revoked -> Revoked
+
+let lower_error : error -> Ucx.error = function
+  | Truncated { expected; capacity } -> Ucx.Truncated { expected; capacity }
+  | Callback_failed code -> Ucx.Callback_failed code
+  | Timeout { retries } -> Ucx.Timeout { retries }
+  | Peer_failed { peer } -> Ucx.Peer_failed { peer }
+  | Data_corrupted -> Ucx.Data_corrupted
+  | Revoked -> Ucx.Revoked
 
 (* Statuses report communicator-relative source ranks: translate the
    world rank in the wire tag back through the group. *)
@@ -529,9 +709,19 @@ let comm_source c world_rank =
 let decode_status c (st : Ucx.status) =
   { source = comm_source c (decode_source st.tag); tag = decode_utag st.tag; len = st.len }
 
+let finalize_once r (u : Ucx.status) =
+  match r.finalize u with
+  | s ->
+      r.outcome <- Some (Ok s);
+      s
+  | exception e ->
+      r.outcome <- Some (Error e);
+      raise e
+
 let wait r =
-  match r.result with
-  | Some s -> s
+  match r.outcome with
+  | Some (Ok s) -> s
+  | Some (Error e) -> raise e
   | None ->
       (* A wait that actually blocks gets its own span; an immediately
          satisfied one stays invisible. *)
@@ -543,22 +733,18 @@ let wait r =
       in
       let u = Ucx.wait r.ucx_req in
       Obs.span_end r.r_obs ~time:(Engine.now r.r_engine) sp;
-      let s = r.finalize u in
-      r.result <- Some s;
-      s
+      finalize_once r u
 
 let waitall rs = List.map wait rs
 
 let test r =
-  match r.result with
-  | Some s -> Some s
+  match r.outcome with
+  | Some (Ok s) -> Some s
+  | Some (Error e) -> raise e
   | None -> (
       match Ucx.peek r.ucx_req with
       | None -> None
-      | Some u ->
-          let s = r.finalize u in
-          r.result <- Some s;
-          Some s)
+      | Some u -> Some (finalize_once r u))
 
 let waitany rs =
   if rs = [] then invalid_arg "Mpi.waitany: empty request list";
@@ -593,7 +779,7 @@ let waitany rs =
       in
       (match outcome with Ok hit -> hit | Error e -> raise e)
 
-let make_request ?span c ucx_req cleanup =
+let make_request ?span ?(force_raise = false) c ucx_req cleanup =
   {
     ucx_req;
     finalize =
@@ -610,16 +796,22 @@ let make_request ?span c ucx_req cleanup =
         match u.error with
         | Some e -> (
             let err = lift_error e in
-            match get_errhandler c with
-            | Errors_raise -> raise (Mpi_error err)
-            | Errors_abort -> raise (Aborted { rank = c.c_rank; error = err })
-            | Errors_return ->
-                (* degraded continuation: stash the error for
-                   [last_error] and hand back a zero-length status *)
-                Hashtbl.replace c.w.last_errors (c.cid, c.c_rank) err;
-                decode_status c u)
+            (* [force_raise] is set on the collectives' internal channel:
+               the collective itself must observe the error (to poison
+               the operation on its peers), so the communicator's error
+               handler is applied by the collective wrapper, not here. *)
+            if force_raise then raise (Mpi_error err)
+            else
+              match get_errhandler c with
+              | Errors_raise -> raise (Mpi_error err)
+              | Errors_abort -> raise (Aborted { rank = c.c_rank; error = err })
+              | Errors_return ->
+                  (* degraded continuation: stash the error for
+                     [last_error] and hand back a zero-length status *)
+                  Hashtbl.replace c.w.last_errors (c.cid, c.c_rank) err;
+                  decode_status c u)
         | None -> decode_status c u);
-    result = None;
+    outcome = None;
     r_engine = c.w.engine;
     r_obs = c.w.obs;
     r_track = c.group.(c.c_rank);
@@ -687,7 +879,8 @@ let monitor_record c kind ~op_kind ~peer ~tag ~blocking buf (ureq : Ucx.request)
                       Some (Printf.sprintf "timeout after %d retries" retries)
                   | Some (Ucx.Peer_failed { peer }) ->
                       Some (Printf.sprintf "peer %d failed" peer)
-                  | Some Ucx.Data_corrupted -> Some "data corrupted");
+                  | Some Ucx.Data_corrupted -> Some "data corrupted"
+                  | Some Ucx.Revoked -> Some "communicator revoked");
               }
       in
       Monitor.add m op peek
@@ -713,26 +906,89 @@ let op_span c ~blocking ~send ~peer ~tag =
          name)
   else None
 
+(* Fail-fast check run before posting: an operation on a communicator
+   this rank knows is revoked, or directed at (or posted by) a declared-
+   failed rank, completes immediately with the corresponding error — no
+   descriptors are built, no callback state is started, nothing touches
+   the wire.  [peer_world] is [-1] for any-source receives (which, as in
+   ULFM, stay pending: a live sender may still match them). *)
+let fail_fast c kind ~peer_world : Ucx.error option =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  if Hashtbl.mem w.revoked_seen (c.cid, me) then Some Ucx.Revoked
+  else
+    match
+      if kind_code kind = kind_code Internal0.Internal then
+        Hashtbl.find_opt w.col_poison (c.cid, me)
+      else None
+    with
+    | Some err -> Some (lower_error err)
+    | None ->
+        if Ucx.any_failures w.ucx then
+          if Ucx.is_failed w.ucx ~rank:me then
+            Some (Ucx.Peer_failed { peer = me })
+          else if peer_world >= 0 && Ucx.is_failed w.ucx ~rank:peer_world then
+            Some (Ucx.Peer_failed { peer = peer_world })
+          else None
+        else None
+
+let force_raise_of kind = kind_code kind = kind_code Internal0.Internal
+
 let isend_gen c kind ~blocking ~dst ~tag buf =
   check_dst c dst "isend";
   check_user_tag tag;
   let span = op_span c ~blocking ~send:true ~peer:dst ~tag in
-  let dt, cleanup = make_send_dt c buf in
   let me = c.group.(c.c_rank) and peer = c.group.(dst) in
   let t64 = encode_tag ~src:me ~kind ~cid:c.cid ~utag:tag in
-  let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
-  monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
-  make_request ?span c req cleanup
+  let force_raise = force_raise_of kind in
+  match fail_fast c kind ~peer_world:peer with
+  | Some err ->
+      let req = Ucx.completed_request c.w.ucx ~tag:t64 err in
+      monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
+      make_request ?span ~force_raise c req (fun _ -> ())
+  | None ->
+      let dt, cleanup = make_send_dt c buf in
+      let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
+      monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
+      register_outstanding c.w
+        {
+          oe_req = req;
+          oe_tag = t64;
+          oe_cid = c.cid;
+          oe_rank = me;
+          oe_peer = peer;
+          oe_internal = force_raise;
+        };
+      make_request ?span ~force_raise c req cleanup
 
 let irecv_gen c kind ~blocking ?(source = any_source) ?(tag = any_tag) buf =
   if source <> any_source then check_dst c source "irecv";
   let span = op_span c ~blocking ~send:false ~peer:source ~tag in
-  let dt, cleanup = make_recv_dt c buf in
+  let me = c.group.(c.c_rank) in
   let source = if source = any_source then any_source else c.group.(source) in
   let t64, mask = recv_tag_mask ~kind ~cid:c.cid ~source ~tag in
-  let req = Ucx.tag_recv c.w.workers.(c.group.(c.c_rank)) ~tag:t64 ~mask dt in
-  monitor_record c kind ~op_kind:Monitor.Recv ~peer:source ~tag ~blocking buf req;
-  make_request ?span c req cleanup
+  let force_raise = force_raise_of kind in
+  match fail_fast c kind ~peer_world:source with
+  | Some err ->
+      let req = Ucx.completed_request c.w.ucx ~tag:t64 err in
+      monitor_record c kind ~op_kind:Monitor.Recv ~peer:source ~tag ~blocking
+        buf req;
+      make_request ?span ~force_raise c req (fun _ -> ())
+  | None ->
+      let dt, cleanup = make_recv_dt c buf in
+      let req = Ucx.tag_recv c.w.workers.(me) ~tag:t64 ~mask dt in
+      monitor_record c kind ~op_kind:Monitor.Recv ~peer:source ~tag ~blocking
+        buf req;
+      register_outstanding c.w
+        {
+          oe_req = req;
+          oe_tag = t64;
+          oe_cid = c.cid;
+          oe_rank = me;
+          oe_peer = source;
+          oe_internal = force_raise;
+        };
+      make_request ?span ~force_raise c req cleanup
 
 let isend_k c kind ~dst ~tag buf = isend_gen c kind ~blocking:false ~dst ~tag buf
 let irecv_k c kind ?source ?tag buf = irecv_gen c kind ~blocking:false ?source ?tag buf
@@ -792,6 +1048,281 @@ let improbe c ?source ?tag () = improbe_k c Internal0.User ?source ?tag ()
 let mprobe c ?source ?tag () = mprobe_k c Internal0.User ?source ?tag ()
 let mrecv c msg buf = mrecv_k c Internal0.User msg buf
 
+(* --- ULFM-style process-failure resilience ---
+
+   See docs/RESILIENCE.md.  The operations below follow the User-Level
+   Failure Mitigation proposal in miniature: failures are detected by
+   the transport (heartbeat detector or piggybacked on traffic) and
+   reported through the per-communicator error handlers; [comm_revoke]
+   interrupts all communication on a communicator; [comm_agree] reaches
+   agreement despite participant death; [comm_shrink] rebuilds a
+   working communicator from the survivors. *)
+
+let failed_ranks c =
+  (* comm ranks of this communicator's members declared failed *)
+  let acc = ref [] in
+  for i = Array.length c.group - 1 downto 0 do
+    if Ucx.is_failed c.w.ucx ~rank:c.group.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let comm_failure_ack c =
+  Hashtbl.replace c.w.acked (c.cid, c.group.(c.c_rank)) (failed_ranks c)
+
+let comm_get_acked c =
+  Option.value ~default:[]
+    (Hashtbl.find_opt c.w.acked (c.cid, c.group.(c.c_rank)))
+
+(* Apply the communicator's error handler to a collective-level error:
+   raise it, abort the rank, or stash it and continue degraded. *)
+let collective_error c err =
+  match get_errhandler c with
+  | Errors_raise -> raise (Mpi_error err)
+  | Errors_abort -> raise (Aborted { rank = c.c_rank; error = err })
+  | Errors_return -> Hashtbl.replace c.w.last_errors (c.cid, c.c_rank) err
+
+(* The error, if any, that dooms a collective on [c] before it starts:
+   a seen revocation, an earlier poisoned collective, or a declared-
+   failed member (ULFM requires collectives to fail across the whole
+   communicator when any member has failed). *)
+let collective_ready c =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  if Hashtbl.mem w.revoked_seen (c.cid, me) then Some Revoked
+  else
+    match Hashtbl.find_opt w.col_poison (c.cid, me) with
+    | Some err -> Some err
+    | None ->
+        if Ucx.any_failures w.ucx then
+          if Ucx.is_failed w.ucx ~rank:me then Some (Peer_failed { peer = me })
+          else
+            let n = Array.length c.group in
+            let rec chk i =
+              if i >= n then None
+              else if Ucx.is_failed w.ucx ~rank:c.group.(i) then
+                Some (Peer_failed { peer = c.group.(i) })
+              else chk (i + 1)
+            in
+            chk 0
+        else None
+
+(* A collective that observed [err] poisons the operation for its peers:
+   their pending internal-channel operations on this communicator are
+   cancelled (one link latency later — the time a failure notification
+   takes to cross the wire) and the communicator is marked broken for
+   future collectives, so no rank blocks on a peer that already gave
+   up.  A rank that is itself declared failed poisons only locally: a
+   dead rank cannot notify anyone. *)
+let poison_collective c err =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  let mark rank =
+    if not (Hashtbl.mem w.col_poison (c.cid, rank)) then begin
+      Hashtbl.replace w.col_poison (c.cid, rank) err;
+      cancel_outstanding w ~owner:rank
+        ~pred:(fun e -> e.oe_internal && e.oe_cid = c.cid)
+        (lower_error err)
+    end
+  in
+  mark me;
+  if not (Ucx.is_failed w.ucx ~rank:me) then
+    Array.iter
+      (fun peer ->
+        if peer <> me then
+          Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
+              mark peer))
+      c.group
+
+(* Deliver a revocation to one rank: every pending operation that rank
+   has on the communicator — any channel — completes with [Revoked],
+   and all its future operations on it fail fast. *)
+let deliver_revoke w ~cid ~rank =
+  if not (Hashtbl.mem w.revoked_seen (cid, rank)) then begin
+    Hashtbl.replace w.revoked_seen (cid, rank) (Engine.now w.engine);
+    if Obs.enabled w.obs then
+      Obs.instant w.obs ~time:(Engine.now w.engine) ~track:rank
+        ~cat:"resilience"
+        ~args:[ ("cid", Obs.Int cid) ]
+        "revoked";
+    cancel_outstanding w ~owner:rank
+      ~pred:(fun e -> e.oe_cid = cid)
+      Ucx.Revoked
+  end
+
+let comm_revoked c =
+  Hashtbl.mem c.w.revoked_seen (c.cid, c.group.(c.c_rank))
+
+(* Revoke the communicator (ULFM MPI_Comm_revoke).  Local effect is
+   immediate; every other member learns of it one link latency later.
+   The broadcast is modeled as reliable — revocation state lives in the
+   shared simulation, so unlike a payload it cannot be lost — which is
+   exactly the guarantee ULFM demands of the revoke algorithm.
+   Idempotent; a revoked communicator stays revoked. *)
+let comm_revoke c =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  let first = not (Hashtbl.mem w.revoked c.cid) in
+  if first then begin
+    let t0 = Engine.now w.engine in
+    Hashtbl.replace w.revoked c.cid t0;
+    Stats.record_comm_revoke w.stats;
+    if Obs.enabled w.obs then
+      ignore
+        (Obs.span_complete w.obs ~track:me ~cat:"resilience" ~t0
+           ~t1:(t0 +. w.config.link.latency_ns)
+           ~args:[ ("cid", Obs.Int c.cid) ]
+           "revoke_propagation");
+    if not (Ucx.is_failed w.ucx ~rank:me) then
+      Array.iter
+        (fun peer ->
+          if peer <> me then
+            Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
+                deliver_revoke w ~cid:c.cid ~rank:peer))
+        c.group
+  end;
+  deliver_revoke w ~cid:c.cid ~rank:me
+
+(* Shared engine of [comm_agree]/[comm_shrink]: contribute an integer
+   into the slot for this call index, complete it if possible, and wait
+   (or read) the combined result.  The virtual-time cost modeled after
+   the ULFM agreement literature is two tree traversals.  Never blocks
+   on a dead rank: the failure listener re-checks slots. *)
+let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  let n = size c in
+  if n > 62 then
+    invalid_arg "Mpi: agreement needs a communicator of at most 62 ranks";
+  if Ucx.is_failed w.ucx ~rank:me then
+    raise (Mpi_error (Peer_failed { peer = me }));
+  let seq =
+    if shrink then begin
+      let s = c.shrink_seq in
+      c.shrink_seq <- s + 1;
+      s
+    end
+    else begin
+      let s = c.agree_seq in
+      c.agree_seq <- s + 1;
+      s
+    end
+  in
+  let key = (c.cid, opcode, seq) in
+  let slot =
+    match Hashtbl.find_opt w.slots key with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            s_group = c.group;
+            s_combine = combine;
+            s_shrink = shrink;
+            s_acc = init;
+            s_ack_acc = lnot 0;
+            s_contrib = 0;
+            s_result = None;
+            s_new_cid = -1;
+            s_survivors = [||];
+            s_waiters = [];
+          }
+        in
+        Hashtbl.add w.slots key s;
+        s
+  in
+  (match slot.s_result with
+  | Some _ -> ()  (* completed without us: we were presumed dead *)
+  | None ->
+      slot.s_acc <- combine slot.s_acc contribution;
+      slot.s_ack_acc <- slot.s_ack_acc land ack;
+      slot.s_contrib <- slot.s_contrib lor (1 lsl c.c_rank);
+      try_complete_slot w slot);
+  let result =
+    match slot.s_result with
+    | Some r -> r
+    | None ->
+        Engine.suspend w.engine (fun resume ->
+            slot.s_waiters <- resume :: slot.s_waiters)
+  in
+  (* two traversals of a binomial tree over the group *)
+  let rounds =
+    let rec lg k acc = if k >= n then acc else lg (k * 2) (acc + 1) in
+    max 1 (lg 1 0)
+  in
+  let l = w.config.link in
+  charge c
+    (2. *. float_of_int rounds *. (l.latency_ns +. l.per_msg_overhead_ns));
+  (slot, result)
+
+(* Fault-tolerant agreement on a bitmask (ULFM MPI_Comm_agree): returns
+   the AND of every live contribution.  If a member failed without
+   contributing, [Peer_failed] is reported through the error handler at
+   {e every} caller — unless every contributor had acknowledged that
+   failure beforehand ([comm_failure_ack]).  Both the value and the
+   error verdict are derived from slot state frozen at completion, so
+   they are uniform across all callers. *)
+let comm_agree c ~flags =
+  let ack_mask =
+    List.fold_left (fun m i -> m lor (1 lsl i)) 0 (comm_get_acked c)
+  in
+  let slot, (value, contrib) =
+    agree_gen c ~opcode:0 ~shrink:false ~init:(lnot 0) ~combine:( land )
+      ~contribution:flags ~ack:ack_mask
+  in
+  let n = size c in
+  let unacked = ref [] in
+  for i = n - 1 downto 0 do
+    if contrib land (1 lsl i) = 0 && slot.s_ack_acc land (1 lsl i) = 0 then
+      unacked := i :: !unacked
+  done;
+  (match !unacked with
+  | [] -> ()
+  | i :: _ -> collective_error c (Peer_failed { peer = c.group.(i) }));
+  value
+
+(* Rebuild a working communicator from the survivors (ULFM
+   MPI_Comm_shrink).  Participants agree — fault-tolerantly — on the
+   union of the failures each has observed; the survivor set and the
+   fresh communicator id are fixed once, at agreement completion, so
+   every caller derives the same membership with consistent
+   renumbering (ordered by old comm rank). *)
+let comm_shrink c =
+  let w = c.w in
+  let me = c.group.(c.c_rank) in
+  let known = ref 0 in
+  Array.iteri
+    (fun i wr -> if Ucx.is_failed w.ucx ~rank:wr then known := !known lor (1 lsl i))
+    c.group;
+  let slot, _ =
+    agree_gen c ~opcode:1 ~shrink:true ~init:0 ~combine:( lor )
+      ~contribution:!known ~ack:(lnot 0)
+  in
+  let survivors = slot.s_survivors in
+  let new_cid = slot.s_new_cid in
+  if Obs.enabled w.obs then
+    Obs.instant w.obs ~time:(Engine.now w.engine) ~track:me ~cat:"resilience"
+      ~args:
+        [ ("cid", Obs.Int c.cid); ("new_cid", Obs.Int new_cid);
+          ("survivors", Obs.Int (Array.length survivors)) ]
+      "comm_shrink";
+  let my_new_rank = ref (-1) in
+  Array.iteri (fun i cr -> if cr = c.c_rank then my_new_rank := i) survivors;
+  if !my_new_rank < 0 then
+    (* we were presumed dead (or revoked out): no seat in the new comm *)
+    raise (Mpi_error (Peer_failed { peer = me }));
+  (* the shrunk communicator inherits the parent's error handler *)
+  (match Hashtbl.find_opt w.errh c.cid with
+  | Some h -> Hashtbl.replace w.errh new_cid h
+  | None -> ());
+  {
+    w;
+    c_rank = !my_new_rank;
+    group = Array.map (fun cr -> c.group.(cr)) survivors;
+    cid = new_cid;
+    bar_seq = 0;
+    agree_seq = 0;
+    shrink_seq = 0;
+  }
+
 (* --- barrier (linear; the harness only needs correctness) --- *)
 
 let empty () = Bytes (Buf.create 0)
@@ -802,37 +1333,43 @@ let fresh_seq c =
   seq
 
 let barrier c =
+  (* the sequence number is consumed unconditionally so survivors of a
+     failed barrier stay aligned with ranks that failed fast *)
   let seq = fresh_seq c in
-  let tag = seq * 16 in
-  let sp =
-    if Obs.enabled c.w.obs then
-      Obs.span_begin c.w.obs ~time:(Engine.now c.w.engine)
-        ~track:(my_world_rank c) ~cat:"p2p"
-        ~args:[ ("seq", Obs.Int seq) ]
-        "barrier"
-    else Obs.null_span
-  in
-  (if c.c_rank = 0 then begin
-     for _ = 1 to size c - 1 do
-       ignore (recv_k c Internal0.Internal ~tag (empty ()))
-     done;
-     for r = 1 to size c - 1 do
-       send_k c Internal0.Internal ~dst:r ~tag:(tag + 1) (empty ())
-     done
-   end
-   else begin
-     send_k c Internal0.Internal ~dst:0 ~tag (empty ());
-     ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (empty ()))
-   end);
-  Obs.span_end c.w.obs ~time:(Engine.now c.w.engine) sp
+  match collective_ready c with
+  | Some err -> collective_error c err
+  | None -> (
+      let tag = seq * 16 in
+      let sp =
+        if Obs.enabled c.w.obs then
+          Obs.span_begin c.w.obs ~time:(Engine.now c.w.engine)
+            ~track:(my_world_rank c) ~cat:"p2p"
+            ~args:[ ("seq", Obs.Int seq) ]
+            "barrier"
+        else Obs.null_span
+      in
+      let body () =
+        if c.c_rank = 0 then begin
+          for _ = 1 to size c - 1 do
+            ignore (recv_k c Internal0.Internal ~tag (empty ()))
+          done;
+          for r = 1 to size c - 1 do
+            send_k c Internal0.Internal ~dst:r ~tag:(tag + 1) (empty ())
+          done
+        end
+        else begin
+          send_k c Internal0.Internal ~dst:0 ~tag (empty ());
+          ignore (recv_k c Internal0.Internal ~source:0 ~tag:(tag + 1) (empty ()))
+        end
+      in
+      match body () with
+      | () -> Obs.span_end c.w.obs ~time:(Engine.now c.w.engine) sp
+      | exception Mpi_error err ->
+          Obs.span_end c.w.obs ~time:(Engine.now c.w.engine) sp;
+          poison_collective c err;
+          collective_error c err)
 
 (* --- communicator management --- *)
-
-let alloc_cid w =
-  let cid = w.next_cid in
-  if cid > max_cid then failwith "Mpi.comm_split: communicator id space exhausted";
-  w.next_cid <- cid + 1;
-  cid
 
 let comm_split c ~color ~key =
   let seq = fresh_seq c in
@@ -902,7 +1439,15 @@ let comm_split c ~color ~key =
   (match Hashtbl.find_opt c.w.errh c.cid with
   | Some h -> Hashtbl.replace c.w.errh my_cid h
   | None -> ());
-  { w = c.w; c_rank = new_rank; group; cid = my_cid; bar_seq = 0 }
+  {
+    w = c.w;
+    c_rank = new_rank;
+    group;
+    cid = my_cid;
+    bar_seq = 0;
+    agree_seq = 0;
+    shrink_seq = 0;
+  }
 
 let comm_dup c = comm_split c ~color:0 ~key:c.c_rank
 
@@ -918,6 +1463,9 @@ module Internal = struct
   let mprobe_k = mprobe_k
   let mrecv_k = mrecv_k
   let fresh_seq = fresh_seq
+  let collective_ready = collective_ready
+  let poison_collective = poison_collective
+  let collective_error = collective_error
 end
 
 let sendrecv c ~dst ~send_tag sbuf ?source ?recv_tag rbuf =

@@ -193,6 +193,10 @@ type error =
   | Data_corrupted
       (** retries exhausted on checksum failures, or end-to-end
           verification failed after the packed-path fallback *)
+  | Revoked
+      (** the communicator was revoked with {!comm_revoke} (ULFM
+          [MPI_ERR_REVOKED]); all pending and future operations on it
+          complete with this error *)
 
 exception Mpi_error of error
 
@@ -308,6 +312,68 @@ val mrecv : comm -> message -> buffer -> status
     {!Mpicd_collectives}. *)
 
 val barrier : comm -> unit
+(** Failure-aware: if a member of the communicator has been declared
+    failed (or the communicator was revoked), every rank's call
+    terminates — with [Peer_failed]/[Revoked] through the error handler
+    — instead of hanging. *)
+
+(** {1 Process-failure resilience (ULFM-style)}
+
+    A miniature of the MPI User-Level Failure Mitigation proposal; see
+    docs/RESILIENCE.md.  Failures are declared by the transport's
+    heartbeat detector (or piggybacked on traffic; see
+    {!Mpicd_ucx.Ucx.notify_failure}); a declared failure cancels every
+    pending operation it makes undeliverable, so within a bounded
+    amount of virtual time all victims observe [Peer_failed] rather
+    than blocking forever.  Any-source receives with no failed explicit
+    peer are left pending, as in ULFM. *)
+
+val failed_ranks : comm -> int list
+(** Members of this communicator declared failed so far, as comm ranks,
+    ascending. *)
+
+val comm_revoke : comm -> unit
+(** ULFM [MPI_Comm_revoke]: immediately interrupt this rank's pending
+    operations on the communicator with [Revoked] and propagate the
+    revocation to every other member (one link latency later).  The
+    propagation is reliable and idempotent; future operations on the
+    communicator fail fast with [Revoked] at every rank that has seen
+    it.  Typically called after an operation raised [Peer_failed], to
+    flush peers out of a half-completed communication pattern before
+    {!comm_shrink}. *)
+
+val comm_revoked : comm -> bool
+(** Has this rank seen a revocation of the communicator? *)
+
+val comm_shrink : comm -> comm
+(** ULFM [MPI_Comm_shrink]: collectively build a working communicator
+    from the surviving members.  Participants agree fault-tolerantly on
+    the union of observed failures; the survivor set, its renumbering
+    (ordered by old comm rank) and the fresh communicator id are fixed
+    once at agreement completion, so every caller gets a consistent
+    view.  The death of a participant mid-shrink cannot block the
+    others.  Raises [Mpi_error (Peer_failed _)] at a caller that was
+    itself presumed dead.  The new communicator inherits the parent's
+    error handler. *)
+
+val comm_agree : comm -> flags:int -> int
+(** ULFM [MPI_Comm_agree]: fault-tolerant agreement on the bitwise AND
+    of every live member's [flags].  The result is uniform across
+    survivors even if members fail mid-agreement.  If a member failed
+    without contributing, the error handler is applied with
+    [Peer_failed] at {e every} caller — unless every contributor had
+    acknowledged that failure with {!comm_failure_ack} before calling.
+    The error verdict is itself agreed (each contribution carries the
+    caller's acknowledged set), so all callers reach the same
+    conclusion; the returned value is still the agreed AND. *)
+
+val comm_failure_ack : comm -> unit
+(** Acknowledge (at this rank) every failure known so far on this
+    communicator (ULFM [MPI_Comm_failure_ack]); see {!comm_agree}. *)
+
+val comm_get_acked : comm -> int list
+(** Comm ranks whose failure this rank has acknowledged
+    (ULFM [MPI_Comm_failure_get_acked]). *)
 
 (** {1 Internals shared with sibling libraries}
 
@@ -332,4 +398,27 @@ module Internal : sig
       collectives in the same order (SPMD), so equal sequence numbers
       identify the same collective across ranks; used to build
       collision-free internal tag spaces. *)
+
+  (** Failure plumbing for the collectives layer.  Operations posted
+      through this module's [_k] functions on the [Internal] kind raise
+      [Mpi_error] directly on error (bypassing the communicator's error
+      handler): the collective must observe the failure itself, poison
+      the operation for its peers, and then apply the handler once at
+      the collective level. *)
+
+  val collective_ready : comm -> error option
+  (** The error dooming a collective on this communicator before it
+      starts (seen revocation, earlier poisoned collective, or declared-
+      failed member), if any. *)
+
+  val poison_collective : comm -> error -> unit
+  (** Mark the communicator broken for collectives and cancel peers'
+      pending internal-channel operations on it (one link latency
+      later), so no rank keeps waiting for a rank that already gave
+      up. *)
+
+  val collective_error : comm -> error -> unit
+  (** Apply the communicator's error handler to a collective-level
+      error: raise {!Mpi_error}, raise {!Aborted}, or stash it for
+      {!last_error} and return. *)
 end

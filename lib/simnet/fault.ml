@@ -28,6 +28,7 @@ type t = {
   rto_ns : float;
   backoff : float;
   rndv_timeout_ns : float;
+  hb_period_ns : float;
 }
 
 let default =
@@ -40,13 +41,25 @@ let default =
     rto_ns = 50_000.;
     backoff = 2.;
     rndv_timeout_ns = 0.;
+    hb_period_ns = 100_000.;
   }
 
 let make ?(seed = default.seed) ?(link = default.link) ?(overrides = [])
     ?(crashes = []) ?(max_retries = default.max_retries)
     ?(rto_ns = default.rto_ns) ?(backoff = default.backoff)
-    ?(rndv_timeout_ns = default.rndv_timeout_ns) () =
-  { seed; link; overrides; crashes; max_retries; rto_ns; backoff; rndv_timeout_ns }
+    ?(rndv_timeout_ns = default.rndv_timeout_ns)
+    ?(hb_period_ns = default.hb_period_ns) () =
+  {
+    seed;
+    link;
+    overrides;
+    crashes;
+    max_retries;
+    rto_ns;
+    backoff;
+    rndv_timeout_ns;
+    hb_period_ns;
+  }
 
 let link_plan t ~src ~dst =
   match List.assoc_opt (src, dst) t.overrides with
@@ -65,6 +78,22 @@ let up_at t ~src ~dst ~now =
 let crashed t ~rank ~now =
   List.exists (fun (r, t0) -> r = rank && now >= t0) t.crashes
 
+(* Earliest crash time per rank, ordered by time (ties by rank).  A rank
+   listed twice dies at its earliest entry; later entries are redundant. *)
+let earliest_crashes t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r, t0) ->
+      match Hashtbl.find_opt tbl r with
+      | Some t1 when t1 <= t0 -> ()
+      | _ -> Hashtbl.replace tbl r t0)
+    t.crashes;
+  Hashtbl.fold (fun r t0 acc -> (r, t0) :: acc) tbl []
+  |> List.sort (fun (r1, t1) (r2, t2) -> compare (t1, r1) (t2, r2))
+
+let crash_time t ~rank =
+  List.assoc_opt rank (earliest_crashes t)
+
 type fate = {
   f_drop : bool;
   f_corrupt : bool;
@@ -72,10 +101,25 @@ type fate = {
   f_delay_ns : float;
 }
 
-type runtime = { r_plan : t; r_rng : Rng.t }
+type runtime = {
+  r_plan : t;
+  r_rng : Rng.t;
+  r_crash : (int, float) Hashtbl.t;
+      (* per-rank earliest crash time, precomputed at [start] so the
+         per-fragment liveness check is O(1) instead of O(plan crashes) *)
+}
 
-let start p = { r_plan = p; r_rng = Rng.create p.seed }
+let start p =
+  let r_crash = Hashtbl.create (List.length p.crashes) in
+  List.iter (fun (r, t0) -> Hashtbl.replace r_crash r t0) (earliest_crashes p);
+  { r_plan = p; r_rng = Rng.create p.seed; r_crash }
+
 let plan r = r.r_plan
+
+let crashed_rt r ~rank ~now =
+  match Hashtbl.find_opt r.r_crash rank with
+  | Some t0 -> now >= t0
+  | None -> false
 
 (* Always five draws per fragment so the decision sequence stays
    aligned whichever branches fire. *)
@@ -114,6 +158,7 @@ let to_string t =
   addf ",rto=%g" t.rto_ns;
   addf ",backoff=%g" t.backoff;
   if t.rndv_timeout_ns > 0. then addf ",rndv_timeout=%g" t.rndv_timeout_ns;
+  if t.hb_period_ns <> default.hb_period_ns then addf ",hb=%g" t.hb_period_ns;
   Buffer.contents b
 
 let of_string s =
@@ -198,6 +243,9 @@ let of_string s =
           | "rndv_timeout" ->
               let* ns = parse_float key v in
               Ok { t with rndv_timeout_ns = ns }
+          | "hb" ->
+              let* ns = parse_float key v in
+              Ok { t with hb_period_ns = ns }
           | _ -> err "fault plan: unknown key %S" key))
     (Ok default) fields
 

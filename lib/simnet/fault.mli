@@ -45,11 +45,18 @@ type t = {
   rndv_timeout_ns : float;
       (** rendezvous-handshake timeout: a sent RTS that stays unmatched
           this long fails with [Timeout]; [0.] disables the timer *)
+  hb_period_ns : float;
+      (** failure-detector heartbeat period: a crashed rank is declared
+          failed at the first heartbeat boundary after its crash time
+          plus two link latencies (probe + missing reply); [0.] disables
+          the detector (crashes then only surface through retry
+          exhaustion on in-flight traffic) *)
 }
 
 val default : t
 (** No faults, [seed = 1], [max_retries = 8], [rto_ns = 50_000.]
-    (50 us), [backoff = 2.], handshake timeout disabled. *)
+    (50 us), [backoff = 2.], handshake timeout disabled, heartbeat
+    period 100 us. *)
 
 val make :
   ?seed:int ->
@@ -60,6 +67,7 @@ val make :
   ?rto_ns:float ->
   ?backoff:float ->
   ?rndv_timeout_ns:float ->
+  ?hb_period_ns:float ->
   unit ->
   t
 (** [make ()] is {!default}; keyword arguments override fields. *)
@@ -76,6 +84,16 @@ val up_at : t -> src:int -> dst:int -> now:float -> float
     itself when the link is not flapping or currently up). *)
 
 val crashed : t -> rank:int -> now:float -> bool
+(** Linear scan of the plan's crash list.  Hot paths should use
+    {!crashed_rt} on a started runtime instead, which answers from a
+    per-rank schedule precomputed at {!start}. *)
+
+val earliest_crashes : t -> (int * float) list
+(** [(rank, time)] of each rank's earliest crash, ordered by time (ties
+    by rank): the schedule the failure detector walks. *)
+
+val crash_time : t -> rank:int -> float option
+(** Earliest crash time of [rank] under this plan, if it crashes. *)
 
 (** {1 Runtime: plan + dedicated decision stream} *)
 
@@ -95,6 +113,10 @@ type runtime
 val start : t -> runtime
 val plan : runtime -> t
 
+val crashed_rt : runtime -> rank:int -> now:float -> bool
+(** O(1) equivalent of {!crashed}, answering from the per-rank earliest
+    crash schedule built once at {!start}. *)
+
 val fate : runtime -> src:int -> dst:int -> fate
 (** Draw the fate of the next fragment on [src -> dst].  Always
     consumes the same number of stream values regardless of outcome, so
@@ -111,8 +133,9 @@ val corrupt_bit : runtime -> len:int -> int * int
     ["seed=42,drop=0.05,corrupt=0.01,retries=8,rto=50000"].  Keys:
     [seed], [drop], [corrupt], [dup], [delay_p], [delay] (ns),
     [flap=PERIOD/DOWN] (ns), [crash=RANK\@TIME] (repeatable),
-    [retries], [rto] (ns), [backoff], [rndv_timeout] (ns).  Per-link
-    overrides have no string syntax; build them with {!make}. *)
+    [retries], [rto] (ns), [backoff], [rndv_timeout] (ns), [hb] (ns,
+    the failure-detector heartbeat period).  Per-link overrides have no
+    string syntax; build them with {!make}. *)
 
 val of_string : string -> (t, string) result
 val to_string : t -> string

@@ -26,6 +26,13 @@ type t = {
   mutable iov_fallbacks : int;
   mutable flap_waits : int;
   mutable delivery_timeouts : int;
+  mutable failures_detected : int;
+  (* resilience counters: driven by explicit ULFM-style operations
+     (revoke/shrink/agree) and by failure-triggered cancellation *)
+  mutable ops_cancelled : int;
+  mutable comm_revokes : int;
+  mutable comm_shrinks : int;
+  mutable comm_agreements : int;
 }
 
 let create () =
@@ -56,6 +63,11 @@ let create () =
     iov_fallbacks = 0;
     flap_waits = 0;
     delivery_timeouts = 0;
+    failures_detected = 0;
+    ops_cancelled = 0;
+    comm_revokes = 0;
+    comm_shrinks = 0;
+    comm_agreements = 0;
   }
 
 let reset t =
@@ -84,7 +96,12 @@ let reset t =
   t.nacks <- 0;
   t.iov_fallbacks <- 0;
   t.flap_waits <- 0;
-  t.delivery_timeouts <- 0
+  t.delivery_timeouts <- 0;
+  t.failures_detected <- 0;
+  t.ops_cancelled <- 0;
+  t.comm_revokes <- 0;
+  t.comm_shrinks <- 0;
+  t.comm_agreements <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -127,6 +144,11 @@ let record_nack t = t.nacks <- t.nacks + 1
 let record_iov_fallback t = t.iov_fallbacks <- t.iov_fallbacks + 1
 let record_flap_wait t = t.flap_waits <- t.flap_waits + 1
 let record_delivery_timeout t = t.delivery_timeouts <- t.delivery_timeouts + 1
+let record_failure_detected t = t.failures_detected <- t.failures_detected + 1
+let record_op_cancelled t = t.ops_cancelled <- t.ops_cancelled + 1
+let record_comm_revoke t = t.comm_revokes <- t.comm_revokes + 1
+let record_comm_shrink t = t.comm_shrinks <- t.comm_shrinks + 1
+let record_comm_agreement t = t.comm_agreements <- t.comm_agreements + 1
 
 let snapshot t = { t with messages_sent = t.messages_sent }
 
@@ -159,6 +181,11 @@ let diff ~after ~before =
     iov_fallbacks = after.iov_fallbacks - before.iov_fallbacks;
     flap_waits = after.flap_waits - before.flap_waits;
     delivery_timeouts = after.delivery_timeouts - before.delivery_timeouts;
+    failures_detected = after.failures_detected - before.failures_detected;
+    ops_cancelled = after.ops_cancelled - before.ops_cancelled;
+    comm_revokes = after.comm_revokes - before.comm_revokes;
+    comm_shrinks = after.comm_shrinks - before.comm_shrinks;
+    comm_agreements = after.comm_agreements - before.comm_agreements;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -176,6 +203,10 @@ let mean_iov_entries t =
 let reliability_events t =
   t.retransmits + t.frags_dropped + t.frags_corrupted + t.frags_duplicated
   + t.acks + t.nacks + t.iov_fallbacks + t.flap_waits + t.delivery_timeouts
+  + t.failures_detected
+
+let resilience_events t =
+  t.ops_cancelled + t.comm_revokes + t.comm_shrinks + t.comm_agreements
 
 let pp ppf t =
   Format.fprintf ppf
@@ -195,7 +226,12 @@ let pp ppf t =
   if reliability_events t > 0 then
     Format.fprintf ppf
       "@,reliability: retx=%d drops=%d corrupt=%d dups=%d acks=%d nacks=%d \
-       iov_fallbacks=%d flap_waits=%d timeouts=%d"
+       iov_fallbacks=%d flap_waits=%d timeouts=%d failures=%d"
       t.retransmits t.frags_dropped t.frags_corrupted t.frags_duplicated
-      t.acks t.nacks t.iov_fallbacks t.flap_waits t.delivery_timeouts;
+      t.acks t.nacks t.iov_fallbacks t.flap_waits t.delivery_timeouts
+      t.failures_detected;
+  if resilience_events t > 0 then
+    Format.fprintf ppf
+      "@,resilience: cancelled=%d revokes=%d shrinks=%d agreements=%d"
+      t.ops_cancelled t.comm_revokes t.comm_shrinks t.comm_agreements;
   Format.fprintf ppf "@]"

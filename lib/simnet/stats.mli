@@ -34,6 +34,16 @@ type t = {
   mutable iov_fallbacks : int;
   mutable flap_waits : int;
   mutable delivery_timeouts : int;
+  mutable failures_detected : int;
+      (** ranks declared failed by the liveness detector (or by retry
+          exhaustion against a crashed peer); 0 without a crash plan *)
+  (* Resilience counters (see docs/RESILIENCE.md): driven by explicit
+     ULFM-style operations and failure-triggered cancellation. *)
+  mutable ops_cancelled : int;
+      (** pending operations completed early with [Peer_failed]/[Revoked] *)
+  mutable comm_revokes : int;
+  mutable comm_shrinks : int;
+  mutable comm_agreements : int;
 }
 
 val create : unit -> t
@@ -63,9 +73,24 @@ val record_nack : t -> unit
 val record_iov_fallback : t -> unit
 val record_flap_wait : t -> unit
 val record_delivery_timeout : t -> unit
+val record_failure_detected : t -> unit
+
+(** {1 Resilience events} (recorded by the ULFM-style layer;
+    see docs/RESILIENCE.md) *)
+
+val record_op_cancelled : t -> unit
+val record_comm_revoke : t -> unit
+val record_comm_shrink : t -> unit
+val record_comm_agreement : t -> unit
 
 val reliability_events : t -> int
-(** Sum of all reliability counters; 0 iff the run was fault-free. *)
+(** Sum of all reliability counters (including [failures_detected]);
+    0 iff the run was fault-free. *)
+
+val resilience_events : t -> int
+(** Sum of the resilience counters.  Unlike {!reliability_events} these
+    can be nonzero without a fault plan (an application may revoke a
+    communicator on a healthy system). *)
 
 val snapshot : t -> t
 (** Independent copy of the current counters. *)

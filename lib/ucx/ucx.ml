@@ -38,6 +38,7 @@ type error =
   | Timeout of { retries : int }
   | Peer_failed of { peer : int }
   | Data_corrupted
+  | Revoked
 
 type status = { len : int; tag : int64; error : error option }
 
@@ -53,6 +54,9 @@ type payload =
 and rndv = {
   r_dt : send_dt;
   r_request : request;  (* sender request, completed when transfer ends *)
+  mutable r_done : bool;
+      (* send-descriptor state released (packed or aborted); guards the
+         exactly-once [sg_finish] guarantee when an RTS is withdrawn *)
 }
 
 type envelope = {
@@ -90,6 +94,7 @@ and context = {
   config : Config.t;
   stats : Stats.t;
   mutable next_worker : int;
+  mutable workers_list : worker list;  (* newest first; for cancellation *)
   channels : (int * int, float ref) Hashtbl.t;
       (* per (src,dst) pair: earliest next delivery time, for FIFO order *)
   mutable jitter : (unit -> float) option;
@@ -99,6 +104,9 @@ and context = {
       (* [None] (the default) leaves every fault-free code path exactly
          as it was: the reliable-delivery protocol only engages when a
          plan is attached *)
+  failed : (int, float) Hashtbl.t;  (* worker id -> detection time *)
+  mutable any_failed : bool;  (* cheap guard for fail-fast checks *)
+  mutable fail_listeners : (rank:int -> time:float -> unit) list;
 }
 
 type endpoint = { ep_src : worker; ep_dst : worker }
@@ -109,11 +117,15 @@ let create_context ~engine ~config ~stats =
     config;
     stats;
     next_worker = 0;
+    workers_list = [];
     channels = Hashtbl.create 16;
     jitter = None;
     trace = None;
     obs = Obs.null;
     faults = None;
+    failed = Hashtbl.create 8;
+    any_failed = false;
+    fail_listeners = [];
   }
 
 let engine c = c.engine
@@ -122,7 +134,6 @@ let stats c = c.stats
 let set_channel_jitter c j = c.jitter <- j
 let set_trace c t = c.trace <- t
 let set_obs c o = c.obs <- o
-let set_faults c p = c.faults <- Option.map Fault.start p
 let faults c = Option.map Fault.plan c.faults
 
 (* With no trace attached, skip the Format machinery entirely
@@ -169,14 +180,18 @@ let tile_callbacks ctx ~track ~t0 ~t1 ~n ~name ~hist ?parent () =
 let create_worker ctx =
   let id = ctx.next_worker in
   ctx.next_worker <- id + 1;
-  {
-    id;
-    ctx;
-    posted = [];
-    unexpected = [];
-    probe_waiters = [];
-    mprobe_waiters = [];
-  }
+  let w =
+    {
+      id;
+      ctx;
+      posted = [];
+      unexpected = [];
+      probe_waiters = [];
+      mprobe_waiters = [];
+    }
+  in
+  ctx.workers_list <- w :: ctx.workers_list;
+  w
 
 let worker_id w = w.id
 let worker_context w = w.ctx
@@ -274,10 +289,16 @@ let materialize ctx (dt : send_dt) =
   match dt with
   | Sd_contig b -> ([ Buf.copy b ], 0)
   | Sd_iov bs -> ([ Buf.concat bs ], 0)
-  | Sd_generic g ->
-      let frags, ncb = pack_fragments ctx g in
-      g.sg_finish ();
-      (frags, ncb)
+  | Sd_generic g -> (
+      (* [sg_finish] runs exactly once whether the pack stream completes
+         or a callback fails partway through *)
+      match pack_fragments ctx g with
+      | frags, ncb ->
+          g.sg_finish ();
+          (frags, ncb)
+      | exception exn ->
+          g.sg_finish ();
+          raise exn)
 
 (* Deliver packed fragments into a receive descriptor.  Returns the
    receiver CPU time consumed. *)
@@ -340,6 +361,134 @@ let fault_instant ctx ~track ~time name args =
     Obs.instant ctx.obs ~time ~track ~cat:"fault" ~args name;
     Metrics.inc (Metrics.counter (Obs.metrics ctx.obs) ("fault." ^ name))
   end
+
+(* --- process-failure detection and operation cancellation ---
+
+   A crashed rank is *declared* failed either by the heartbeat detector
+   (a fiber walking the plan's crash schedule at heartbeat granularity)
+   or piggybacked on normal traffic (retry exhaustion against a crashed
+   peer).  Declaration is idempotent; listeners installed by the upper
+   layer cancel the victims' pending operations so nothing waits on a
+   dead rank forever. *)
+
+(* Release the callback state held by an aborted send descriptor.  The
+   paper's serialization contract promises the application's [free]
+   (here [sg_finish]) runs exactly once per started send, even when the
+   transfer never moves data. *)
+let dispose_send_dt = function
+  | Sd_generic g -> g.sg_finish ()
+  | Sd_contig _ | Sd_iov _ -> ()
+
+let dispose_rndv (r : rndv) =
+  if not r.r_done then begin
+    r.r_done <- true;
+    dispose_send_dt r.r_dt
+  end
+
+let dispose_recv_dt = function
+  | Rd_generic g -> g.rg_finish ()
+  | Rd_contig _ | Rd_iov _ -> ()
+
+let is_failed ctx ~rank = Hashtbl.mem ctx.failed rank
+let any_failures ctx = ctx.any_failed
+
+let failed_ranks ctx =
+  Hashtbl.fold (fun r _ acc -> r :: acc) ctx.failed []
+  |> List.sort compare
+
+let on_failure ctx f = ctx.fail_listeners <- f :: ctx.fail_listeners
+
+let notify_failure ctx ~rank =
+  if not (Hashtbl.mem ctx.failed rank) then begin
+    let now = Engine.now ctx.engine in
+    Hashtbl.replace ctx.failed rank now;
+    ctx.any_failed <- true;
+    Stats.record_failure_detected ctx.stats;
+    trace ctx "fault" "rank %d declared failed" rank;
+    fault_instant ctx ~track:rank ~time:now "rank_failed"
+      [ ("rank", Obs.Int rank) ];
+    (* detection latency relative to the plan's crash instant *)
+    (match ctx.faults with
+    | Some fr -> (
+        match Fault.crash_time (Fault.plan fr) ~rank with
+        | Some t0 -> observe ctx "failure_detect_latency_ns" (now -. t0)
+        | None -> ())
+    | None -> ());
+    List.iter (fun f -> f ~rank ~time:now) ctx.fail_listeners
+  end
+
+(* A request that is already complete with [error] — what a fail-fast
+   operation on a revoked/broken communicator returns. *)
+let completed_request ctx ~tag error =
+  let req = make_request ctx.engine in
+  complete req { len = 0; tag; error = Some error };
+  req
+
+(* Complete a pending request early with [error] and withdraw any
+   transport state referring to it (posted receives, queued RTS
+   envelopes), releasing descriptor callback state exactly once.
+   Returns false if the request had already completed. *)
+let try_cancel ctx (req : request) ~tag error =
+  if Engine.Ivar.is_filled req.ivar then false
+  else begin
+    complete req { len = 0; tag; error = Some error };
+    Stats.record_op_cancelled ctx.stats;
+    List.iter
+      (fun w ->
+        let mine, rest = List.partition (fun pr -> pr.pr_req == req) w.posted in
+        if mine <> [] then begin
+          w.posted <- rest;
+          List.iter (fun pr -> dispose_recv_dt pr.pr_dt) mine
+        end;
+        let gone, keep =
+          List.partition
+            (fun env ->
+              match env.e_payload with
+              | P_rndv r -> r.r_request == req
+              | P_eager _ | P_nack _ -> false)
+            w.unexpected
+        in
+        if gone <> [] then begin
+          w.unexpected <- keep;
+          List.iter
+            (fun env ->
+              match env.e_payload with
+              | P_rndv r -> dispose_rndv r
+              | P_eager _ | P_nack _ -> ())
+            gone
+        end)
+      ctx.workers_list;
+    true
+  end
+
+(* Heartbeat liveness detector: each rank probes its peers every
+   [hb_period_ns]; a crashed rank misses the first heartbeat boundary
+   after its crash time and is declared failed once the probe and its
+   missing reply have had time to cross the link (two latencies).  The
+   fiber walks the precomputed crash schedule and exits, so it never
+   keeps the engine alive once every crash has been declared. *)
+let spawn_detector ctx plan =
+  let e = ctx.engine in
+  let l = link ctx in
+  let period = plan.Fault.hb_period_ns in
+  Engine.spawn e ~name:"fail_detector" (fun () ->
+      List.iter
+        (fun (rank, t0) ->
+          let detect_at =
+            ((Float.floor (t0 /. period) +. 1.) *. period)
+            +. (2. *. l.latency_ns)
+          in
+          let now = Engine.now e in
+          if detect_at > now then Engine.sleep e (detect_at -. now);
+          notify_failure ctx ~rank)
+        (Fault.earliest_crashes plan))
+
+let set_faults c p =
+  c.faults <- Option.map Fault.start p;
+  match p with
+  | Some plan when plan.Fault.crashes <> [] && plan.Fault.hb_period_ns > 0. ->
+      spawn_detector c plan
+  | _ -> ()
 
 (* Wire-fragment lengths of a [total]-byte stream; control messages
    (total = 0) still occupy one zero-length fragment. *)
@@ -405,8 +554,8 @@ let reliable_transfer ctx fr ~src_id ~dst_id ~stream ~checksum =
     end;
     let now = Engine.now e in
     let dead =
-      Fault.crashed plan ~rank:dst_id ~now
-      || Fault.crashed plan ~rank:src_id ~now
+      Fault.crashed_rt fr ~rank:dst_id ~now
+      || Fault.crashed_rt fr ~rank:src_id ~now
     in
     let fate = Fault.fate fr ~src:src_id ~dst:dst_id in
     let retry cause =
@@ -415,10 +564,20 @@ let reliable_transfer ctx fr ~src_id ~dst_id ~stream ~checksum =
         fault_instant ctx ~track:src_id ~time:(Engine.now e)
           "delivery_timeout"
           [ ("seq", Obs.Int seq); ("attempts", Obs.Int (attempt + 1)) ];
+        let now = Engine.now e in
         failure :=
           Some
-            (if Fault.crashed plan ~rank:dst_id ~now:(Engine.now e) then
+            (if Fault.crashed_rt fr ~rank:dst_id ~now then begin
+               (* piggybacked detection: exhausting retries against a
+                  crashed peer declares it failed without waiting for
+                  the heartbeat detector *)
+               notify_failure ctx ~rank:dst_id;
                Peer_failed { peer = dst_id }
+             end
+             else if Fault.crashed_rt fr ~rank:src_id ~now then begin
+               notify_failure ctx ~rank:src_id;
+               Peer_failed { peer = src_id }
+             end
              else
                match cause with
                | `Corrupt -> Data_corrupted
@@ -530,10 +689,11 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
   let size = env.e_total in
   let fail_both err =
     complete_if_pending r.r_request { len = 0; tag = env.e_tag; error = Some err };
-    complete pr.pr_req { len = 0; tag = env.e_tag; error = Some err }
+    complete_if_pending pr.pr_req { len = 0; tag = env.e_tag; error = Some err }
   in
   Engine.spawn e ~name:"rel_rndv" ~track:env.e_src (fun () ->
       Engine.sleep e (l.rndv_handshake_ns +. l.rndv_reg_ns);
+      r.r_done <- true (* materialize owns descriptor disposal from here *);
       match materialize ctx r.r_dt with
       | exception Callback_error code -> fail_both (Callback_failed code)
       | frags, send_cbs -> (
@@ -619,7 +779,7 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
                   fail_both (Callback_failed code)
               | cpu_recv ->
                   Engine.sleep e cpu_recv;
-                  complete pr.pr_req
+                  complete_if_pending pr.pr_req
                     { len = size; tag = env.e_tag; error = None };
                   (* the sender completes when the final ack crosses back *)
                   Engine.at e ~delay:l.latency_ns (fun () ->
@@ -635,7 +795,7 @@ let process_match w (pr : posted) (env : envelope) =
   env.e_matched <- true;
   let capacity = recv_dt_capacity pr.pr_dt in
   let finish_recv ~delay status =
-    Engine.at e ~delay (fun () -> complete pr.pr_req status)
+    Engine.at e ~delay (fun () -> complete_if_pending pr.pr_req status)
   in
   (* How long the envelope sat in the unexpected queue before a
      matching receive arrived. *)
@@ -647,11 +807,14 @@ let process_match w (pr : posted) (env : envelope) =
         ~args:[ ("expected", Obs.Int env.e_total); ("capacity", Obs.Int capacity) ]
         "truncated";
     (* Truncation: no data is delivered; sender completes normally
-       (it either already did, for eager, or completes now). *)
+       (it either already did, for eager, or completes now).  The data
+       never moves, so the send descriptor is disposed here. *)
     (match env.e_payload with
     | P_eager _ | P_nack _ -> ()
     | P_rndv r ->
-        complete r.r_request { len = env.e_total; tag = env.e_tag; error = None });
+        dispose_rndv r;
+        complete_if_pending r.r_request
+          { len = env.e_total; tag = env.e_tag; error = None });
     finish_recv ~delay:0.
       {
         len = 0;
@@ -717,11 +880,12 @@ let process_match w (pr : posted) (env : envelope) =
         in
         let fail code =
           (* A callback failure poisons both sides of the transfer. *)
-          complete r.r_request
+          complete_if_pending r.r_request
             { len = 0; tag = env.e_tag; error = Some (Callback_failed code) };
           finish_recv ~delay:0.
             { len = 0; tag = env.e_tag; error = Some (Callback_failed code) }
         in
+        r.r_done <- true (* materialize owns descriptor disposal from here *);
         match materialize ctx r.r_dt with
         | exception Callback_error code -> fail code
         | frags, send_cbs -> (
@@ -801,9 +965,9 @@ let process_match w (pr : posted) (env : envelope) =
                     (t0 +. duration -. env.e_sent_at)
                 end;
                 Engine.at e ~delay:duration (fun () ->
-                    complete r.r_request
+                    complete_if_pending r.r_request
                       { len = size; tag = env.e_tag; error = None };
-                    complete pr.pr_req
+                    complete_if_pending pr.pr_req
                       { len = size; tag = env.e_tag; error = None })
             | exception Callback_error code -> fail code))
 
@@ -941,9 +1105,13 @@ let ship_rts_reliable ep fr (env : envelope) (req : request) =
                   fault_instant ctx ~track:ep.ep_src.id ~time:(Engine.now e)
                     "rndv_timeout"
                     [ ("dst", Obs.Int ep.ep_dst.id) ];
-                  (* withdraw the RTS so a late receive cannot match it *)
+                  (* withdraw the RTS so a late receive cannot match it,
+                     and release the send-descriptor state it carried *)
                   ep.ep_dst.unexpected <-
                     List.filter (fun x -> x != env) ep.ep_dst.unexpected;
+                  (match env.e_payload with
+                  | P_rndv r -> dispose_rndv r
+                  | P_eager _ | P_nack _ -> ());
                   complete req
                     {
                       len = 0;
@@ -952,7 +1120,11 @@ let ship_rts_reliable ep fr (env : envelope) (req : request) =
                     }
                 end)
       | Error err ->
-          complete req { len = 0; tag = env.e_tag; error = Some err };
+          (* the RTS never arrived: the data never moves either *)
+          (match env.e_payload with
+          | P_rndv r -> dispose_rndv r
+          | P_eager _ | P_nack _ -> ());
+          complete_if_pending req { len = 0; tag = env.e_tag; error = Some err };
           (* poison the receiver so a posted receive completes too *)
           ship ep ~after:l.latency_ns
             {
@@ -989,7 +1161,7 @@ let tag_send ep ~tag dt =
           e_tag = tag;
           e_total = total;
           e_src = ep.ep_src.id;
-          e_payload = P_rndv { r_dt = dt; r_request = req };
+          e_payload = P_rndv { r_dt = dt; r_request = req; r_done = false };
           e_unexpected_alloc = 0;
           e_sent_at = Engine.now e;
           e_queued_at = Float.nan;
@@ -1010,8 +1182,15 @@ let tag_send ep ~tag dt =
                  simulated sender may reuse its buffer immediately. *)
               (([ Buf.copy b ], 0), 0.)
           | Sd_generic g ->
-              let frags, ncb = pack_fragments ctx g in
-              g.sg_finish ();
+              let frags, ncb =
+                match pack_fragments ctx g with
+                | r ->
+                    g.sg_finish ();
+                    r
+                | exception exn ->
+                    g.sg_finish ();
+                    raise exn
+              in
               Stats.record_copy ctx.stats total;
               ( (frags, ncb),
                 Config.alloc_time c total
@@ -1055,7 +1234,7 @@ let tag_send ep ~tag dt =
                   }
                 in
                 ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
-                complete req { len = total; tag; error = None }
+                complete_if_pending req { len = total; tag; error = None }
             | Some fr ->
                 (* Reliable eager: fragments traverse the protocol and
                    the send completes only at the final ack, so retry
@@ -1082,9 +1261,10 @@ let tag_send ep ~tag dt =
                         in
                         ship ep ~after:x.x_lag env;
                         Engine.sleep e x.x_lag;
-                        complete req { len = total; tag; error = None }
+                        complete_if_pending req { len = total; tag; error = None }
                     | Error err ->
-                        complete req { len = 0; tag; error = Some err };
+                        complete_if_pending req
+                          { len = 0; tag; error = Some err };
                         ship ep ~after:l.latency_ns
                           {
                             e_tag = tag;
@@ -1098,7 +1278,7 @@ let tag_send ep ~tag dt =
                           }))
         | exception Callback_error code ->
             let err = Callback_failed code in
-            complete req { len = 0; tag; error = Some err };
+            complete_if_pending req { len = 0; tag; error = Some err };
             (* A failed pack must not leave the peer's posted receive
                pending forever: notify it with a poison envelope. *)
             Stats.record_nack ctx.stats;
@@ -1124,7 +1304,7 @@ let tag_send ep ~tag dt =
             e_tag = tag;
             e_total = total;
             e_src = ep.ep_src.id;
-            e_payload = P_rndv { r_dt = dt; r_request = req };
+            e_payload = P_rndv { r_dt = dt; r_request = req; r_done = false };
             e_unexpected_alloc = 0;
             e_sent_at = Engine.now e;
             e_queued_at = Float.nan;

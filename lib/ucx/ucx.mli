@@ -105,6 +105,10 @@ type error =
   | Data_corrupted
       (** retries exhausted with checksum failures, or end-to-end
           verification failed after the packed-path fallback *)
+  | Revoked
+      (** the operation's communicator was revoked (ULFM
+          [MPI_ERR_REVOKED]); set by the upper layer through
+          {!try_cancel}/{!completed_request} *)
 
 type status = { len : int; tag : int64; error : error option }
 
@@ -185,6 +189,50 @@ val set_faults : context -> Mpicd_simnet.Fault.t option -> unit
 
 val faults : context -> Mpicd_simnet.Fault.t option
 (** The currently attached fault plan, if any. *)
+
+(** {1 Process-failure detection (ULFM building blocks)}
+
+    A heartbeat liveness detector runs whenever the attached plan
+    schedules crashes and has a nonzero [hb_period_ns]: each crashed
+    rank is declared failed at the first heartbeat boundary after its
+    crash time plus two link latencies, so detection latency is bounded
+    by [hb_period_ns + 2 * latency_ns] of virtual time.  Failure is
+    also detected sooner, piggybacked on normal traffic, when the
+    reliable protocol exhausts retries against a crashed peer.
+    Declaration is idempotent and recorded in
+    {!Stats}.[failures_detected], the ["fault.rank_failed"] counter and
+    the ["failure_detect_latency_ns"] histogram.  See
+    docs/RESILIENCE.md. *)
+
+val notify_failure : context -> rank:int -> unit
+(** Declare a worker failed (idempotent).  Runs the registered failure
+    listeners on first declaration. *)
+
+val is_failed : context -> rank:int -> bool
+val any_failures : context -> bool
+val failed_ranks : context -> int list
+(** Ranks declared failed so far, sorted ascending. *)
+
+val on_failure : context -> (rank:int -> time:float -> unit) -> unit
+(** Register a listener called exactly once per declared failure, at
+    declaration time (from the detector fiber or the declaring send
+    path). *)
+
+(** {1 Operation cancellation} *)
+
+val completed_request : context -> tag:int64 -> error -> request
+(** A request born complete with [error]: what fail-fast operations on
+    a revoked or failure-poisoned communicator return without touching
+    the wire. *)
+
+val try_cancel : context -> request -> tag:int64 -> error -> bool
+(** Complete a pending request early with [error], withdrawing any
+    transport state that refers to it (posted receives, queued
+    rendezvous envelopes) and releasing datatype callback state
+    ([sg_finish]/[rg_finish]) exactly once.  Returns [false] — and does
+    nothing — if the request had already completed.  In-flight transfer
+    fibers for a cancelled request still run to completion on the
+    virtual clock; their late completions are discarded. *)
 
 (** {1 Test-only knobs} *)
 

@@ -63,6 +63,83 @@ let test_plan_string_roundtrip () =
   | Ok _ -> Alcotest.fail "unknown keys must be rejected"
   | Error _ -> ()
 
+(* Property: [of_string (to_string p) = Ok p] for any plan reachable
+   from the string grammar.  Numeric fields are drawn from small pools
+   of values that survive the canonical [%g] printing exactly, so the
+   property tests the grammar, not float formatting. *)
+let gen_plan =
+  let open QCheck.Gen in
+  let prob = oneofl [ 0.; 0.05; 0.1; 0.25; 0.5; 1. ] in
+  let ns = oneofl [ 500.; 1000.; 2500.; 50_000.; 100_000. ] in
+  let ns0 = oneofl [ 0.; 500.; 1000.; 2500.; 50_000.; 100_000. ] in
+  let flap =
+    oneof
+      [
+        return (0., 0.);
+        map2 (fun a b -> (Float.max a b, Float.min a b)) ns ns;
+      ]
+  in
+  let crash = map2 (fun r t -> (r, t)) (0 -- 7) ns in
+  let* seed = 0 -- 10_000 in
+  let* drop_p = prob and* corrupt_p = prob and* dup_p = prob in
+  let* delay_p = prob and* delay_ns = ns0 in
+  let* flap_period_ns, flap_down_ns = flap in
+  let* crashes = list_size (0 -- 3) crash in
+  let* max_retries = 0 -- 8 in
+  let* rto_ns = ns in
+  let* backoff = oneofl [ 1.; 1.5; 2.; 3. ] in
+  let* rndv_timeout_ns = ns0 in
+  let* hb_period_ns = ns0 in
+  return
+    (Fault.make ~seed
+       ~link:
+         {
+           Fault.drop_p;
+           corrupt_p;
+           dup_p;
+           delay_p;
+           delay_ns;
+           flap_period_ns;
+           flap_down_ns;
+         }
+       ~crashes ~max_retries ~rto_ns ~backoff ~rndv_timeout_ns ~hb_period_ns
+       ())
+
+let prop_plan_roundtrip =
+  QCheck.Test.make ~name:"faults: of_string (to_string p) = p" ~count:500
+    (QCheck.make ~print:Fault.to_string gen_plan)
+    (fun p ->
+      match Fault.of_string (Fault.to_string p) with
+      | Ok q -> p = q
+      | Error e -> QCheck.Test.fail_reportf "rejected own output: %s" e)
+
+let test_malformed_plans () =
+  let expect_err s frag =
+    match Fault.of_string s with
+    | Ok _ -> Alcotest.failf "%S parsed" s
+    | Error m ->
+        let has_frag =
+          let fl = String.length frag and ml = String.length m in
+          let rec scan i =
+            i + fl <= ml && (String.sub m i fl = frag || scan (i + 1))
+          in
+          scan 0
+        in
+        if not has_frag then
+          Alcotest.failf "%S: error %S does not mention %S" s m frag
+  in
+  expect_err "bogus=1" {|unknown key "bogus"|};
+  expect_err "drop" "expected key=value";
+  expect_err "drop=oops" "non-negative number";
+  expect_err "drop=-0.5" "non-negative number";
+  expect_err "seed=1.5" "integer";
+  expect_err "crash=5" "RANK@TIME";
+  expect_err "crash=x@100" "integer";
+  expect_err "flap=1000" "PERIOD/DOWN";
+  expect_err "flap=100/1000" "exceeds period";
+  expect_err "retries=-1" "retries must be >= 0";
+  expect_err "backoff=0.5" "backoff must be >= 1"
+
 let test_rto_backoff () =
   let p = Fault.make ~rto_ns:1000. ~backoff:2. () in
   check_float "first timeout" 1000. (Fault.rto p ~attempt:0);
@@ -555,6 +632,9 @@ let suite =
   ( "faults",
     [
       tc "plan string roundtrip" `Quick test_plan_string_roundtrip;
+      QCheck_alcotest.to_alcotest prop_plan_roundtrip;
+      tc "malformed plans are rejected with context" `Quick
+        test_malformed_plans;
       tc "rto backoff" `Quick test_rto_backoff;
       tc "flap windows" `Quick test_flap_window;
       tc "crash schedule" `Quick test_crash_schedule;

@@ -21,4 +21,5 @@ let () =
       Test_device.suite;
       Test_check.suite;
       Test_faults.suite;
+      Test_resilience.suite;
     ]

@@ -1,0 +1,285 @@
+(* Tests for ULFM-style process-failure resilience: the heartbeat
+   failure detector, failure-triggered cancellation, comm_revoke /
+   comm_agree / comm_shrink, fault-tolerant collectives, and the
+   exactly-once release of custom-datatype callback state on aborted
+   operations.  See docs/RESILIENCE.md. *)
+
+module Buf = Mpicd_buf.Buf
+module Engine = Mpicd_simnet.Engine
+module Config = Mpicd_simnet.Config
+module Stats = Mpicd_simnet.Stats
+module Fault = Mpicd_simnet.Fault
+module Ucx = Mpicd_ucx.Ucx
+module Mpi = Mpicd.Mpi
+module Custom = Mpicd.Custom
+module Coll = Mpicd_collectives.Collectives
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.))
+
+let crash_plan ?(extra = "") ~rank ~at () =
+  let s = Printf.sprintf "crash=%d@%g,hb=100000%s" rank at extra in
+  match Fault.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "plan %S: %s" s e
+
+(* --- failure detector: bounded declaration latency --- *)
+
+let test_detector_latency () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let ctx = Ucx.create_context ~engine ~config:Config.default ~stats in
+  ignore (Ucx.create_worker ctx);
+  ignore (Ucx.create_worker ctx);
+  let declared = ref [] in
+  Ucx.on_failure ctx (fun ~rank ~time -> declared := (rank, time) :: !declared);
+  Ucx.set_faults ctx (Some (crash_plan ~rank:1 ~at:50_000. ()));
+  Engine.run engine;
+  (match !declared with
+  | [ (1, t) ] ->
+      (* first heartbeat boundary after the crash, plus two latencies *)
+      check_float "declaration instant" 102_600. t;
+      check_bool "within the documented bound" true
+        (t <= 50_000. +. 100_000. +. (2. *. Config.default.Config.link.latency_ns))
+  | l -> Alcotest.failf "expected one declaration, got %d" (List.length l));
+  check_bool "is_failed" true (Ucx.is_failed ctx ~rank:1);
+  check_bool "any_failures" true (Ucx.any_failures ctx);
+  check_bool "failed_ranks" true (Ucx.failed_ranks ctx = [ 1 ]);
+  check_int "counted in stats" 1 stats.Stats.failures_detected
+
+(* --- crash mid-collective: every rank terminates, none hangs --- *)
+
+let test_crash_mid_barrier_terminates () =
+  let w = Mpi.create_world ~size:3 () in
+  Mpi.set_faults w (Some (crash_plan ~rank:1 ~at:30_000. ()));
+  let completed = Array.make 3 0 in
+  let errs = Array.make 3 None in
+  Mpi.run w (fun comm ->
+      let me = Mpi.rank comm in
+      try
+        for _ = 1 to 200 do
+          Coll.barrier comm;
+          completed.(me) <- completed.(me) + 1
+        done
+      with Mpi.Mpi_error e -> errs.(me) <- Some e);
+  for r = 0 to 2 do
+    check_bool
+      (Printf.sprintf "rank %d stopped before finishing the loop" r)
+      true
+      (completed.(r) < 200);
+    match errs.(r) with
+    | Some (Mpi.Peer_failed _) | Some (Mpi.Revoked) -> ()
+    | Some e ->
+        Alcotest.failf "rank %d: unexpected error %s" r
+          (match e with
+          | Mpi.Timeout _ -> "Timeout"
+          | Mpi.Data_corrupted -> "Data_corrupted"
+          | _ -> "?")
+    | None -> Alcotest.failf "rank %d finished a barrier loop across a crash" r
+  done;
+  (* the communicator is poisoned: the next collective fails fast *)
+  let fast = ref false in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        match Coll.barrier comm with
+        | () -> ()
+        | exception Mpi.Mpi_error (Mpi.Peer_failed _) -> fast := true);
+  check_bool "subsequent collective fails fast" true !fast;
+  check_bool "operations were cancelled" true
+    ((Mpi.world_stats w).Stats.ops_cancelled > 0)
+
+(* --- comm_revoke: pending and future operations fail fast --- *)
+
+let test_revoke () =
+  let w = Mpi.create_world ~size:2 () in
+  let engine = Mpi.world_engine w in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then begin
+        let r = Mpi.irecv comm ~source:1 ~tag:9 (Mpi.Bytes (Buf.create 64)) in
+        check_bool "not yet revoked" false (Mpi.comm_revoked comm);
+        Mpi.comm_revoke comm;
+        check_bool "revoked locally" true (Mpi.comm_revoked comm);
+        (match Mpi.wait r with
+        | _ -> Alcotest.fail "pending recv survived a revocation"
+        | exception Mpi.Mpi_error Mpi.Revoked -> ());
+        match Mpi.send comm ~dst:1 ~tag:10 (Mpi.Bytes (Buf.create 8)) with
+        | () -> Alcotest.fail "post-revoke send succeeded"
+        | exception Mpi.Mpi_error Mpi.Revoked -> ()
+      end
+      else begin
+        (* one link latency later the peer has seen the revocation too *)
+        Engine.sleep engine 10_000.;
+        check_bool "peer sees the revocation" true (Mpi.comm_revoked comm);
+        match Mpi.send comm ~dst:0 ~tag:11 (Mpi.Bytes (Buf.create 8)) with
+        | () -> Alcotest.fail "peer send on a revoked communicator succeeded"
+        | exception Mpi.Mpi_error Mpi.Revoked -> ()
+      end);
+  let s = Mpi.world_stats w in
+  check_int "one revocation" 1 s.Stats.comm_revokes;
+  check_int "the pending recv was cancelled" 1 s.Stats.ops_cancelled
+
+(* --- comm_agree: failure mid-agreement, acknowledgement --- *)
+
+let test_agree_with_failure () =
+  let w = Mpi.create_world ~size:3 () in
+  let engine = Mpi.world_engine w in
+  Mpi.set_faults w (Some (crash_plan ~rank:2 ~at:10_000. ()));
+  Mpi.run w (fun comm ->
+      Mpi.set_errhandler comm Mpi.Errors_return;
+      let me = Mpi.rank comm in
+      if me = 2 then begin
+        (* sleep past our own declared death, then try to participate:
+           a presumed-dead caller raises immediately *)
+        Engine.sleep engine 200_000.;
+        match Mpi.comm_agree comm ~flags:1 with
+        | _ -> Alcotest.fail "a dead rank joined an agreement"
+        | exception Mpi.Mpi_error (Mpi.Peer_failed { peer }) ->
+            check_int "reported itself" 2 peer
+      end
+      else begin
+        let flags = if me = 0 then 0b11 else 0b01 in
+        let v = Mpi.comm_agree comm ~flags in
+        check_int "AND of the live contributions" 1 v;
+        (* rank 2 failed without contributing and nobody acked it *)
+        (match Mpi.last_error comm with
+        | Some (Mpi.Peer_failed { peer }) ->
+            check_int "unacked failure reported" 2 peer
+        | _ -> Alcotest.fail "expected a stashed Peer_failed");
+        Mpi.clear_last_error comm;
+        check_bool "failure listed" true (Mpi.failed_ranks comm = [ 2 ]);
+        Mpi.comm_failure_ack comm;
+        check_bool "acknowledged" true (Mpi.comm_get_acked comm = [ 2 ]);
+        (* with the failure acknowledged by every live rank, agreement
+           completes silently (ULFM MPI_Comm_agree semantics) *)
+        let v = Mpi.comm_agree comm ~flags:1 in
+        check_int "second agreement value" 1 v;
+        check_bool "no error this time" true (Mpi.last_error comm = None)
+      end);
+  check_int "two agreements" 2 (Mpi.world_stats w).Stats.comm_agreements
+
+(* --- comm_shrink + resilient allreduce on the survivors --- *)
+
+let test_resilient_allreduce_shrink () =
+  let n = 4 in
+  let floats = 4096 (* 32 KiB: the rendezvous path *) in
+  let w = Mpi.create_world ~size:n () in
+  Mpi.set_faults w (Some (crash_plan ~rank:2 ~at:20_000. ()));
+  let shrinks = Array.make n (-1) in
+  let groups = Array.make n [] in
+  let sums = Array.make n 0. in
+  let died = ref false in
+  Mpi.run w (fun comm ->
+      let me = Mpi.rank comm in
+      let data = Array.make floats (float_of_int (me + 1)) in
+      match Coll.resilient_allreduce_f64 comm ~op:`Sum data with
+      | comm', k ->
+          shrinks.(me) <- k;
+          groups.(me) <-
+            List.init (Mpi.size comm') (Mpi.world_rank_of comm');
+          sums.(me) <- data.(0);
+          Array.iter
+            (fun v -> if v <> data.(0) then Alcotest.fail "ragged result")
+            data
+      | exception Mpi.Mpi_error (Mpi.Peer_failed _) ->
+          check_int "only the crashed rank gives up" 2 me;
+          died := true);
+  check_bool "the crashed rank gave up" true !died;
+  List.iter
+    (fun r ->
+      check_int (Printf.sprintf "rank %d shrank once" r) 1 shrinks.(r);
+      check_bool
+        (Printf.sprintf "rank %d group excludes the dead rank" r)
+        true
+        (groups.(r) = [ 0; 1; 3 ]);
+      (* 1 + 2 + 4: the reduction over the survivors *)
+      check_float (Printf.sprintf "rank %d sum" r) 7. sums.(r))
+    [ 0; 1; 3 ];
+  let s = Mpi.world_stats w in
+  check_int "one revoke" 1 s.Stats.comm_revokes;
+  check_int "one shrink" 1 s.Stats.comm_shrinks;
+  check_bool "failure detected" true (s.Stats.failures_detected >= 1)
+
+(* --- custom-datatype state is released exactly once on abort --- *)
+
+let counting_dt created freed : Buf.t Custom.t =
+  Custom.create
+    {
+      Custom.state = (fun _ ~count:_ -> incr created);
+      state_free = (fun () -> incr freed);
+      query = (fun () b ~count:_ -> Buf.length b);
+      pack =
+        (fun () b ~count:_ ~offset ~dst ->
+          let len = min (Buf.length dst) (Buf.length b - offset) in
+          Buf.blit ~src:b ~src_pos:offset ~dst ~dst_pos:0 ~len;
+          len);
+      unpack = (fun () _ ~count:_ ~offset:_ ~src:_ -> ());
+      region_count = None;
+      regions = None;
+    }
+
+let test_rndv_abort_frees_state_once () =
+  (* a rendezvous-sized generic send whose handshake times out because
+     the peer never posts: the withdrawn rendezvous state must release
+     the pack callbacks' state exactly once (the leak this guards
+     against: the timeout path dropped the envelope without finishing
+     the datatype) *)
+  let plan =
+    match Fault.of_string "rndv_timeout=10000" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let created = ref 0 and freed = ref 0 in
+  let dt = counting_dt created freed in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        let obj = Buf.create (128 * 1024) in
+        match Mpi.send comm ~dst:1 ~tag:1 (Mpi.Custom { dt; obj; count = 1 }) with
+        | () -> Alcotest.fail "unmatched rendezvous send completed"
+        | exception Mpi.Mpi_error (Mpi.Timeout _) -> ());
+  check_int "state allocated once" 1 !created;
+  check_int "state freed exactly once" 1 !freed
+
+let test_failed_wait_replays_once () =
+  (* waiting twice on a failed request replays the same error without
+     re-running cleanup (the double-finalize this guards against) *)
+  let plan =
+    match Fault.of_string "drop=1.0,retries=1,rto=1000" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let created = ref 0 and freed = ref 0 in
+  let dt = counting_dt created freed in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then begin
+        let obj = Buf.create 512 in
+        let r = Mpi.isend comm ~dst:1 ~tag:1 (Mpi.Custom { dt; obj; count = 1 }) in
+        (match Mpi.wait r with
+        | _ -> Alcotest.fail "send survived a 100% lossy link"
+        | exception Mpi.Mpi_error (Mpi.Timeout _) -> ());
+        match Mpi.wait r with
+        | _ -> Alcotest.fail "second wait returned success"
+        | exception Mpi.Mpi_error (Mpi.Timeout _) -> ()
+      end);
+  check_int "state allocated once" 1 !created;
+  check_int "state freed exactly once despite two waits" 1 !freed
+
+let suite =
+  let tc = Alcotest.test_case in
+  ( "resilience",
+    [
+      tc "detector declares within the bound" `Quick test_detector_latency;
+      tc "crash mid-barrier: all ranks terminate" `Quick
+        test_crash_mid_barrier_terminates;
+      tc "revoke interrupts pending and future ops" `Quick test_revoke;
+      tc "agree survives mid-agreement failure" `Quick test_agree_with_failure;
+      tc "shrink + resilient allreduce" `Quick test_resilient_allreduce_shrink;
+      tc "rndv abort frees custom state once" `Quick
+        test_rndv_abort_frees_state_once;
+      tc "failed wait replays, cleanup runs once" `Quick
+        test_failed_wait_replays_once;
+    ] )

@@ -36,6 +36,7 @@ let expect_ok (st : Ucx.status) =
       Alcotest.failf "unexpected timeout after %d retries" retries
   | Some (Ucx.Peer_failed { peer }) -> Alcotest.failf "peer %d failed" peer
   | Some Ucx.Data_corrupted -> Alcotest.fail "data corrupted"
+  | Some Ucx.Revoked -> Alcotest.fail "unexpected revocation"
 
 let test_contig_eager_roundtrip () =
   with_pair (fun ~engine ~stats:_ ~w0:_ ~w1 ~ep01 ~ep10:_ ->
@@ -498,10 +499,33 @@ let test_trace_records_protocols () =
     (let ts = List.map (fun (e : Trace.event) -> e.time) (Trace.events tr) in
      List.sort compare ts = ts)
 
+(* CRC32 (IEEE 802.3, reflected, as used by the wire checksums) against
+   the published check value and a couple of structural identities. *)
+let test_crc32_vectors () =
+  let module Crc32 = Mpicd_ucx.Crc32 in
+  let check_crc msg expected buf =
+    Alcotest.(check int32) msg expected (Crc32.digest buf)
+  in
+  check_crc "check value" 0xCBF43926l (Buf.of_string "123456789");
+  check_crc "empty" 0l (Buf.create 0);
+  check_crc "single zero byte" 0xD202EF8Dl (Buf.of_string "\x00");
+  check_crc "ascii a" 0xE8B7BE43l (Buf.of_string "a");
+  let big = pattern (1 lsl 20) in
+  let d = Crc32.digest big in
+  Alcotest.(check int32) "1 MiB pattern stable" d (Crc32.digest big);
+  Alcotest.(check int32) "digest_sub full range" d
+    (Crc32.digest_sub big ~pos:0 ~len:(Buf.length big));
+  let nine = Buf.of_string "xx123456789yy" in
+  Alcotest.(check int32) "digest_sub window" 0xCBF43926l
+    (Crc32.digest_sub nine ~pos:2 ~len:9);
+  Alcotest.(check bool) "prefix digest differs" true
+    (Crc32.digest_sub big ~pos:0 ~len:(1 lsl 19) <> d)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "ucx",
     [
+      tc "crc32 published vectors" `Quick test_crc32_vectors;
       tc "contig eager roundtrip" `Quick test_contig_eager_roundtrip;
       tc "contig rndv roundtrip" `Quick test_contig_rndv_roundtrip;
       tc "eager completes locally" `Quick test_eager_sender_completes_locally;
