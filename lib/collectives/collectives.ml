@@ -184,8 +184,11 @@ let reduce_f64 comm ~root ~op data =
   protected comm @@ fun _track ->
   if n > 1 then begin
     let vrank = (me - root + n) mod n in
-    let scratch = Array.make (Array.length data) 0. in
-    let inbuf = Buf.create (8 * Array.length data) in
+    (* Receive-side staging, shared by every child message of this call
+       and allocated only when the first one arrives — leaf ranks (half
+       the tree) send immediately and never pay for it. *)
+    let scratch = lazy (Array.make (Array.length data) 0.) in
+    let inbuf = lazy (Buf.create (8 * Array.length data)) in
     let mask = ref 1 in
     let continue = ref true in
     while !continue && !mask < n do
@@ -194,6 +197,7 @@ let reduce_f64 comm ~root ~op data =
         if vchild < n then begin
           let child = (vchild + root) mod n in
           let tag = tag_of ~seq ~op:op_reduce ~round:0 in
+          let inbuf = Lazy.force inbuf and scratch = Lazy.force scratch in
           ignore (K.recv_k comm K.Internal ~source:child ~tag (Mpi.Bytes inbuf));
           floats_into inbuf scratch;
           apply_op op data scratch
@@ -211,7 +215,13 @@ let reduce_f64 comm ~root ~op data =
 
 let allreduce_f64 comm ~op data =
   reduce_f64 comm ~root:0 ~op data;
-  let b = buf_of_floats data in
+  (* Only the root's reduced values travel: non-root ranks receive into
+     the staging buffer, so serializing their scratch data into it
+     first would be wasted work. *)
+  let b =
+    if Mpi.rank comm = 0 then buf_of_floats data
+    else Buf.create (8 * Array.length data)
+  in
   bcast comm ~root:0 (Mpi.Bytes b);
   floats_into b data
 

@@ -4,6 +4,7 @@ module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
 module Rng = Mpicd_simnet.Rng
 module Datatype = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
 module Ucx = Mpicd_ucx.Ucx
 module Obs = Mpicd_obs.Obs
 module Metrics = Mpicd_obs.Metrics
@@ -565,8 +566,24 @@ let custom_unpack_bounce c op b =
       ~parent:sp
   end
 
-let typed_overheads c dt count =
-  let blocks = Datatype.blocks_per_element dt * count in
+(* Compiled pack plan for [dt], from the process-global memo cache.
+   Records the hit/miss in [Stats] and, when a sink is attached, on the
+   metrics registry — cache effectiveness is an observability signal. *)
+let plan_of c dt =
+  let plan, outcome = Plan.get_outcome ~stats:c.w.stats dt in
+  if Obs.enabled c.w.obs then
+    Metrics.inc
+      (Metrics.counter (Obs.metrics c.w.obs)
+         (match outcome with
+         | Plan.Hit -> "plan_cache_hits_total"
+         | Plan.Miss -> "plan_cache_misses_total"));
+  plan
+
+(* Virtual-time cost of the datatype engine: identical block count (and
+   so identical charge) whether the host executes the interpreter or a
+   compiled plan. *)
+let typed_overheads c plan count =
+  let blocks = Plan.block_count plan * count in
   Stats.record_ddt_blocks c.w.stats blocks;
   float_of_int blocks *. (cpu c).ddt_block_ns
 
@@ -586,17 +603,23 @@ let buffer_size = function
 let make_send_dt c = function
   | Bytes b -> (Ucx.Sd_contig b, fun _ -> ())
   | Typed { dt; count; base } ->
-      let psize = Datatype.packed_size dt ~count in
-      if psize = 0 || Datatype.is_contiguous dt then
+      let plan = plan_of c dt in
+      let psize = Plan.packed_size plan ~count in
+      if psize = 0 || Plan.is_contiguous plan then
         (Ucx.Sd_contig (Buf.sub base ~pos:0 ~len:psize), fun _ -> ())
       else
-        let overhead = typed_overheads c dt count in
+        let overhead = typed_overheads c plan count in
+        (* One cursor per descriptor: the transport produces fragments
+           in stream order, so each pack resumes in O(1) where the
+           previous one stopped. *)
+        let cur = Plan.cursor plan in
         ( Ucx.Sd_generic
             {
               sg_packed_size = psize;
               sg_pack =
                 (fun ~offset ~dst ->
-                  Datatype.pack_range dt ~count ~src:base ~packed_off:offset ~dst);
+                  Plan.pack_range ~cursor:cur plan ~count ~src:base
+                    ~packed_off:offset ~dst);
               sg_finish = ignore;
               sg_overhead_ns = overhead;
             },
@@ -628,18 +651,20 @@ let make_send_dt c = function
 let make_recv_dt c = function
   | Bytes b -> (Ucx.Rd_contig b, fun _ -> ())
   | Typed { dt; count; base } ->
-      let psize = Datatype.packed_size dt ~count in
-      if psize = 0 || Datatype.is_contiguous dt then
+      let plan = plan_of c dt in
+      let psize = Plan.packed_size plan ~count in
+      if psize = 0 || Plan.is_contiguous plan then
         (Ucx.Rd_contig (Buf.sub base ~pos:0 ~len:psize), fun _ -> ())
       else
-        let overhead = typed_overheads c dt count in
+        let overhead = typed_overheads c plan count in
+        let cur = Plan.cursor plan in
         ( Ucx.Rd_generic
             {
               rg_capacity = psize;
               rg_unpack =
                 (fun ~offset ~src ->
-                  Datatype.unpack_range dt ~count ~src ~packed_off:offset
-                    ~dst:base);
+                  Plan.unpack_range ~cursor:cur plan ~count ~src
+                    ~packed_off:offset ~dst:base);
               rg_finish = ignore;
               rg_overhead_ns = overhead;
             },
@@ -1479,25 +1504,27 @@ let sendrecv c ~dst ~send_tag sbuf ?source ?recv_tag rbuf =
 let pack_size dt ~count = Datatype.packed_size dt ~count
 
 let pack c dt ~count ~src ~dst ~position =
-  let bytes = Datatype.packed_size dt ~count in
+  let plan = plan_of c dt in
+  let bytes = Plan.packed_size plan ~count in
   if position < 0 || position + bytes > Buf.length dst then
     invalid_arg "Mpi.pack: destination range";
   let n =
-    Datatype.pack dt ~count ~src ~dst:(Buf.sub dst ~pos:position ~len:bytes)
+    Plan.pack plan ~count ~src ~dst:(Buf.sub dst ~pos:position ~len:bytes)
   in
   Stats.record_copy c.w.stats bytes;
   charge c
     (Config.memcpy_time (cpu c) bytes
-    +. typed_overheads c dt count);
+    +. typed_overheads c plan count);
   position + n
 
 let unpack c dt ~count ~src ~position ~dst =
-  let bytes = Datatype.packed_size dt ~count in
+  let plan = plan_of c dt in
+  let bytes = Plan.packed_size plan ~count in
   if position < 0 || position + bytes > Buf.length src then
     invalid_arg "Mpi.unpack: source range";
-  Datatype.unpack dt ~count ~src:(Buf.sub src ~pos:position ~len:bytes) ~dst;
+  Plan.unpack plan ~count ~src:(Buf.sub src ~pos:position ~len:bytes) ~dst;
   Stats.record_copy c.w.stats bytes;
   charge c
     (Config.memcpy_time (cpu c) bytes
-    +. typed_overheads c dt count);
+    +. typed_overheads c plan count);
   position + bytes

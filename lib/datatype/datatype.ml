@@ -353,28 +353,17 @@ let is_contiguous t =
      | [] -> size t = 0
      | _ -> false
 
-let rec signature = function
-  | Predefined p -> [ p ]
-  | Contiguous (n, e) ->
-      let s = signature e in
-      List.concat (List.init n (fun _ -> s))
-  | Hvector { count; blocklength; elem; _ } ->
-      let s = signature elem in
-      List.concat (List.init (count * blocklength) (fun _ -> s))
-  | Hindexed { blocklengths; elem; _ } ->
-      let s = signature elem in
-      Array.to_list blocklengths
-      |> List.concat_map (fun bl -> List.concat (List.init bl (fun _ -> s)))
-  | Struct { blocklengths; types; _ } ->
-      List.concat
-        (List.mapi
-           (fun i bl ->
-             let s = signature types.(i) in
-             List.concat (List.init bl (fun _ -> s)))
-           (Array.to_list blocklengths))
-  | Resized { elem; _ } -> signature elem
+(* Single linear typemap walk: one cons per leaf, no intermediate
+   per-constructor list concatenation. *)
+let signature t =
+  let acc = ref [] in
+  iter_typemap t ~f:(fun ~disp:_ ~p -> acc := p :: !acc);
+  List.rev !acc
 
-let equal_signature a b = signature a = signature b
+(* Two signatures are equal iff their maximal run-length encodings are
+   equal, so compare the compact form instead of materializing the full
+   leaf lists (struct-of-vector comparisons were quadratic). *)
+let equal_signature a b = rle_signature a = rle_signature b
 
 let pp_predefined ppf p =
   Format.pp_print_string ppf
@@ -396,9 +385,18 @@ let rec pp ppf = function
       Format.fprintf ppf "hvector(%d,%d,%dB,%a)" count blocklength stride_bytes
         pp elem
   | Hindexed { blocklengths; displacements_bytes; elem } ->
-      Format.fprintf ppf "hindexed(%d blocks,%a)"
-        (Array.length blocklengths) pp elem;
-      ignore displacements_bytes
+      (* Bounded summary: lint reports need the displacements to be
+         actionable, but huge index lists must not explode the output. *)
+      let n = Array.length blocklengths in
+      let shown = min n 4 in
+      let pp_disps ppf () =
+        for i = 0 to shown - 1 do
+          if i > 0 then Format.fprintf ppf ",";
+          Format.fprintf ppf "%d:%dB" blocklengths.(i) displacements_bytes.(i)
+        done;
+        if n > shown then Format.fprintf ppf ",..+%d" (n - shown)
+      in
+      Format.fprintf ppf "hindexed(%d blocks[%a],%a)" n pp_disps () pp elem
   | Struct { blocklengths; types; _ } ->
       Format.fprintf ppf "struct(%d fields:%a)"
         (Array.length blocklengths)
@@ -464,13 +462,10 @@ let pack_range ?stats t ~count ~src ~packed_off ~dst =
       record_block stats len)
 
 let unpack_range ?stats t ~count ~src ~packed_off ~dst =
-  let consumed =
-    range_walk t ~count ~packed_off ~window:(Buf.length src)
-      ~f:(fun ~disp ~packed_pos ~len ->
-        Buf.blit ~src ~src_pos:(packed_pos - packed_off) ~dst ~dst_pos:disp ~len;
-        record_block stats len)
-  in
-  ignore consumed
+  range_walk t ~count ~packed_off ~window:(Buf.length src)
+    ~f:(fun ~disp ~packed_pos ~len ->
+      Buf.blit ~src ~src_pos:(packed_pos - packed_off) ~dst ~dst_pos:disp ~len;
+      record_block stats len)
 
 let iovec t ~count ~base =
   let acc = ref [] in

@@ -110,6 +110,9 @@ val signature : t -> predefined list
     proportional to [size]. *)
 
 val equal_signature : t -> t -> bool
+(** Signature equality via the run-length-encoded form
+    ({!rle_signature}), so comparing two large types costs memory
+    proportional to the number of runs, not to [size]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
@@ -208,10 +211,11 @@ val pack_range :
 
 val unpack_range :
   ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
-  packed_off:int -> dst:Mpicd_buf.Buf.t -> unit
+  packed_off:int -> dst:Mpicd_buf.Buf.t -> int
 (** Partial unpack: scatter the fragment [src], which starts at virtual
     offset [packed_off] of the packed stream, into the typed layout
-    [dst]. *)
+    [dst]; returns the number of bytes consumed, mirroring
+    {!pack_range} (short only at end of stream). *)
 
 val iovec : t -> count:int -> base:Mpicd_buf.Buf.t -> Mpicd_buf.Buf.t list
 (** Zero-copy region list for [count] elements laid out in [base]: one

@@ -1,0 +1,294 @@
+(* Compiled pack plans: a datatype flattened once into displacement /
+   length / prefix-sum arrays, executed without ever revisiting the
+   datatype tree (TEMPI-style canonicalization, Pearson et al.).
+
+   A plan is compiled per *element*; [count] elements tile the typed
+   buffer with stride [elem_extent] and the packed stream with stride
+   [elem_size], so plan memory is independent of [count].  Fragment
+   entry points use binary search over the prefix sums (O(log B)) and a
+   stateful cursor makes sequential fragment streams resume in O(1). *)
+
+module Buf = Mpicd_buf.Buf
+module Stats = Mpicd_simnet.Stats
+
+type t = {
+  elem_size : int;  (* packed bytes of one element *)
+  elem_extent : int;  (* typed-layout stride between elements *)
+  disps : int array;  (* typed byte displacement of block i, element-relative *)
+  lens : int array;  (* byte length of block i *)
+  prefix : int array;  (* prefix.(i) = packed offset of block i; length B+1 *)
+  contiguous : bool;
+}
+
+let build dt =
+  let rev_blocks = ref [] and n = ref 0 in
+  Datatype.iter_blocks dt ~count:1 ~f:(fun ~disp ~len ->
+      rev_blocks := (disp, len) :: !rev_blocks;
+      incr n);
+  let nb = !n in
+  let disps = Array.make nb 0 and lens = Array.make nb 0 in
+  let prefix = Array.make (nb + 1) 0 in
+  let i = ref (nb - 1) in
+  List.iter
+    (fun (d, l) ->
+      disps.(!i) <- d;
+      lens.(!i) <- l;
+      decr i)
+    !rev_blocks;
+  for j = 0 to nb - 1 do
+    prefix.(j + 1) <- prefix.(j) + lens.(j)
+  done;
+  let elem_size = prefix.(nb) in
+  let elem_extent = Datatype.extent dt in
+  let contiguous =
+    elem_size = elem_extent
+    && Datatype.lb dt = 0
+    && (nb = 0 || (nb = 1 && disps.(0) = 0))
+  in
+  { elem_size; elem_extent; disps; lens; prefix; contiguous }
+
+let size p = p.elem_size
+let extent p = p.elem_extent
+let block_count p = Array.length p.lens
+let is_contiguous p = p.contiguous
+let packed_size p ~count = count * p.elem_size
+
+(* --- memoization cache ---
+
+   Keyed on *physical* equality of the datatype value: building the same
+   shape twice compiles twice, but every send/recv/pack of one committed
+   datatype value reuses a single plan.  Buckets hash with the bounded
+   structural [Hashtbl.hash] (O(1) on deep trees) and resolve with
+   [==].  The table is bounded: a workload creating unbounded fresh
+   datatypes resets it rather than leaking. *)
+
+let cache : (int, (Datatype.t * t) list) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+let cache_entries = ref 0
+let max_cache_entries = 1024
+let hits = ref 0
+let misses = ref 0
+
+type outcome = Hit | Miss
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  cache_entries := 0;
+  hits := 0;
+  misses := 0;
+  Mutex.unlock cache_lock
+
+let cache_hits () = !hits
+let cache_misses () = !misses
+
+let get_outcome ?stats dt =
+  let h = Hashtbl.hash dt in
+  Mutex.lock cache_lock;
+  let found =
+    match Hashtbl.find_opt cache h with
+    | None -> None
+    | Some l -> List.find_opt (fun (k, _) -> k == dt) l
+  in
+  let result =
+    match found with
+    | Some (_, p) ->
+        incr hits;
+        (p, Hit)
+    | None ->
+        incr misses;
+        (* compile outside any fancy locking subtlety: build is pure *)
+        let p = build dt in
+        if !cache_entries >= max_cache_entries then begin
+          Hashtbl.reset cache;
+          cache_entries := 0
+        end;
+        let bucket = Option.value ~default:[] (Hashtbl.find_opt cache h) in
+        Hashtbl.replace cache h ((dt, p) :: bucket);
+        incr cache_entries;
+        (p, Miss)
+  in
+  Mutex.unlock cache_lock;
+  (match (stats, snd result) with
+  | Some s, Hit -> Stats.record_plan_hit s
+  | Some s, Miss -> Stats.record_plan_miss s
+  | None, _ -> ());
+  result
+
+let get ?stats dt = fst (get_outcome ?stats dt)
+
+(* --- whole-stream pack/unpack --- *)
+
+let record_block stats bytes =
+  match stats with
+  | None -> ()
+  | Some s ->
+      Stats.record_ddt_blocks s 1;
+      Stats.record_copy s bytes
+
+let pack ?stats p ~count ~src ~dst =
+  let nb = Array.length p.lens in
+  let pos = ref 0 in
+  for e = 0 to count - 1 do
+    let base = e * p.elem_extent in
+    for i = 0 to nb - 1 do
+      let len = p.lens.(i) in
+      Buf.blit ~src ~src_pos:(base + p.disps.(i)) ~dst ~dst_pos:!pos ~len;
+      record_block stats len;
+      pos := !pos + len
+    done
+  done;
+  !pos
+
+let unpack ?stats p ~count ~src ~dst =
+  let nb = Array.length p.lens in
+  let pos = ref 0 in
+  for e = 0 to count - 1 do
+    let base = e * p.elem_extent in
+    for i = 0 to nb - 1 do
+      let len = p.lens.(i) in
+      Buf.blit ~src ~src_pos:!pos ~dst ~dst_pos:(base + p.disps.(i)) ~len;
+      record_block stats len;
+      pos := !pos + len
+    done
+  done;
+  let expected = packed_size p ~count in
+  if !pos <> expected then
+    invalid_arg
+      (Printf.sprintf "Plan.unpack: consumed %d bytes, expected %d" !pos
+         expected)
+
+(* --- fragment entry points --- *)
+
+(* Largest i with prefix.(i) <= r, for 0 <= r < elem_size. *)
+let find_block p r =
+  let lo = ref 0 and hi = ref (Array.length p.lens - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if p.prefix.(mid) <= r then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+type cursor = {
+  c_plan : t;
+  mutable c_next : int;  (* packed offset the cursor sits at *)
+  mutable c_elem : int;  (* element index of c_next *)
+  mutable c_block : int;  (* block index of c_next within the element *)
+  mutable c_resumes : int;
+  mutable c_reseeks : int;
+}
+
+let cursor p =
+  { c_plan = p; c_next = 0; c_elem = 0; c_block = 0; c_resumes = 0; c_reseeks = 0 }
+
+let cursor_resumes c = c.c_resumes
+let cursor_reseeks c = c.c_reseeks
+
+(* Position (elem, block) for packed offset [pos]; O(1) when the cursor
+   already sits there (the sequential-stream fast path), O(log B)
+   otherwise. *)
+let seek cur pos =
+  let p = cur.c_plan in
+  if pos = cur.c_next then begin
+    cur.c_resumes <- cur.c_resumes + 1;
+    (cur.c_elem, cur.c_block)
+  end
+  else begin
+    cur.c_reseeks <- cur.c_reseeks + 1;
+    let elem = pos / p.elem_size in
+    let r = pos mod p.elem_size in
+    (elem, find_block p r)
+  end
+
+(* Shared walk for pack_range/unpack_range: apply [blit] to the
+   sub-blocks overlapping [packed_off, packed_off + window) of a
+   [count]-element stream, starting from (elem, block), and return the
+   final (elem, block) after consuming [want] bytes. *)
+let range_apply p ~elem ~block ~packed_off ~want ~blit =
+  let nb = Array.length p.lens in
+  let elem = ref elem and block = ref block in
+  let done_ = ref 0 in
+  while !done_ < want do
+    let stream_pos = packed_off + !done_ in
+    let r = stream_pos - (!elem * p.elem_size) in
+    let within = r - p.prefix.(!block) in
+    let n = min (want - !done_) (p.lens.(!block) - within) in
+    blit
+      ~typed_pos:((!elem * p.elem_extent) + p.disps.(!block) + within)
+      ~stream_rel:!done_ ~len:n;
+    done_ := !done_ + n;
+    if within + n = p.lens.(!block) then begin
+      incr block;
+      if !block = nb then begin
+        block := 0;
+        incr elem
+      end
+    end
+  done;
+  (!elem, !block)
+
+let range ?stats ?cursor:cur p ~count ~packed_off ~window ~blit =
+  let total = packed_size p ~count in
+  if packed_off >= total || window <= 0 then 0
+  else begin
+    let want = min window (total - packed_off) in
+    let elem, block =
+      match cur with
+      | Some c -> seek c packed_off
+      | None ->
+          (packed_off / p.elem_size, find_block p (packed_off mod p.elem_size))
+    in
+    let blit ~typed_pos ~stream_rel ~len =
+      blit ~typed_pos ~stream_rel ~len;
+      record_block stats len
+    in
+    let elem', block' = range_apply p ~elem ~block ~packed_off ~want ~blit in
+    (match cur with
+    | Some c ->
+        c.c_next <- packed_off + want;
+        c.c_elem <- elem';
+        c.c_block <- block'
+    | None -> ());
+    want
+  end
+
+let pack_range ?stats ?cursor p ~count ~src ~packed_off ~dst =
+  range ?stats ?cursor p ~count ~packed_off ~window:(Buf.length dst)
+    ~blit:(fun ~typed_pos ~stream_rel ~len ->
+      Buf.blit ~src ~src_pos:typed_pos ~dst ~dst_pos:stream_rel ~len)
+
+let unpack_range ?stats ?cursor p ~count ~src ~packed_off ~dst =
+  range ?stats ?cursor p ~count ~packed_off ~window:(Buf.length src)
+    ~blit:(fun ~typed_pos ~stream_rel ~len ->
+      Buf.blit ~src ~src_pos:stream_rel ~dst ~dst_pos:typed_pos ~len)
+
+(* --- iovec from the plan arrays ---
+
+   Same merged-region structure as [Datatype.iovec] (blocks that touch
+   across an element boundary coalesce), but assembled from the flat
+   arrays with no tree walk. *)
+
+let iovec p ~count ~base =
+  let nb = Array.length p.lens in
+  let acc = ref [] in
+  let pending_disp = ref 0 and pending_len = ref 0 in
+  let emit disp len =
+    if len > 0 then
+      if !pending_len > 0 && !pending_disp + !pending_len = disp then
+        pending_len := !pending_len + len
+      else begin
+        if !pending_len > 0 then
+          acc := Buf.sub base ~pos:!pending_disp ~len:!pending_len :: !acc;
+        pending_disp := disp;
+        pending_len := len
+      end
+  in
+  for e = 0 to count - 1 do
+    let eb = e * p.elem_extent in
+    for i = 0 to nb - 1 do
+      emit (eb + p.disps.(i)) p.lens.(i)
+    done
+  done;
+  if !pending_len > 0 then
+    acc := Buf.sub base ~pos:!pending_disp ~len:!pending_len :: !acc;
+  List.rev !acc

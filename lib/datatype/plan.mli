@@ -1,0 +1,108 @@
+(** Compiled pack plans.
+
+    A plan is a datatype flattened once into displacement / length
+    arrays plus a prefix sum of packed offsets — the TEMPI-style
+    canonical representation (Pearson et al.) that lets the pack engine
+    run straight array loops instead of re-interpreting the datatype
+    tree on every call.
+
+    Plans are compiled per {e element}: [count] elements tile the typed
+    buffer with stride {!extent} and the packed stream with stride
+    {!size}, so plan memory never depends on [count].  Fragment entry
+    points ({!pack_range}/{!unpack_range}) locate the starting block by
+    binary search over the prefix sums (O(log B)); a {!cursor} turns a
+    sequential fragment stream into amortized O(1) resumes.
+
+    Plans only change host-side execution.  The simulator's
+    virtual-time cost model keeps charging per interpreter-equivalent
+    block, so simulation results are bit-identical to the interpreter
+    path. *)
+
+type t
+
+val build : Datatype.t -> t
+(** Flatten one element of the datatype (merged contiguous blocks, in
+    typemap order) into a fresh plan, bypassing the cache. *)
+
+(** {1 Memoization}
+
+    Plans are cached per datatype {e value}, keyed on physical equality:
+    committing a datatype once and reusing it hits the cache on every
+    subsequent operation.  The cache is process-global, thread-safe and
+    bounded. *)
+
+type outcome = Hit | Miss
+
+val get : ?stats:Mpicd_simnet.Stats.t -> Datatype.t -> t
+(** Cached {!build}.  When [stats] is given, records a
+    plan-cache hit or miss ({!Mpicd_simnet.Stats.record_plan_hit}). *)
+
+val get_outcome : ?stats:Mpicd_simnet.Stats.t -> Datatype.t -> t * outcome
+
+val clear_cache : unit -> unit
+(** Drop all cached plans and zero the global hit/miss counters
+    (test isolation). *)
+
+val cache_hits : unit -> int
+val cache_misses : unit -> int
+
+(** {1 Queries} — same values as the corresponding [Datatype] queries
+    on the source datatype. *)
+
+val size : t -> int
+val extent : t -> int
+val packed_size : t -> count:int -> int
+
+val block_count : t -> int
+(** Merged contiguous blocks per element (= [Datatype.blocks_per_element]). *)
+
+val is_contiguous : t -> bool
+
+(** {1 Pack / unpack}
+
+    Byte-for-byte identical to the [Datatype] interpreter engine,
+    including the per-block [stats] accounting
+    ([record_ddt_blocks] + [record_copy]). *)
+
+val pack :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  dst:Mpicd_buf.Buf.t -> int
+
+val unpack :
+  ?stats:Mpicd_simnet.Stats.t -> t -> count:int -> src:Mpicd_buf.Buf.t ->
+  dst:Mpicd_buf.Buf.t -> unit
+
+(** {1 Fragment streams} *)
+
+type cursor
+(** Mutable resume point for a fragment stream over one (plan, count)
+    pair.  Passing the cursor to {!pack_range}/{!unpack_range} makes a
+    fragment that starts where the previous one ended resume in O(1);
+    any other offset re-seeks by binary search.  A cursor must not be
+    shared between concurrent streams. *)
+
+val cursor : t -> cursor
+
+val cursor_resumes : cursor -> int
+(** Fragments that resumed in O(1) (diagnostics/tests). *)
+
+val cursor_reseeks : cursor -> int
+(** Fragments that needed a binary-search re-seek. *)
+
+val pack_range :
+  ?stats:Mpicd_simnet.Stats.t -> ?cursor:cursor -> t -> count:int ->
+  src:Mpicd_buf.Buf.t -> packed_off:int -> dst:Mpicd_buf.Buf.t -> int
+(** Write bytes [packed_off .. packed_off + length dst - 1] of the
+    packed stream into [dst]; returns bytes written (short only at end
+    of stream). *)
+
+val unpack_range :
+  ?stats:Mpicd_simnet.Stats.t -> ?cursor:cursor -> t -> count:int ->
+  src:Mpicd_buf.Buf.t -> packed_off:int -> dst:Mpicd_buf.Buf.t -> int
+(** Scatter the fragment [src] (virtual offset [packed_off] of the
+    packed stream) into the typed layout [dst]; returns bytes consumed,
+    mirroring {!pack_range}. *)
+
+val iovec : t -> count:int -> base:Mpicd_buf.Buf.t -> Mpicd_buf.Buf.t list
+(** Zero-copy region list; entry-for-entry identical to
+    [Datatype.iovec] (including cross-element merging). *)

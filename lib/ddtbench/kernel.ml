@@ -1,5 +1,6 @@
 module Buf = Mpicd_buf.Buf
 module Datatype = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
 module Custom = Mpicd.Custom
 
 module type SPEC = sig
@@ -18,6 +19,7 @@ module type KERNEL = sig
   include SPEC
 
   val wire_bytes : int
+  val plan : Plan.t
   val create : unit -> Buf.t
   val create_sink : unit -> Buf.t
   val equal : Buf.t -> Buf.t -> bool
@@ -52,6 +54,10 @@ module Make (S : SPEC) : KERNEL = struct
         (Printf.sprintf "Kernel %s: derived size %d <> blocks total %d" S.name
            (Datatype.size S.derived) wire_bytes)
 
+  (* Compiled once per kernel (via the global memo cache) and shared by
+     every operation; each operation gets its own cursor. *)
+  let plan = Plan.get S.derived
+
   let create () =
     let b = Buf.create S.slab_bytes in
     fill b;
@@ -61,20 +67,28 @@ module Make (S : SPEC) : KERNEL = struct
 
   let equal a b = Blocks.equal_typed S.blocks a b
 
-  (* Custom datatype, packing everything through resumable callbacks. *)
+  (* Custom datatype, packing everything through resumable callbacks.
+     The per-operation state is a plan cursor, so a transport that walks
+     the stream fragment by fragment resumes each callback in O(1)
+     instead of re-deriving the position (and, unlike the old
+     Blocks-based callbacks, [count] now scales the stream instead of
+     being silently ignored). *)
   let custom_pack : Buf.t Custom.t =
     Custom.create
       ~pack_pieces:(fun _ ~count:_ -> Blocks.count S.blocks)
       {
-        state = (fun _ ~count:_ -> ());
+        state = (fun _ ~count:_ -> Plan.cursor plan);
         state_free = ignore;
-        query = (fun () _ ~count -> count * Blocks.total S.blocks);
+        query = (fun _ _ ~count -> count * Blocks.total S.blocks);
         pack =
-          (fun () base ~count:_ ~offset ~dst ->
-            Blocks.pack_range S.blocks ~base ~offset ~dst);
+          (fun cur base ~count ~offset ~dst ->
+            Plan.pack_range ~cursor:cur plan ~count ~src:base
+              ~packed_off:offset ~dst);
         unpack =
-          (fun () base ~count:_ ~offset ~src ->
-            Blocks.unpack_range S.blocks ~base ~offset ~src);
+          (fun cur base ~count ~offset ~src ->
+            ignore
+              (Plan.unpack_range ~cursor:cur plan ~count ~src
+                 ~packed_off:offset ~dst:base));
         region_count = None;
         regions = None;
       }

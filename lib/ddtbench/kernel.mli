@@ -18,6 +18,7 @@
 
 module Buf = Mpicd_buf.Buf
 module Datatype = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
 module Custom = Mpicd.Custom
 
 (** What a concrete kernel defines. *)
@@ -43,6 +44,10 @@ module type KERNEL = sig
   include SPEC
 
   val wire_bytes : int
+
+  val plan : Plan.t
+      (** compiled pack plan of [derived], shared by all operations *)
+
   val create : unit -> Buf.t  (** pattern-filled slab *)
 
   val create_sink : unit -> Buf.t

@@ -33,6 +33,12 @@ type t = {
   mutable comm_revokes : int;
   mutable comm_shrinks : int;
   mutable comm_agreements : int;
+  (* datatype pack-plan counters: compilation cache traffic and
+     bounce-buffer recycling.  Host-side only — they never feed the
+     virtual-time cost model. *)
+  mutable plan_cache_hits : int;
+  mutable plan_cache_misses : int;
+  mutable bounce_reuses : int;
 }
 
 let create () =
@@ -68,6 +74,9 @@ let create () =
     comm_revokes = 0;
     comm_shrinks = 0;
     comm_agreements = 0;
+    plan_cache_hits = 0;
+    plan_cache_misses = 0;
+    bounce_reuses = 0;
   }
 
 let reset t =
@@ -101,7 +110,10 @@ let reset t =
   t.ops_cancelled <- 0;
   t.comm_revokes <- 0;
   t.comm_shrinks <- 0;
-  t.comm_agreements <- 0
+  t.comm_agreements <- 0;
+  t.plan_cache_hits <- 0;
+  t.plan_cache_misses <- 0;
+  t.bounce_reuses <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -149,6 +161,9 @@ let record_op_cancelled t = t.ops_cancelled <- t.ops_cancelled + 1
 let record_comm_revoke t = t.comm_revokes <- t.comm_revokes + 1
 let record_comm_shrink t = t.comm_shrinks <- t.comm_shrinks + 1
 let record_comm_agreement t = t.comm_agreements <- t.comm_agreements + 1
+let record_plan_hit t = t.plan_cache_hits <- t.plan_cache_hits + 1
+let record_plan_miss t = t.plan_cache_misses <- t.plan_cache_misses + 1
+let record_bounce_reuse t = t.bounce_reuses <- t.bounce_reuses + 1
 
 let snapshot t = { t with messages_sent = t.messages_sent }
 
@@ -186,6 +201,9 @@ let diff ~after ~before =
     comm_revokes = after.comm_revokes - before.comm_revokes;
     comm_shrinks = after.comm_shrinks - before.comm_shrinks;
     comm_agreements = after.comm_agreements - before.comm_agreements;
+    plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
+    plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
+    bounce_reuses = after.bounce_reuses - before.bounce_reuses;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -207,6 +225,8 @@ let reliability_events t =
 
 let resilience_events t =
   t.ops_cancelled + t.comm_revokes + t.comm_shrinks + t.comm_agreements
+
+let plan_events t = t.plan_cache_hits + t.plan_cache_misses + t.bounce_reuses
 
 let pp ppf t =
   Format.fprintf ppf
@@ -234,4 +254,9 @@ let pp ppf t =
     Format.fprintf ppf
       "@,resilience: cancelled=%d revokes=%d shrinks=%d agreements=%d"
       t.ops_cancelled t.comm_revokes t.comm_shrinks t.comm_agreements;
+  (* Like the reliability line: only rendered when plans were in play,
+     so byte-only workloads print exactly as before. *)
+  if plan_events t > 0 then
+    Format.fprintf ppf "@,plans: cache_hits=%d cache_misses=%d bounce_reuses=%d"
+      t.plan_cache_hits t.plan_cache_misses t.bounce_reuses;
   Format.fprintf ppf "@]"

@@ -44,6 +44,15 @@ type t = {
   mutable comm_revokes : int;
   mutable comm_shrinks : int;
   mutable comm_agreements : int;
+  (* Datatype pack-plan counters (see docs/PERFORMANCE.md): host-side
+     bookkeeping only, never part of the virtual-time cost model. *)
+  mutable plan_cache_hits : int;
+      (** typed operations that found a compiled pack plan in the cache *)
+  mutable plan_cache_misses : int;
+      (** typed operations that had to flatten a datatype into a plan *)
+  mutable bounce_reuses : int;
+      (** eager/rendezvous bounce fragments served from the transport
+          pool instead of a fresh allocation *)
 }
 
 val create : unit -> t
@@ -82,6 +91,17 @@ val record_op_cancelled : t -> unit
 val record_comm_revoke : t -> unit
 val record_comm_shrink : t -> unit
 val record_comm_agreement : t -> unit
+
+(** {1 Pack-plan events} (recorded by the datatype plan cache and the
+    transport bounce-buffer pool; see docs/PERFORMANCE.md) *)
+
+val record_plan_hit : t -> unit
+val record_plan_miss : t -> unit
+val record_bounce_reuse : t -> unit
+
+val plan_events : t -> int
+(** Sum of the pack-plan counters; 0 iff no typed traffic used the
+    compiled-plan machinery. *)
 
 val reliability_events : t -> int
 (** Sum of all reliability counters (including [failures_detected]);

@@ -17,7 +17,9 @@ type send_generic = {
 
 type recv_generic = {
   rg_capacity : int;
-  rg_unpack : offset:int -> src:Buf.t -> unit;
+  rg_unpack : offset:int -> src:Buf.t -> int;
+      (* returns bytes consumed; must equal the fragment length (every
+         delivered fragment lies wholly inside the packed stream) *)
   rg_finish : unit -> unit;
   rg_overhead_ns : float;
 }
@@ -107,6 +109,11 @@ and context = {
   failed : (int, float) Hashtbl.t;  (* worker id -> detection time *)
   mutable any_failed : bool;  (* cheap guard for fail-fast checks *)
   mutable fail_listeners : (rank:int -> time:float -> unit) list;
+  mutable bounce_pool : Buf.t list;
+      (* recycled full-size pack bounce fragments (fault-free path only:
+         the reliable protocol may still reference frags after deposit,
+         so pooling there could perturb exact replays) *)
+  mutable bounce_pool_len : int;
 }
 
 type endpoint = { ep_src : worker; ep_dst : worker }
@@ -126,6 +133,8 @@ let create_context ~engine ~config ~stats =
     failed = Hashtbl.create 8;
     any_failed = false;
     fail_listeners = [];
+    bounce_pool = [];
+    bounce_pool_len = 0;
   }
 
 let engine c = c.engine
@@ -219,10 +228,50 @@ let iov_cost c entries =
   (float_of_int entries *. l.iov_entry_ns)
   +. (float_of_int (max 0 (chunks - 1)) *. l.per_msg_overhead_ns)
 
+(* --- bounce-buffer pool ---
+
+   The generic pack path allocates one bounce buffer per fragment; on a
+   long stream that is pure allocator/GC churn because every fragment
+   dies as soon as [deposit] consumes it.  Full-size fragments cycle
+   through a small per-context free list instead.  Recycled buffers are
+   re-zeroed so a reuse is indistinguishable from a fresh [Buf.create].
+   The pool stays out of fault-mode runs: the reliable protocol copies
+   and reslices streams on its own schedule, and exact fixed-seed
+   replays must not depend on buffer recycling. *)
+
+let max_bounce_pool = 64
+
+let bounce_acquire ctx len =
+  match ctx.bounce_pool with
+  | b :: rest when Option.is_none ctx.faults && len = (link ctx).frag_size ->
+      ctx.bounce_pool <- rest;
+      ctx.bounce_pool_len <- ctx.bounce_pool_len - 1;
+      Stats.record_bounce_reuse ctx.stats;
+      Buf.fill b '\000';
+      b
+  | _ -> Buf.create len
+
+(* Return deposited fragments to the pool.  Only buffers of exactly
+   [frag_size] qualify: a short tail fragment is a [Buf.sub] view of a
+   larger allocation and must not be handed out as if it were whole. *)
+let bounce_recycle ctx frags =
+  if Option.is_none ctx.faults then begin
+    let frag_size = (link ctx).frag_size in
+    List.iter
+      (fun b ->
+        if Buf.length b = frag_size && ctx.bounce_pool_len < max_bounce_pool
+        then begin
+          ctx.bounce_pool <- b :: ctx.bounce_pool;
+          ctx.bounce_pool_len <- ctx.bounce_pool_len + 1
+        end)
+      frags
+  end
+
 (* --- fragment-wise generic packing (executes the callbacks) --- *)
 
-(* Pack the whole stream into fresh fragment buffers of [frag_size].
-   Returns the fragments and the number of callback invocations. *)
+(* Pack the whole stream into fragment buffers of [frag_size] (fresh or
+   recycled).  Returns the fragments and the number of callback
+   invocations. *)
 let pack_fragments ctx (g : send_generic) =
   let frag_size = (link ctx).frag_size in
   let total = g.sg_packed_size in
@@ -231,7 +280,7 @@ let pack_fragments ctx (g : send_generic) =
   let off = ref 0 in
   while !off < total do
     let want = min frag_size (total - !off) in
-    let dst = Buf.create want in
+    let dst = bounce_acquire ctx want in
     let used = g.sg_pack ~offset:!off ~dst in
     incr ncb;
     Stats.record_pack_cb ctx.stats;
@@ -253,8 +302,13 @@ let unpack_fragments ctx (g : recv_generic) frags =
   let off = ref 0 in
   List.iter
     (fun frag ->
-      g.rg_unpack ~offset:!off ~src:frag;
+      let used = g.rg_unpack ~offset:!off ~src:frag in
       Stats.record_unpack_cb ctx.stats;
+      (* Contract (mirror of the pack-side check): a delivered fragment
+         lies wholly inside the packed stream, so the callback must
+         consume exactly its length — anything else means receiver state
+         has silently diverged from the wire stream. *)
+      if used <> Buf.length frag then raise (Callback_error (-2));
       off := !off + Buf.length frag)
     frags;
   g.rg_finish ()
@@ -305,28 +359,35 @@ let materialize ctx (dt : send_dt) =
 let deposit ctx (dt : recv_dt) frags ~zcopy =
   let c = cpu ctx in
   let total = List.fold_left (fun a b -> a + Buf.length b) 0 frags in
-  match dt with
-  | Rd_contig b ->
-      scatter_fragments frags [ b ];
-      if zcopy then 0.
-      else begin
+  let cpu_time =
+    match dt with
+    | Rd_contig b ->
+        scatter_fragments frags [ b ];
+        if zcopy then 0.
+        else begin
+          Stats.record_copy ctx.stats total;
+          Config.memcpy_time c total
+        end
+    | Rd_iov regions ->
+        scatter_fragments frags regions;
+        if zcopy then 0.
+        else begin
+          Stats.record_copy ctx.stats total;
+          Config.memcpy_time c total
+        end
+    | Rd_generic g ->
+        let ncb = List.length frags in
+        unpack_fragments ctx g frags;
         Stats.record_copy ctx.stats total;
         Config.memcpy_time c total
-      end
-  | Rd_iov regions ->
-      scatter_fragments frags regions;
-      if zcopy then 0.
-      else begin
-        Stats.record_copy ctx.stats total;
-        Config.memcpy_time c total
-      end
-  | Rd_generic g ->
-      let ncb = List.length frags in
-      unpack_fragments ctx g frags;
-      Stats.record_copy ctx.stats total;
-      Config.memcpy_time c total
-      +. (float_of_int ncb *. c.pack_cb_overhead_ns)
-      +. g.rg_overhead_ns
+        +. (float_of_int ncb *. c.pack_cb_overhead_ns)
+        +. g.rg_overhead_ns
+  in
+  (* The fragments are fully consumed: full-size bounce buffers go back
+     to the pool for the next pack.  (On a callback error we fall
+     through without recycling — ownership is unclear mid-unpack.) *)
+  bounce_recycle ctx frags;
+  cpu_time
 
 (* --- matching --- *)
 

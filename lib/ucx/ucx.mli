@@ -73,7 +73,12 @@ type send_generic = {
 
 type recv_generic = {
   rg_capacity : int;  (** maximum acceptable packed bytes *)
-  rg_unpack : offset:int -> src:Buf.t -> unit;
+  rg_unpack : offset:int -> src:Buf.t -> int;
+      (** scatter the fragment [src] (virtual offset [offset] of the
+          packed stream) into place; returns the number of bytes
+          consumed.  Every delivered fragment lies wholly inside the
+          stream, so the transport raises {!Callback_error} if the
+          return differs from [length src]. *)
   rg_finish : unit -> unit;
   rg_overhead_ns : float;  (** extra receiver CPU time (cf. [sg_overhead_ns]) *)
 }

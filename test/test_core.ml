@@ -804,7 +804,8 @@ let prop_wire_equivalence =
                 Dt.pack_range dt ~count ~src:base ~packed_off:offset ~dst);
             unpack =
               (fun () base ~count ~offset ~src ->
-                Dt.unpack_range dt ~count ~src ~packed_off:offset ~dst:base);
+                ignore
+                  (Dt.unpack_range dt ~count ~src ~packed_off:offset ~dst:base));
             region_count = None;
             regions = None;
           }

@@ -255,8 +255,11 @@ let test_unpack_range_fragments () =
   let off = ref 0 in
   while !off < psize do
     let len = min frag (psize - !off) in
-    Dt.unpack_range t ~count ~src:(Buf.sub packed ~pos:!off ~len)
-      ~packed_off:!off ~dst;
+    let consumed =
+      Dt.unpack_range t ~count ~src:(Buf.sub packed ~pos:!off ~len)
+        ~packed_off:!off ~dst
+    in
+    check_int "unpack_range consumed" len consumed;
     off := !off + len
   done;
   check_typed_equal t ~count ~src ~dst

@@ -4,6 +4,7 @@ let () =
       Test_buf.suite;
       Test_simnet.suite;
       Test_datatype.suite;
+      Test_plan.suite;
       Test_ucx.suite;
       Test_obs.suite;
       Test_core.suite;

@@ -1,0 +1,280 @@
+(* Tests for the compiled pack-plan layer (Datatype.Plan): every entry
+   point must be byte-identical to the interpreter engine, the cursor
+   must survive out-of-order fragment offsets, and the memo cache must
+   report hits/misses. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
+module Stats = Mpicd_simnet.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let pattern = Test_datatype.pattern
+let arb_datatype = Test_datatype.arb_datatype
+
+(* Typed-source length covering [count] elements of [t]. *)
+let src_len t ~count = max 1 (Dt.ub t + ((count - 1) * Dt.extent t))
+
+let sample_types =
+  [
+    ("contig", Dt.contiguous 16 Dt.int32);
+    ("vector", Dt.vector ~count:3 ~blocklength:2 ~stride:4 Dt.int32);
+    ("hvector", Dt.hvector ~count:4 ~blocklength:3 ~stride_bytes:10 Dt.byte);
+    ( "hindexed",
+      Dt.hindexed ~blocklengths:[| 2; 1; 3 |]
+        ~displacements_bytes:[| 0; 12; 20 |]
+        Dt.int16 );
+    ( "struct+resized",
+      Dt.resized ~lb:0 ~extent:24
+        (Dt.struct_ ~blocklengths:[| 3; 1 |] ~displacements_bytes:[| 0; 16 |]
+           ~types:[| Dt.int32; Dt.float64 |]) );
+    ("empty", Dt.contiguous 0 Dt.int32);
+  ]
+
+(* --- queries mirror the interpreter --- *)
+
+let test_queries () =
+  List.iter
+    (fun (name, t) ->
+      let p = Plan.build t in
+      check_int (name ^ " size") (Dt.size t) (Plan.size p);
+      check_int (name ^ " extent") (Dt.extent t) (Plan.extent p);
+      check_int (name ^ " blocks") (Dt.blocks_per_element t) (Plan.block_count p);
+      check_int (name ^ " packed_size")
+        (Dt.packed_size t ~count:3)
+        (Plan.packed_size p ~count:3);
+      check_bool (name ^ " contiguous") (Dt.is_contiguous t)
+        (Plan.is_contiguous p))
+    sample_types
+
+(* --- memo cache --- *)
+
+let test_cache_hit_miss () =
+  Plan.clear_cache ();
+  let s = Stats.create () in
+  let t = Dt.vector ~count:3 ~blocklength:2 ~stride:4 Dt.int32 in
+  let p1, o1 = Plan.get_outcome ~stats:s t in
+  let p2, o2 = Plan.get_outcome ~stats:s t in
+  check_bool "first is a miss" true (o1 = Plan.Miss);
+  check_bool "second is a hit" true (o2 = Plan.Hit);
+  check_bool "same compiled plan" true (p1 == p2);
+  check_int "stats miss recorded" 1 s.Stats.plan_cache_misses;
+  check_int "stats hit recorded" 1 s.Stats.plan_cache_hits;
+  (* Physical-equality keying: a structurally equal but distinct value
+     compiles its own plan. *)
+  let t' = Dt.vector ~count:3 ~blocklength:2 ~stride:4 Dt.int32 in
+  let _, o3 = Plan.get_outcome ~stats:s t' in
+  check_bool "distinct value misses" true (o3 = Plan.Miss);
+  check_int "global hits" 1 (Plan.cache_hits ());
+  check_int "global misses" 2 (Plan.cache_misses ())
+
+(* --- stats parity with the interpreter engine --- *)
+
+let test_stats_parity () =
+  (* Trailing gap (extent > ub): the interpreter cannot merge blocks
+     across element boundaries here, so its stream-wide walk and the
+     plan's per-element execution count the same blocks/memcpys. *)
+  let t =
+    Dt.resized ~lb:0 ~extent:48
+      (Dt.vector ~count:3 ~blocklength:2 ~stride:4 Dt.int32)
+  in
+  let count = 2 in
+  let src = pattern (src_len t ~count) in
+  let run pack =
+    let s = Stats.create () in
+    let dst = Buf.create (Dt.packed_size t ~count) in
+    pack s ~dst;
+    (s.Stats.ddt_blocks_processed, s.Stats.memcpys, s.Stats.bytes_copied, dst)
+  in
+  let bi, mi, ci, di = run (fun s ~dst -> ignore (Dt.pack ~stats:s t ~count ~src ~dst)) in
+  let p = Plan.build t in
+  let bp, mp, cp, dp =
+    run (fun s ~dst -> ignore (Plan.pack ~stats:s p ~count ~src ~dst))
+  in
+  check_int "same ddt blocks" bi bp;
+  check_int "same memcpys" mi mp;
+  check_int "same bytes copied" ci cp;
+  check_bool "same bytes" true (Buf.equal di dp);
+  (* A flush layout (last block ends at the extent) merges across
+     elements in the interpreter but not in the plan; total bytes still
+     agree. *)
+  let t' = Dt.vector ~count:3 ~blocklength:2 ~stride:4 Dt.int32 in
+  let src' = pattern (src_len t' ~count) in
+  let run' pack =
+    let s = Stats.create () in
+    let dst = Buf.create (Dt.packed_size t' ~count) in
+    pack s ~dst;
+    (s.Stats.bytes_copied, dst)
+  in
+  let ci', di' =
+    run' (fun s ~dst -> ignore (Dt.pack ~stats:s t' ~count ~src:src' ~dst))
+  in
+  let p' = Plan.build t' in
+  let cp', dp' =
+    run' (fun s ~dst -> ignore (Plan.pack ~stats:s p' ~count ~src:src' ~dst))
+  in
+  check_int "flush layout: same bytes copied" ci' cp';
+  check_bool "flush layout: same bytes" true (Buf.equal di' dp')
+
+(* --- cursor bookkeeping --- *)
+
+let test_cursor_resume_and_reseek () =
+  let t = Dt.hvector ~count:8 ~blocklength:1 ~stride_bytes:3 Dt.byte in
+  let count = 4 in
+  let p = Plan.build t in
+  let psize = Plan.packed_size p ~count in
+  let src = pattern (src_len t ~count) in
+  let cur = Plan.cursor p in
+  let frag = 3 in
+  let off = ref 0 in
+  while !off < psize do
+    let len = min frag (psize - !off) in
+    let dst = Buf.create len in
+    let n =
+      Plan.pack_range ~cursor:cur p ~count ~src ~packed_off:!off ~dst
+    in
+    check_int "sequential fragment consumed" len n;
+    off := !off + len
+  done;
+  check_int "sequential stream never reseeks" 0 (Plan.cursor_reseeks cur);
+  check_bool "every fragment resumed" true (Plan.cursor_resumes cur > 0);
+  (* An out-of-order offset forces one binary-search reseek... *)
+  ignore
+    (Plan.pack_range ~cursor:cur p ~count ~src ~packed_off:5
+       ~dst:(Buf.create 4));
+  check_int "out-of-order offset reseeks" 1 (Plan.cursor_reseeks cur);
+  (* ...and the stream continues sequentially from there. *)
+  let before = Plan.cursor_reseeks cur in
+  ignore
+    (Plan.pack_range ~cursor:cur p ~count ~src ~packed_off:9
+       ~dst:(Buf.create 4));
+  check_int "follow-up fragment resumes" before (Plan.cursor_reseeks cur)
+
+(* --- properties: plan = interpreter --- *)
+
+let prop_pack_unpack_iovec_equiv =
+  QCheck.Test.make
+    ~name:"plan: pack/unpack/iovec byte-identical to interpreter" ~count:200
+    QCheck.(pair arb_datatype (int_range 1 4))
+    (fun (t, count) ->
+      let p = Plan.build t in
+      let n = src_len t ~count in
+      let src = pattern n in
+      let psize = Dt.packed_size t ~count in
+      let w_i = Buf.create psize and w_p = Buf.create psize in
+      ignore (Dt.pack t ~count ~src ~dst:w_i);
+      ignore (Plan.pack p ~count ~src ~dst:w_p);
+      let u_i = Buf.create n and u_p = Buf.create n in
+      Dt.unpack t ~count ~src:w_i ~dst:u_i;
+      Plan.unpack p ~count ~src:w_p ~dst:u_p;
+      let iov_i = Dt.iovec t ~count ~base:src in
+      let iov_p = Plan.iovec p ~count ~base:src in
+      Buf.equal w_i w_p && Buf.equal u_i u_p
+      && List.length iov_i = List.length iov_p
+      && List.for_all2 Buf.same_memory iov_i iov_p)
+
+let prop_sequential_ranges_equiv =
+  QCheck.Test.make
+    ~name:"plan: cursor pack_range/unpack_range = interpreter (any frag size)"
+    ~count:200
+    QCheck.(triple arb_datatype (int_range 1 3) (int_range 1 64))
+    (fun (t, count, frag) ->
+      let psize = Dt.packed_size t ~count in
+      QCheck.assume (psize > 0);
+      let p = Plan.build t in
+      let n = src_len t ~count in
+      let src = pattern n in
+      let whole = Buf.create psize in
+      ignore (Dt.pack t ~count ~src ~dst:whole);
+      let out = Buf.create psize in
+      let back = Buf.create n in
+      let cur_p = Plan.cursor p and cur_u = Plan.cursor p in
+      let off = ref 0 and ok = ref true in
+      while !off < psize do
+        let len = min frag (psize - !off) in
+        let np =
+          Plan.pack_range ~cursor:cur_p p ~count ~src ~packed_off:!off
+            ~dst:(Buf.sub out ~pos:!off ~len)
+        in
+        let nu =
+          Plan.unpack_range ~cursor:cur_u p ~count
+            ~src:(Buf.sub whole ~pos:!off ~len)
+            ~packed_off:!off ~dst:back
+        in
+        if np <> len || nu <> len then ok := false;
+        off := !off + len
+      done;
+      let expect_back = Buf.create n in
+      Dt.unpack t ~count ~src:whole ~dst:expect_back;
+      !ok && Buf.equal whole out && Buf.equal expect_back back
+      && Plan.cursor_reseeks cur_p = 0
+      && Plan.cursor_reseeks cur_u = 0)
+
+(* Deterministic shuffle so the property stays reproducible from the
+   qcheck seed alone. *)
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let prop_out_of_order_ranges_equiv =
+  QCheck.Test.make
+    ~name:"plan: out-of-order fragments (cursor reseek) = interpreter"
+    ~count:200
+    QCheck.(
+      quad arb_datatype (int_range 1 3) (int_range 1 32) (int_range 0 1000))
+    (fun (t, count, frag, seed) ->
+      let psize = Dt.packed_size t ~count in
+      QCheck.assume (psize > 0);
+      let p = Plan.build t in
+      let n = src_len t ~count in
+      let src = pattern n in
+      let whole = Buf.create psize in
+      ignore (Dt.pack t ~count ~src ~dst:whole);
+      (* the same cursor serves fragments in shuffled order *)
+      let offs =
+        let rec go o acc = if o >= psize then acc else go (o + frag) (o :: acc) in
+        shuffle seed (go 0 [])
+      in
+      let out = Buf.create psize in
+      let back = Buf.create n in
+      let cur_p = Plan.cursor p and cur_u = Plan.cursor p in
+      let ok = ref true in
+      List.iter
+        (fun off ->
+          let len = min frag (psize - off) in
+          let np =
+            Plan.pack_range ~cursor:cur_p p ~count ~src ~packed_off:off
+              ~dst:(Buf.sub out ~pos:off ~len)
+          in
+          let nu =
+            Plan.unpack_range ~cursor:cur_u p ~count
+              ~src:(Buf.sub whole ~pos:off ~len)
+              ~packed_off:off ~dst:back
+          in
+          if np <> len || nu <> len then ok := false)
+        offs;
+      let expect_back = Buf.create n in
+      Dt.unpack t ~count ~src:whole ~dst:expect_back;
+      !ok && Buf.equal whole out && Buf.equal expect_back back)
+
+let suite =
+  ( "plan",
+    [
+      Alcotest.test_case "queries mirror interpreter" `Quick test_queries;
+      Alcotest.test_case "cache hit/miss + stats" `Quick test_cache_hit_miss;
+      Alcotest.test_case "stats parity with interpreter" `Quick
+        test_stats_parity;
+      Alcotest.test_case "cursor resume/reseek" `Quick
+        test_cursor_resume_and_reseek;
+      QCheck_alcotest.to_alcotest prop_pack_unpack_iovec_equiv;
+      QCheck_alcotest.to_alcotest prop_sequential_ranges_equiv;
+      QCheck_alcotest.to_alcotest prop_out_of_order_ranges_equiv;
+    ] )

@@ -174,7 +174,8 @@ let reversing_recv dst =
         (fun ~offset ~src ->
           for i = 0 to Buf.length src - 1 do
             Buf.set dst (n - 1 - (offset + i)) (Buf.get src i)
-          done);
+          done;
+          Buf.length src);
       rg_finish = ignore;
       rg_overhead_ns = 0.;
     }
