@@ -1,0 +1,216 @@
+(* Wall-clock benchmark for the datatype normalizer: raw vs normalized
+   commitment and packing.
+
+   The normalizer's claim is asymmetric and this measures both halves:
+
+   - pack:    the rewrite preserves the type map, so the merged-block
+     sequence — and therefore per-send pack time — must not change.
+     The guard fails if the normalized form packs meaningfully slower
+     than the raw form on any shape ("never loses").
+   - commit:  the rewrite shrinks the descriptor (fewer nodes and index
+     entries), so plan compilation of the normalized form should be
+     cheaper on the shapes with large index arrays, and must at least
+     not regress on the rest.
+
+   Usage:
+     bench_norm.exe [--smoke] [--out FILE]
+
+   Writes a JSON report (default BENCH_NORM.json) and exits nonzero if
+   the normalized form loses on any shape beyond the noise margin. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
+module Normalize = Mpicd_datatype.Normalize
+
+let now = Monotonic_clock.now
+
+(* Median-of-reps wall time per call, in nanoseconds. *)
+let time_ns ~reps ~iters f =
+  f ();
+  f ();
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = now () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters)
+  in
+  Array.sort compare samples;
+  samples.(reps / 2)
+
+(* Denormalized shapes the rewrite engine actually improves, plus an
+   already-normal control where it must be a no-op. *)
+let shapes ~smoke =
+  let s = if smoke then 1 else 4 in
+  [
+    ( "hvector-collapse",
+      Dt.hvector ~count:(256 * s) ~blocklength:8 ~stride_bytes:64 Dt.float64 );
+    ( "hindexed-coalesce",
+      (* byte-adjacent runs: a large index array that melts away *)
+      Dt.hindexed
+        ~blocklengths:(Array.make (256 * s) 2)
+        ~displacements_bytes:(Array.init (256 * s) (fun i -> i * 16))
+        Dt.float64 );
+    ( "hindexed-vector",
+      Dt.hindexed
+        ~blocklengths:(Array.make (256 * s) 2)
+        ~displacements_bytes:(Array.init (256 * s) (fun i -> i * 48))
+        Dt.float64 );
+    ( "struct-homogeneous",
+      Dt.struct_
+        ~blocklengths:(Array.make 32 2)
+        ~displacements_bytes:(Array.init 32 (fun i -> i * 32))
+        ~types:(Array.make 32 Dt.float64) );
+    ( "nested-contig",
+      Dt.contiguous 4 (Dt.contiguous 8 (Dt.contiguous (32 * s) Dt.int32)) );
+    ( "control-strided",
+      (* honest gapped column: already normal, nothing may change *)
+      Dt.vector ~count:(64 * s) ~blocklength:1 ~stride:4 Dt.float64 );
+  ]
+
+type row = {
+  r_name : string;
+  bytes : int;
+  steps : int;
+  predicted_saving_ns : float;
+  normalize_ns : float;
+  compile_raw_ns : float;
+  compile_norm_ns : float;
+  pack_raw_ns : float;
+  pack_norm_ns : float;
+}
+
+let bench ~reps ~iters ~count (name, dt) =
+  let r = Normalize.run dt in
+  let norm = r.Normalize.normalized in
+  (match Normalize.verify_bytes dt norm with
+  | Ok () -> ()
+  | Error why ->
+      Printf.eprintf "bench_norm: %s: normalization not byte-identical: %s\n"
+        name why;
+      exit 2);
+  let n = max 1 (Dt.ub dt + ((count - 1) * Dt.extent dt)) in
+  let src = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 src i ((i * 131 + 17) land 0xff)
+  done;
+  let dst = Buf.create (Dt.packed_size dt ~count) in
+  let normalize_ns =
+    time_ns ~reps ~iters (fun () -> ignore (Normalize.run dt))
+  in
+  let compile_raw_ns =
+    time_ns ~reps ~iters (fun () -> ignore (Plan.build dt))
+  in
+  let compile_norm_ns =
+    time_ns ~reps ~iters (fun () -> ignore (Plan.build norm))
+  in
+  let pack_raw_ns =
+    time_ns ~reps ~iters (fun () -> ignore (Dt.pack dt ~count ~src ~dst))
+  in
+  let pack_norm_ns =
+    time_ns ~reps ~iters (fun () -> ignore (Dt.pack norm ~count ~src ~dst))
+  in
+  {
+    r_name = name;
+    bytes = Dt.packed_size dt ~count;
+    steps = List.length r.Normalize.steps;
+    predicted_saving_ns =
+      r.Normalize.original_cost.Normalize.total_ns
+      -. r.Normalize.normalized_cost.Normalize.total_ns;
+    normalize_ns;
+    compile_raw_ns;
+    compile_norm_ns;
+    pack_raw_ns;
+    pack_norm_ns;
+  }
+
+let ratio a b = if b > 0. then a /. b else 1.
+
+let json_of_row r =
+  Printf.sprintf
+    {|    { "name": %S, "bytes": %d, "steps": %d, "predicted_saving_ns": %.1f,
+      "normalize_ns": %.1f,
+      "compile": { "raw_ns": %.1f, "norm_ns": %.1f, "speedup": %.3f },
+      "pack": { "raw_ns": %.1f, "norm_ns": %.1f, "speedup": %.3f } }|}
+    r.r_name r.bytes r.steps r.predicted_saving_ns r.normalize_ns
+    r.compile_raw_ns r.compile_norm_ns
+    (ratio r.compile_raw_ns r.compile_norm_ns)
+    r.pack_raw_ns r.pack_norm_ns
+    (ratio r.pack_raw_ns r.pack_norm_ns)
+
+let () =
+  let smoke = ref false and out = ref "BENCH_NORM.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench_norm: unknown argument %S\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !smoke then 5 else 11 in
+  let iters = if !smoke then 10 else 50 in
+  let count = if !smoke then 4 else 16 in
+  let rows = List.map (bench ~reps ~iters ~count) (shapes ~smoke:!smoke) in
+  (* Never-loses guard: identical type maps mean identical merged
+     blocks, so normalized packing may only differ by timer noise; the
+     1.35x slack absorbs it at smoke sizes.  Compilation gets the same
+     slack — it should win on the indexed shapes but the guard only
+     demands "not slower". *)
+  let slack = 1.35 in
+  let losses =
+    List.concat_map
+      (fun r ->
+        (if r.pack_norm_ns > r.pack_raw_ns *. slack then
+           [ Printf.sprintf "%s: pack %.0f -> %.0f ns" r.r_name r.pack_raw_ns
+               r.pack_norm_ns ]
+         else [])
+        @
+        if r.compile_norm_ns > r.compile_raw_ns *. slack then
+          [ Printf.sprintf "%s: compile %.0f -> %.0f ns" r.r_name
+              r.compile_raw_ns r.compile_norm_ns ]
+        else [])
+      rows
+  in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    {|{
+  "smoke": %b,
+  "reps": %d,
+  "iters": %d,
+  "slack": %.2f,
+  "shapes": [
+%s
+  ],
+  "guard": {
+    "normalized_never_loses": %b
+  }
+}
+|}
+    !smoke reps iters slack
+    (String.concat ",\n" (List.map json_of_row rows))
+    (losses = []);
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-18s %8dB %2d step(s)  compile %8.0f -> %8.0f ns (%5.2fx)   pack %8.0f -> %8.0f ns (%5.2fx)\n"
+        r.r_name r.bytes r.steps r.compile_raw_ns r.compile_norm_ns
+        (ratio r.compile_raw_ns r.compile_norm_ns)
+        r.pack_raw_ns r.pack_norm_ns
+        (ratio r.pack_raw_ns r.pack_norm_ns))
+    rows;
+  if losses <> [] then begin
+    List.iter
+      (fun l -> Printf.eprintf "bench_norm: normalized form lost: %s\n" l)
+      losses;
+    exit 1
+  end;
+  print_endline "normalized-never-loses guard: ok"

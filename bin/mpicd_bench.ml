@@ -57,7 +57,8 @@ let config_term =
   in
   let make eager_limit iov_entry_ns ddt_block_ns latency_ns ns_per_byte =
     {
-      Config.link =
+      Config.default with
+      link =
         {
           Config.default.link with
           eager_limit;
@@ -66,7 +67,6 @@ let config_term =
           ns_per_byte;
         };
       cpu = { Config.default.cpu with ddt_block_ns };
-      gpu = Config.default.gpu;
     }
   in
   Term.(const make $ eager $ iov $ ddt $ latency $ bw)

@@ -1,15 +1,19 @@
 (* mpicd-check: static & dynamic analysis front end.
 
-   Runs the four Mpicd_check analyzers —
+   Runs the five Mpicd_check analyzers —
 
      1. datatype lint over the DDTBench registry and example-shaped
         derived datatypes,
-     2. the custom-callback contract checker over every registry
+     2. the performance-guideline checker (normalize + verify + cost
+        compare) over the same datatypes,
+     3. the custom-callback contract checker over every registry
         kernel's pack and region callback sets,
-     3. communication matching over monitored example scenarios,
-     4. wait-for-graph deadlock analysis (exercised on the same runs),
+     4. communication matching over monitored example scenarios,
+     5. wait-for-graph deadlock analysis (exercised on the same runs),
 
-   then writes text and JSON reports under --out (default results/).
+   then writes text and JSON reports under --out (default results/):
+   check_report.{txt,json} plus guidelines_report.json, the
+   guideline-sweep sections alone (the CI artifact).
    Exit status is nonzero iff any Error/Warning finding was produced;
    hints (normalization opportunities) are reported but never fail.
 
@@ -24,16 +28,22 @@ let out_dir = ref "results"
 let seed = ref 0x5eed
 let rounds = ref 8
 let quiet = ref false
+let gl_threshold = ref Mpicd_check_lib.Guideline.default_threshold_ns
 
 let speclist =
   [
     ("--out", Arg.Set_string out_dir, "DIR  report directory (default results)");
     ("--seed", Arg.Set_int seed, "N  fragment-fuzz seed (default 0x5eed)");
     ("--rounds", Arg.Set_int rounds, "N  fuzz rounds per callback set (default 8)");
+    ( "--gl-threshold-ns",
+      Arg.Set_float gl_threshold,
+      "NS  guideline violation threshold (default 500)" );
     ("--quiet", Arg.Set quiet, "  only print the summary line");
   ]
 
-let usage = "mpicd_check [--out DIR] [--seed N] [--rounds N] [--quiet]"
+let usage =
+  "mpicd_check [--out DIR] [--seed N] [--rounds N] [--gl-threshold-ns NS] \
+   [--quiet]"
 
 (* --- example-shaped derived datatypes for the lint --- *)
 
@@ -118,6 +128,17 @@ let () =
   Arg.parse speclist
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
+  let guideline_sections =
+    [
+      Check.Report.section "performance guidelines: ddtbench registry"
+        (Check.Registry_check.guideline_kernels ~threshold_ns:!gl_threshold ());
+      Check.Report.section "performance guidelines: examples"
+        (List.concat_map
+           (fun (subject, dt) ->
+             Check.Guideline.check ~threshold_ns:!gl_threshold ~subject dt)
+           example_datatypes);
+    ]
+  in
   let sections =
     [
       Check.Report.section "datatype lint: ddtbench registry"
@@ -126,9 +147,12 @@ let () =
         (List.concat_map
            (fun (subject, dt) -> Check.Dt_lint.lint ~subject dt)
            example_datatypes);
-      Check.Report.section "callback contract: ddtbench registry"
-        (Check.Registry_check.contract_kernels ~seed:!seed ~rounds:!rounds ());
     ]
+    @ guideline_sections
+    @ [
+        Check.Report.section "callback contract: ddtbench registry"
+          (Check.Registry_check.contract_kernels ~seed:!seed ~rounds:!rounds ());
+      ]
     @ List.map
         (fun (subject, size, f) ->
           let r = Check.Matchcheck.run ~subject ~size f in
@@ -160,6 +184,7 @@ let () =
   in
   write "check_report.txt" text;
   write "check_report.json" json;
+  write "guidelines_report.json" (Check.Report.render_json guideline_sections);
   if !quiet then print_endline (Check.Report.summary_line sections)
   else print_string text;
   Printf.printf "reports: %s/check_report.{txt,json}\n" !out_dir;

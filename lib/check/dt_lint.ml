@@ -23,10 +23,21 @@ let arithmetic_delta (a : int array) =
 
 let lint ?(config = Config.default) ~subject t =
   let acc = ref [] in
-  let add ?suggestion ?cost_delta_ns ~id ~severity msg =
+  let add ?suggestion ?cost_delta_ns ?rewrite ~id ~severity msg =
     acc :=
-      Finding.make ?suggestion ?cost_delta_ns ~id ~severity ~analyzer ~subject msg
+      Finding.make ?suggestion ?cost_delta_ns ?rewrite ~id ~severity ~analyzer
+        ~subject msg
       :: !acc
+  in
+  (* structured, mechanically-applicable counterpart of a NORM hint's
+     prose suggestion; only attached to typemap-preserving rewrites *)
+  let rewrite_term ~rule ~path replacement =
+    {
+      Finding.rw_rule = rule;
+      rw_path = path;
+      rw_replacement = replacement;
+      rw_steps = 1;
+    }
   in
   let cpu = config.Config.cpu in
   let block_delta_ns before after =
@@ -56,6 +67,7 @@ let lint ?(config = Config.default) ~subject t =
               ~suggestion:
                 (Printf.sprintf "rewrite as contiguous(%d, %s)"
                    (count * blocklength) (Dt.to_string elem))
+              ~rewrite:(rewrite_term ~rule:"hvector-collapse" ~path rewrite)
               ~cost_delta_ns:
                 (block_delta_ns
                    (Dt.blocks_per_element sub)
@@ -92,6 +104,9 @@ let lint ?(config = Config.default) ~subject t =
                   ~suggestion:
                     (Printf.sprintf "rewrite as contiguous(%d, %s)" (n * bl)
                        (Dt.to_string elem))
+                  ~rewrite:
+                    (rewrite_term ~rule:"hindexed-contig" ~path
+                       (Dt.contiguous (n * bl) elem))
                   ~cost_delta_ns:
                     (block_delta_ns
                        (Dt.blocks_per_element sub)
@@ -110,6 +125,12 @@ let lint ?(config = Config.default) ~subject t =
                        (if d0 = 0 then ""
                         else Printf.sprintf " at base offset %dB" d0)
                        n)
+                  ~rewrite:
+                    (rewrite_term ~rule:"hindexed-vector" ~path
+                       (if d0 = 0 then rewrite
+                        else
+                          Dt.hindexed ~blocklengths:[| 1 |]
+                            ~displacements_bytes:[| d0 |] rewrite))
                   ~cost_delta_ns:
                     (block_delta_ns
                        (Dt.blocks_per_element sub)
@@ -120,7 +141,7 @@ let lint ?(config = Config.default) ~subject t =
                      (at path))
         | _ -> ());
         walk (path ^ "[elem]") elem
-    | Dt.V_struct { blocklengths; displacements_bytes = _; types } ->
+    | Dt.V_struct { blocklengths; displacements_bytes; types } ->
         Array.iteri
           (fun i bl ->
             if bl = 0 then
@@ -131,6 +152,9 @@ let lint ?(config = Config.default) ~subject t =
         if n >= 2 && Array.for_all (fun ty -> Dt.equal ty types.(0)) types then
           add ~id:"DT-NORM-HOMOGENEOUS" ~severity:Finding.Hint
             ~suggestion:"rewrite as hindexed over the common element type"
+            ~rewrite:
+              (rewrite_term ~rule:"struct-homogeneous" ~path
+                 (Dt.hindexed ~blocklengths ~displacements_bytes types.(0)))
             (Printf.sprintf
                "struct%s has %d fields of one identical type: hindexed \
                 expresses it without the per-field type array"

@@ -1,4 +1,13 @@
+module Dt = Mpicd_datatype.Datatype
+
 type severity = Error | Warning | Hint
+
+type rewrite = {
+  rw_rule : string;
+  rw_path : string;
+  rw_replacement : Dt.t;
+  rw_steps : int;
+}
 
 type t = {
   id : string;
@@ -8,10 +17,12 @@ type t = {
   message : string;
   suggestion : string option;
   cost_delta_ns : float option;
+  rewrite : rewrite option;
 }
 
-let make ?suggestion ?cost_delta_ns ~id ~severity ~analyzer ~subject message =
-  { id; severity; analyzer; subject; message; suggestion; cost_delta_ns }
+let make ?suggestion ?cost_delta_ns ?rewrite ~id ~severity ~analyzer ~subject
+    message =
+  { id; severity; analyzer; subject; message; suggestion; cost_delta_ns; rewrite }
 
 let severity_label = function
   | Error -> "error"
@@ -25,6 +36,12 @@ let pp ppf f =
     f.message;
   (match f.suggestion with
   | Some s -> Format.fprintf ppf "@\n    suggestion: %s" s
+  | None -> ());
+  (match f.rewrite with
+  | Some r ->
+      Format.fprintf ppf "@\n    rewrite [%s]%s: %s" r.rw_rule
+        (if r.rw_path = "" then "" else " at " ^ r.rw_path)
+        (Dt.to_string r.rw_replacement)
   | None -> ());
   match f.cost_delta_ns with
   | Some d -> Format.fprintf ppf "@\n    predicted saving: %.1f ns/element" d
@@ -65,7 +82,19 @@ let json f =
        ((match f.suggestion with
         | Some s -> [ field "suggestion" s ]
         | None -> [])
+       @ (match f.cost_delta_ns with
+         | Some d -> [ Printf.sprintf "\"cost_delta_ns\":%.3f" d ]
+         | None -> [])
        @
-       match f.cost_delta_ns with
-       | Some d -> [ Printf.sprintf "\"cost_delta_ns\":%.3f" d ]
+       (* new key, appended last: readers of the pre-rewrite schema see
+          only extra data, never a changed field *)
+       match f.rewrite with
+       | Some r ->
+           [
+             Printf.sprintf "\"rewrite\":{%s,%s,%s,\"steps\":%d}"
+               (field "rule" r.rw_rule)
+               (field "path" r.rw_path)
+               (field "replacement" (Dt.to_string r.rw_replacement))
+               r.rw_steps;
+           ]
        | None -> []))

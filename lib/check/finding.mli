@@ -13,6 +13,20 @@
 
 type severity = Error | Warning | Hint
 
+type rewrite = {
+  rw_rule : string;
+      (** machine-readable rule id: a {!Mpicd_datatype.Normalize.rule_id}
+          or ["normalize"] for a composed multi-step rewrite *)
+  rw_path : string;
+      (** which subterm to replace, in the lint walk's path notation
+          (["" ] = the whole type) *)
+  rw_replacement : Mpicd_datatype.Datatype.t;
+      (** equivalent replacement type — same type map and bounds, so a
+          tool can substitute it mechanically *)
+  rw_steps : int;  (** normalizer steps composing the rewrite *)
+}
+(** Typed, mechanically-applicable version of {!t.suggestion}. *)
+
 type t = {
   id : string;  (** stable rule id, e.g. ["DT-OVERLAP"] (docs/CHECKS.md) *)
   severity : severity;
@@ -23,11 +37,15 @@ type t = {
   cost_delta_ns : float option;
       (** predicted per-element saving of the suggested rewrite under the
           simnet cost model (positive = rewrite is cheaper) *)
+  rewrite : rewrite option;
+      (** typed rewrite payload; rendered in JSON as an additional
+          ["rewrite"] key, so the pre-existing schema stays valid *)
 }
 
 val make :
   ?suggestion:string ->
   ?cost_delta_ns:float ->
+  ?rewrite:rewrite ->
   id:string ->
   severity:severity ->
   analyzer:string ->

@@ -1,0 +1,77 @@
+module Dt = Mpicd_datatype.Datatype
+module Normalize = Mpicd_datatype.Normalize
+module Config = Mpicd_simnet.Config
+
+let analyzer = "guideline"
+let default_threshold_ns = 500.
+
+let check ?(config = Config.default) ?(threshold_ns = default_threshold_ns)
+    ~subject t =
+  let cpu = config.Config.cpu in
+  let r = Normalize.run ~cpu t in
+  if not (Normalize.changed r) then []
+  else
+    (* re-prove rather than trust the rewrite engine: full type-map
+       equivalence plus plan-compiled byte identity *)
+    let verified =
+      if not (Normalize.equivalent r.Normalize.original r.Normalize.normalized)
+      then Error "type maps or bounds differ"
+      else Normalize.verify_bytes r.Normalize.original r.Normalize.normalized
+    in
+    match verified with
+    | Error why ->
+        [
+          Finding.make ~id:"GL-VERIFY-FAILED" ~severity:Finding.Error ~analyzer
+            ~subject
+            (Printf.sprintf
+               "normalizer produced a non-equivalent rewrite (%s): %s -> %s; \
+                refusing to suggest it"
+               why
+               (Dt.to_string r.Normalize.original)
+               (Dt.to_string r.Normalize.normalized));
+        ]
+    | Ok () ->
+        let saving =
+          r.Normalize.original_cost.Normalize.total_ns
+          -. r.Normalize.normalized_cost.Normalize.total_ns
+        in
+        let steps = List.length r.Normalize.steps in
+        let rules =
+          List.map (fun s -> Normalize.rule_id s.Normalize.rule) r.Normalize.steps
+          |> List.sort_uniq compare |> String.concat ", "
+        in
+        let rewrite =
+          {
+            Finding.rw_rule =
+              (match r.Normalize.steps with
+              | [ s ] -> Normalize.rule_id s.Normalize.rule
+              | _ -> "normalize");
+            rw_path = "";
+            rw_replacement = r.Normalize.normalized;
+            rw_steps = steps;
+          }
+        in
+        let suggestion =
+          Printf.sprintf "commit %s instead (verified byte-identical)"
+            (Dt.to_string r.Normalize.normalized)
+        in
+        if saving >= threshold_ns then
+          [
+            Finding.make ~id:"GL-NORM-SLOWER" ~severity:Finding.Error ~analyzer
+              ~subject ~suggestion ~cost_delta_ns:saving ~rewrite
+              (Printf.sprintf
+                 "guideline violation: the committed type is predicted %.0f ns \
+                  slower per element than its normalized form (%d rewrite \
+                  step(s): %s; threshold %.0f ns)"
+                 saving steps rules threshold_ns);
+          ]
+        else
+          [
+            Finding.make ~id:"GL-NORM-AVAILABLE" ~severity:Finding.Hint ~analyzer
+              ~subject ~suggestion ~cost_delta_ns:saving ~rewrite
+              (Printf.sprintf
+                 "a provably-equivalent normalization exists (%d rewrite \
+                  step(s): %s; predicted saving %.0f ns, below the %.0f ns \
+                  threshold)"
+                 steps rules saving threshold_ns);
+          ]

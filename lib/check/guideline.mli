@@ -1,0 +1,36 @@
+(** Performance-guideline analyzer for derived datatypes.
+
+    Implements the checkable core of Hunold/Carpen-Amarie/Träff's
+    self-consistent performance guidelines: {e a derived datatype must
+    never be slower than its normalized equivalent}.  The analyzer runs
+    {!Mpicd_datatype.Normalize} on the type, verifies the rewrite is
+    byte-identical (plan-compiled pack streams), and compares the two
+    forms under the simnet cost model.
+
+    Rules (catalogue: docs/CHECKS.md):
+
+    - [GL-NORM-SLOWER] ([Error]) — the committed type is measurably
+      slower than its normalized form: the predicted commit+pack saving
+      exceeds [threshold_ns].  Carries the full rewrite payload.
+    - [GL-NORM-AVAILABLE] ([Hint]) — a normalization exists but its
+      saving is below the threshold.
+    - [GL-VERIFY-FAILED] ([Error]) — the normalizer produced a
+      non-equivalent type (internal invariant violation; should never
+      fire, but the guideline checker re-proves rather than trusts). *)
+
+val analyzer : string
+
+val default_threshold_ns : float
+(** Savings at or above this are guideline violations ([Error]);
+    currently 500 ns of predicted commit+pack cost per element. *)
+
+val check :
+  ?config:Mpicd_simnet.Config.t ->
+  ?threshold_ns:float ->
+  subject:string ->
+  Mpicd_datatype.Datatype.t ->
+  Finding.t list
+(** Guideline findings for one datatype.  Every finding about an
+    available normalization carries [cost_delta_ns] (predicted saving)
+    and a typed [rewrite] payload whose replacement is the fully
+    normalized type. *)

@@ -8,6 +8,15 @@ let lint_kernels ?config () =
       Dt_lint.lint ?config ~subject:("ddtbench/" ^ K.name) K.derived)
     Registry.all
 
+let guideline_kernels ?config ?threshold_ns () =
+  List.concat_map
+    (fun k ->
+      let module K = (val k : Kernel.KERNEL) in
+      Guideline.check ?config ?threshold_ns
+        ~subject:("ddtbench/" ^ K.name)
+        K.derived)
+    Registry.all
+
 let spec_of k dt : _ Contract.spec =
   let module K = (val k : Kernel.KERNEL) in
   {

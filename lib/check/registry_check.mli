@@ -4,6 +4,14 @@
 val lint_kernels : ?config:Mpicd_simnet.Config.t -> unit -> Finding.t list
 (** {!Dt_lint.lint} over each kernel's derived datatype. *)
 
+val guideline_kernels :
+  ?config:Mpicd_simnet.Config.t ->
+  ?threshold_ns:float ->
+  unit ->
+  Finding.t list
+(** {!Guideline.check} over each kernel's derived datatype: the
+    DDTBench guideline sweep. *)
+
 val contract_kernels : ?seed:int -> ?rounds:int -> unit -> Finding.t list
 (** {!Contract.check} over each kernel's [custom_pack] callback set and,
     where defined, its [custom_regions] set. *)

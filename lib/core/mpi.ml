@@ -5,6 +5,7 @@ module Stats = Mpicd_simnet.Stats
 module Rng = Mpicd_simnet.Rng
 module Datatype = Mpicd_datatype.Datatype
 module Plan = Mpicd_datatype.Plan
+module Normalize = Mpicd_datatype.Normalize
 module Ucx = Mpicd_ucx.Ucx
 module Obs = Mpicd_obs.Obs
 module Metrics = Mpicd_obs.Metrics
@@ -568,8 +569,16 @@ let custom_unpack_bounce c op b =
 
 (* Compiled pack plan for [dt], from the process-global memo cache.
    Records the hit/miss in [Stats] and, when a sink is attached, on the
-   metrics registry — cache effectiveness is an observability signal. *)
+   metrics registry — cache effectiveness is an observability signal.
+
+   With [auto_normalize] on, the plan is compiled from the
+   guideline-normalized form of the datatype (Normalize preserves the
+   type map and bounds, so the packed stream is byte-identical); the
+   original value still keys matching and signature checks.  Both the
+   normalizer and the plan cache memoize on physical equality, so a
+   committed datatype value is rewritten once, not per operation. *)
 let plan_of c dt =
+  let dt = if c.w.config.Config.auto_normalize then Normalize.get dt else dt in
   let plan, outcome = Plan.get_outcome ~stats:c.w.stats dt in
   if Obs.enabled c.w.obs then
     Metrics.inc

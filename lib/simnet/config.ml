@@ -17,6 +17,7 @@ type cpu = {
   pack_cb_overhead_ns : float;
   pack_piece_ns : float;
   ddt_block_ns : float;
+  ddt_node_ns : float;
   object_visit_ns : float;
 }
 
@@ -27,7 +28,7 @@ type gpu = {
   gpu_piece_ns : float;
 }
 
-type t = { link : link; cpu : cpu; gpu : gpu }
+type t = { link : link; cpu : cpu; gpu : gpu; auto_normalize : bool }
 
 (* 100 Gb/s = 12.5 GB/s raw; ~11.5 GB/s effective after protocol
    headers -> 0.087 ns/B.  Base latency ~1.3 us as measured for small
@@ -60,6 +61,11 @@ let default_cpu =
     pack_cb_overhead_ns = 80.;
     pack_piece_ns = 1.;
     ddt_block_ns = 18.;
+    (* commit-time cost of visiting one descriptor tree node or index
+       array entry: type_commit flattening, plan compilation, and (on
+       device paths) kernel-parameter marshalling all walk the
+       descriptor, so deep or index-heavy trees pay this per node. *)
+    ddt_node_ns = 25.;
     object_visit_ns = 120.;
   }
 
@@ -74,7 +80,13 @@ let default_gpu =
     gpu_piece_ns = 0.05;
   }
 
-let default = { link = default_link; cpu = default_cpu; gpu = default_gpu }
+let default =
+  {
+    link = default_link;
+    cpu = default_cpu;
+    gpu = default_gpu;
+    auto_normalize = false;
+  }
 
 let wire_time (l : link) bytes = l.ns_per_byte *. float_of_int bytes
 let memcpy_time (c : cpu) bytes = c.memcpy_ns_per_byte *. float_of_int bytes
@@ -87,9 +99,11 @@ let pp ppf t =
     "@[<v>link: latency=%.0fns bw=%.3fns/B eager<=%dB rndv=+%.0fns \
      iov=%.0fns/entry(max %d) frag=%dB@,\
      cpu: memcpy=%.3fns/B alloc=%.0f+%.3fns/B packcb=%.0fns piece=%.1fns \
-     ddtblock=%.0fns objvisit=%.0fns@]"
+     ddtblock=%.0fns ddtnode=%.0fns objvisit=%.0fns@,\
+     auto_normalize=%b@]"
     t.link.latency_ns t.link.ns_per_byte t.link.eager_limit
     t.link.rndv_handshake_ns t.link.iov_entry_ns t.link.iov_max_entries
     t.link.frag_size t.cpu.memcpy_ns_per_byte t.cpu.alloc_base_ns
     t.cpu.alloc_ns_per_byte t.cpu.pack_cb_overhead_ns t.cpu.pack_piece_ns
-    t.cpu.ddt_block_ns t.cpu.object_visit_ns
+    t.cpu.ddt_block_ns t.cpu.ddt_node_ns t.cpu.object_visit_ns
+    t.auto_normalize

@@ -28,6 +28,10 @@ type cpu = {
   ddt_block_ns : float;
       (** per-typemap-block cost of the classic datatype engine; this is
           what penalises gapped struct types (paper Fig. 5 vs Fig. 6) *)
+  ddt_node_ns : float;
+      (** per-descriptor-node (tree node or index-array entry) cost of
+          committing / compiling a datatype; this is what the
+          {!Mpicd_datatype.Normalize} rewrites reduce *)
   object_visit_ns : float;  (** per-object cost of the pickle traversal *)
 }
 
@@ -39,7 +43,16 @@ type gpu = {
 }
 (** Accelerator-memory model for the §VI device-buffer extension. *)
 
-type t = { link : link; cpu : cpu; gpu : gpu }
+type t = {
+  link : link;
+  cpu : cpu;
+  gpu : gpu;
+  auto_normalize : bool;
+      (** when true, typed sends/receives and pack/unpack commit the
+          {!Mpicd_datatype.Normalize}d form of every datatype (TEMPI-style
+          canonicalization); default [false] so baseline runs are
+          bit-identical to the unnormalized engine *)
+}
 
 val default : t
 

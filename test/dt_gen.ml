@@ -1,0 +1,127 @@
+(* Shared random-datatype generator for the property suites.
+
+   Factored out of test_datatype.ml so the datatype, plan, and
+   normalizer suites draw from one distribution; adds a structural
+   shrinker (absent from the original arbitrary) so qcheck failures
+   report a minimal counterexample tree. *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+
+(* Fill a buffer with a deterministic byte pattern. *)
+let pattern n =
+  let b = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 b i ((i * 7 + 13) land 0xff)
+  done;
+  b
+
+(* Random datatype generator (small, bounded depth). *)
+let gen =
+  let open QCheck.Gen in
+  let pred =
+    oneofl [ Dt.byte; Dt.int16; Dt.int32; Dt.int64; Dt.float32; Dt.float64 ]
+  in
+  let rec go depth =
+    if depth = 0 then pred
+    else
+      frequency
+        [
+          (2, pred);
+          (2, map2 (fun n e -> Dt.contiguous n e) (1 -- 4) (go (depth - 1)));
+          ( 2,
+            map2
+              (fun (c, b) e ->
+                Dt.vector ~count:c ~blocklength:b ~stride:(b + 2) e)
+              (pair (1 -- 3) (1 -- 3))
+              (go (depth - 1)) );
+          ( 1,
+            map2
+              (fun ds e ->
+                let ds = Array.of_list ds in
+                let sorted = Array.copy ds in
+                Array.sort compare sorted;
+                (* strictly increasing, gap >= blocklength *)
+                let displacements =
+                  Array.mapi (fun i d -> (i * 3) + (d mod 2)) sorted
+                in
+                Dt.indexed_block ~blocklength:1 ~displacements e)
+              (list_size (1 -- 3) (0 -- 5))
+              (go (depth - 1)) );
+          ( 1,
+            map2
+              (fun (b1, b2) (e1, e2) ->
+                let ext1 = max 1 (Dt.extent e1) in
+                Dt.struct_ ~blocklengths:[| b1; b2 |]
+                  ~displacements_bytes:[| 0; (b1 * ext1) + 4 |]
+                  ~types:[| e1; e2 |])
+              (pair (1 -- 2) (1 -- 2))
+              (pair (go (depth - 1)) (go (depth - 1))) );
+        ]
+  in
+  go 2
+
+(* Structural shrinker: every candidate strictly reduces the tree (a
+   child subtree, one fewer repetition, one fewer index entry), so
+   shrinking terminates and preserves constructor validity. *)
+let rec shrink t yield =
+  let drop_at i a = Array.init (Array.length a - 1) (fun j -> a.(if j < i then j else j + 1)) in
+  match Dt.view t with
+  | Dt.V_predefined p -> if p <> Dt.Byte then yield Dt.byte
+  | Dt.V_contiguous (n, e) ->
+      yield e;
+      if n > 1 then yield (Dt.contiguous (n - 1) e);
+      shrink e (fun e' -> yield (Dt.contiguous n e'))
+  | Dt.V_hvector { count; blocklength; stride_bytes; elem } ->
+      yield elem;
+      let mk ~count ~blocklength =
+        Dt.hvector ~count ~blocklength ~stride_bytes elem
+      in
+      if count > 1 then yield (mk ~count:(count - 1) ~blocklength);
+      if blocklength > 1 then yield (mk ~count ~blocklength:(blocklength - 1));
+      shrink elem (fun elem' ->
+          yield (Dt.hvector ~count ~blocklength ~stride_bytes elem'))
+  | Dt.V_hindexed { blocklengths; displacements_bytes; elem } ->
+      yield elem;
+      let n = Array.length blocklengths in
+      if n > 1 then
+        for i = 0 to n - 1 do
+          yield
+            (Dt.hindexed
+               ~blocklengths:(drop_at i blocklengths)
+               ~displacements_bytes:(drop_at i displacements_bytes)
+               elem)
+        done;
+      Array.iteri
+        (fun i bl ->
+          if bl > 1 then begin
+            let bls = Array.copy blocklengths in
+            bls.(i) <- bl - 1;
+            yield (Dt.hindexed ~blocklengths:bls ~displacements_bytes elem)
+          end)
+        blocklengths;
+      shrink elem (fun elem' ->
+          yield (Dt.hindexed ~blocklengths ~displacements_bytes elem'))
+  | Dt.V_struct { blocklengths; displacements_bytes; types } ->
+      Array.iter yield types;
+      let n = Array.length types in
+      if n > 1 then
+        for i = 0 to n - 1 do
+          yield
+            (Dt.struct_
+               ~blocklengths:(drop_at i blocklengths)
+               ~displacements_bytes:(drop_at i displacements_bytes)
+               ~types:(drop_at i types))
+        done;
+      Array.iteri
+        (fun i ty ->
+          shrink ty (fun ty' ->
+              let tys = Array.copy types in
+              tys.(i) <- ty';
+              yield (Dt.struct_ ~blocklengths ~displacements_bytes ~types:tys)))
+        types
+  | Dt.V_resized { lb; extent; elem } ->
+      yield elem;
+      shrink elem (fun elem' -> yield (Dt.resized ~lb ~extent elem'))
+
+let arb = QCheck.make ~print:Dt.to_string ~shrink gen

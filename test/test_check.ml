@@ -82,6 +82,92 @@ let test_lint_clean_type () =
 let test_lint_registry_clean () =
   check_clean "registry datatypes" (Check.Registry_check.lint_kernels ())
 
+(* --- performance guideline checker --- *)
+
+let guideline = Check.Guideline.check ~subject:"fixture"
+
+let find id fs =
+  match List.find_opt (fun (f : Finding.t) -> f.Finding.id = id) fs with
+  | Some f -> f
+  | None ->
+      Alcotest.failf "expected finding %s, got [%s]" id
+        (String.concat "; " (ids fs))
+
+let test_guideline_slower () =
+  (* 64 byte-adjacent hindexed blocks: the committed descriptor carries
+     128 index entries the coalesced form doesn't, well past the
+     500 ns violation threshold *)
+  let t =
+    Dt.hindexed
+      ~blocklengths:(Array.make 64 1)
+      ~displacements_bytes:(Array.init 64 (fun i -> i * 8))
+      Dt.float64
+  in
+  let f = find "GL-NORM-SLOWER" (guideline t) in
+  Alcotest.(check bool) "is an Error" true (f.Finding.severity = Finding.Error);
+  (match f.Finding.cost_delta_ns with
+  | Some d ->
+      Alcotest.(check bool) "saving at or above threshold" true
+        (d >= Check.Guideline.default_threshold_ns)
+  | None -> Alcotest.fail "violation must carry cost_delta_ns");
+  match f.Finding.rewrite with
+  | Some r ->
+      Alcotest.(check bool) "replacement is the coalesced contiguous" true
+        (Dt.equal r.Finding.rw_replacement (Dt.contiguous 64 Dt.float64));
+      Alcotest.(check bool) "replacement is equivalent" true
+        (Check.Guideline.check ~subject:"x" r.Finding.rw_replacement = [])
+  | None -> Alcotest.fail "violation must carry a typed rewrite"
+
+let test_guideline_available_hint () =
+  (* a collapsible hvector saves only 50 ns: below threshold, Hint *)
+  let t = Dt.hvector ~count:4 ~blocklength:3 ~stride_bytes:24 Dt.float64 in
+  let fs = guideline t in
+  let f = find "GL-NORM-AVAILABLE" fs in
+  Alcotest.(check bool) "is a Hint" true (f.Finding.severity = Finding.Hint);
+  (match f.Finding.cost_delta_ns with
+  | Some d ->
+      Alcotest.(check bool) "saving below threshold" true
+        (d < Check.Guideline.default_threshold_ns && d > 0.)
+  | None -> Alcotest.fail "hint must carry cost_delta_ns");
+  check_clean "below-threshold normalization" fs
+
+let test_guideline_threshold_tunable () =
+  (* the same hvector becomes a violation once the threshold drops
+     under its 50 ns saving *)
+  let t = Dt.hvector ~count:4 ~blocklength:3 ~stride_bytes:24 Dt.float64 in
+  let fs = Check.Guideline.check ~threshold_ns:10. ~subject:"fixture" t in
+  let f = find "GL-NORM-SLOWER" fs in
+  Alcotest.(check bool) "error at low threshold" true
+    (f.Finding.severity = Finding.Error)
+
+let test_guideline_clean_type () =
+  (* genuinely gapped strided column: already normal, no findings *)
+  let t = Dt.vector ~count:8 ~blocklength:1 ~stride:10 Dt.float64 in
+  Alcotest.(check (list string)) "no findings at all" [] (ids (guideline t))
+
+let test_guideline_registry_clean () =
+  check_clean "ddtbench guideline sweep"
+    (Check.Registry_check.guideline_kernels ())
+
+let test_guideline_hints_never_fail () =
+  (* regression: a report made only of guideline hints must keep the
+     checker's exit status at success *)
+  let hints =
+    guideline (Dt.hvector ~count:4 ~blocklength:3 ~stride_bytes:24 Dt.float64)
+    @ guideline
+        (Dt.struct_ ~blocklengths:[| 1; 1 |] ~displacements_bytes:[| 0; 16 |]
+           ~types:[| Dt.float64; Dt.float64 |])
+  in
+  Alcotest.(check bool) "fixtures did produce hints" true (hints <> []);
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool)
+        (f.Finding.id ^ " is not a problem")
+        false (Finding.is_problem f))
+    hints;
+  Alcotest.(check int) "problem_count stays 0" 0
+    (Check.Report.problem_count [ Check.Report.section "hints only" hints ])
+
 (* --- callback contract checker --- *)
 
 (* Baseline well-behaved callback set: the object is an [n]-byte buffer
@@ -312,6 +398,114 @@ let test_report_counts () =
   Alcotest.(check bool) "json mentions rule id" true
     (contains json {|"id":"X-ERR"|})
 
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Golden rendering of one fully-populated finding: the exact JSON
+   object, byte for byte, so any schema change is a deliberate edit
+   here.  The [rewrite] key is the one post-seed addition and must stay
+   appended last. *)
+let test_json_golden_finding () =
+  let f =
+    Finding.make ~suggestion:"commit contig(12,f64) instead"
+      ~cost_delta_ns:50.
+      ~rewrite:
+        {
+          Finding.rw_rule = "hvector-collapse";
+          rw_path = "";
+          rw_replacement = Dt.contiguous 12 Dt.float64;
+          rw_steps = 1;
+        }
+      ~id:"GL-NORM-AVAILABLE" ~severity:Finding.Hint ~analyzer:"guideline"
+      ~subject:"fixture" "a provably-equivalent normalization exists"
+  in
+  Alcotest.(check string)
+    "golden JSON"
+    ({|{"id":"GL-NORM-AVAILABLE","severity":"hint","analyzer":"guideline",|}
+    ^ {|"subject":"fixture","message":"a provably-equivalent normalization exists",|}
+    ^ {|"suggestion":"commit contig(12,f64) instead","cost_delta_ns":50.000,|}
+    ^ {|"rewrite":{"rule":"hvector-collapse","path":"","replacement":"contig(12,f64)","steps":1}}|}
+    )
+    (Finding.json f);
+  (* a finding without the optional keys must not mention them *)
+  let bare =
+    Finding.json
+      (Finding.make ~id:"X" ~severity:Finding.Error ~analyzer:"a" ~subject:"s"
+         "m")
+  in
+  Alcotest.(check bool) "no rewrite key when absent" false
+    (contains bare {|"rewrite"|});
+  Alcotest.(check bool) "no cost key when absent" false
+    (contains bare {|"cost_delta_ns"|})
+
+(* Schema coverage: one report carrying real findings from every
+   analyzer (lint, guideline, contract, matching/deadlock) renders with
+   every required key present. *)
+let test_json_schema_all_analyzers () =
+  let lint_fs = lint (Dt.hvector ~count:4 ~blocklength:2 ~stride_bytes:16 Dt.float64) in
+  let gl_fs =
+    guideline
+      (Dt.hindexed
+         ~blocklengths:(Array.make 64 1)
+         ~displacements_bytes:(Array.init 64 (fun i -> i * 8))
+         Dt.float64)
+  in
+  let contract_fs =
+    contract
+      (spec 32
+         {
+           (good_callbacks 32) with
+           Custom.pack = (fun () _ ~count:_ ~offset:_ ~dst:_ -> 0);
+         })
+  in
+  let match_r =
+    run_scenario ~size:2 (fun comm ->
+        let peer = 1 - Mpi.rank comm in
+        ignore (Mpi.recv comm ~source:peer ~tag:0 (Mpi.Bytes (Buf.create 8)));
+        Mpi.send comm ~dst:peer ~tag:0 (Mpi.Bytes (Buf.create 8)))
+  in
+  let json =
+    Check.Report.render_json
+      [
+        Check.Report.section "lint" lint_fs;
+        Check.Report.section "guidelines" gl_fs;
+        Check.Report.section "contract" contract_fs;
+        Check.Report.section
+          ~notes:[ ("deadlocked", "true") ]
+          "match" match_r.Check.Matchcheck.findings;
+      ]
+  in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("json has " ^ key) true (contains json key))
+    [
+      (* report envelope *)
+      {|"sections"|};
+      {|"title"|};
+      {|"notes"|};
+      {|"findings"|};
+      {|"problems"|};
+      (* per-finding schema *)
+      {|"id"|};
+      {|"severity"|};
+      {|"analyzer"|};
+      {|"subject"|};
+      {|"message"|};
+      {|"suggestion"|};
+      {|"cost_delta_ns"|};
+      (* one real finding from each analyzer *)
+      {|"id":"DT-NORM-CONTIG"|};
+      {|"id":"GL-NORM-SLOWER"|};
+      {|"id":"CB-SHORT-PACK"|};
+      {|"id":"MATCH-DEADLOCK"|};
+      (* the typed rewrite payload: lint's single-rule form and the
+         guideline checker's composed multi-step form *)
+      {|"rewrite":{"rule":"hvector-collapse"|};
+      {|"rewrite":{"rule":"normalize"|};
+    ]
+
 let suite =
   let tc = Alcotest.test_case in
   ( "check",
@@ -326,6 +520,17 @@ let suite =
       tc "lint: honest strided type is silent" `Quick test_lint_clean_type;
       tc "lint: registry kernels have no problems" `Quick
         test_lint_registry_clean;
+      tc "guideline: slow committed type is an Error" `Quick
+        test_guideline_slower;
+      tc "guideline: below-threshold saving is a Hint" `Quick
+        test_guideline_available_hint;
+      tc "guideline: threshold is tunable" `Quick
+        test_guideline_threshold_tunable;
+      tc "guideline: normal type is silent" `Quick test_guideline_clean_type;
+      tc "guideline: registry sweep has no problems" `Slow
+        test_guideline_registry_clean;
+      tc "guideline: hints never flip the exit code" `Quick
+        test_guideline_hints_never_fail;
       tc "contract: well-behaved callbacks clean" `Quick test_contract_good;
       tc "contract: zero-byte pack return" `Quick test_contract_short_pack;
       tc "contract: pack overruns fragment" `Quick test_contract_overrun;
@@ -344,4 +549,7 @@ let suite =
       tc "match: unmatched at finalize" `Quick test_match_unmatched;
       tc "match: clean nonblocking ring" `Quick test_match_clean_ring;
       tc "report: counts and json" `Quick test_report_counts;
+      tc "report: golden finding JSON" `Quick test_json_golden_finding;
+      tc "report: schema covers every analyzer" `Quick
+        test_json_schema_all_analyzers;
     ] )

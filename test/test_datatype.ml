@@ -11,13 +11,8 @@ let buf_of_bytes lst =
   List.iteri (fun i v -> Buf.set_u8 b i v) lst;
   b
 
-(* Fill a buffer with a deterministic byte pattern. *)
-let pattern n =
-  let b = Buf.create n in
-  for i = 0 to n - 1 do
-    Buf.set_u8 b i ((i * 7 + 13) land 0xff)
-  done;
-  b
+(* Deterministic byte fill, shared with the plan/normalize suites. *)
+let pattern = Dt_gen.pattern
 
 (* Reference pack via the signature/raw block walk. *)
 let pack_simple t ~count ~src =
@@ -346,52 +341,9 @@ let test_deserialize_corrupt () =
 
 (* --- property tests --- *)
 
-(* Random datatype generator (small, bounded depth). *)
-let gen_datatype =
-  let open QCheck.Gen in
-  let pred =
-    oneofl [ Dt.byte; Dt.int16; Dt.int32; Dt.int64; Dt.float32; Dt.float64 ]
-  in
-  let rec go depth =
-    if depth = 0 then pred
-    else
-      frequency
-        [
-          (2, pred);
-          (2, map2 (fun n e -> Dt.contiguous n e) (1 -- 4) (go (depth - 1)));
-          ( 2,
-            map2
-              (fun (c, b) e ->
-                Dt.vector ~count:c ~blocklength:b ~stride:(b + 2) e)
-              (pair (1 -- 3) (1 -- 3))
-              (go (depth - 1)) );
-          ( 1,
-            map2
-              (fun ds e ->
-                let ds = Array.of_list ds in
-                let sorted = Array.copy ds in
-                Array.sort compare sorted;
-                (* strictly increasing, gap >= blocklength *)
-                let displacements =
-                  Array.mapi (fun i d -> (i * 3) + (d mod 2)) sorted
-                in
-                Dt.indexed_block ~blocklength:1 ~displacements e)
-              (list_size (1 -- 3) (0 -- 5))
-              (go (depth - 1)) );
-          ( 1,
-            map2
-              (fun (b1, b2) (e1, e2) ->
-                let ext1 = max 1 (Dt.extent e1) in
-                Dt.struct_ ~blocklengths:[| b1; b2 |]
-                  ~displacements_bytes:[| 0; (b1 * ext1) + 4 |]
-                  ~types:[| e1; e2 |])
-              (pair (1 -- 2) (1 -- 2))
-              (pair (go (depth - 1)) (go (depth - 1))) );
-        ]
-  in
-  go 2
-
-let arb_datatype = QCheck.make ~print:Dt.to_string gen_datatype
+(* Random datatype generator: shared with the plan/normalize suites
+   (see dt_gen.ml, which also adds structural shrinking). *)
+let arb_datatype = Dt_gen.arb
 
 let prop_pack_unpack_roundtrip =
   QCheck.Test.make ~name:"datatype: unpack(pack(x)) = x on typed bytes"

@@ -5,6 +5,7 @@ let () =
       Test_simnet.suite;
       Test_datatype.suite;
       Test_plan.suite;
+      Test_normalize.suite;
       Test_ucx.suite;
       Test_obs.suite;
       Test_core.suite;

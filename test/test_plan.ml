@@ -10,8 +10,8 @@ module Stats = Mpicd_simnet.Stats
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
-let pattern = Test_datatype.pattern
-let arb_datatype = Test_datatype.arb_datatype
+let pattern = Dt_gen.pattern
+let arb_datatype = Dt_gen.arb
 
 (* Typed-source length covering [count] elements of [t]. *)
 let src_len t ~count = max 1 (Dt.ub t + ((count - 1) * Dt.extent t))
