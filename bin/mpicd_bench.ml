@@ -103,6 +103,7 @@ let list_cmd =
     print_endline "  ablation-objmsg";
     print_endline "  ablation-threads";
     print_endline "  ablation-device";
+    print_endline "  ablation-profile";
     print_endline "";
     print_endline "kernels (for `mpicd_bench kernel`):";
     List.iter
@@ -146,6 +147,7 @@ let figure_cmd =
     | "ablation-objmsg" -> Figures.Ablations.print_objmsg_costs ()
     | "ablation-threads" -> Figures.Ablations.print_threading ()
     | "ablation-device" -> Figures.Ablations.print_device ()
+    | "ablation-profile" -> Figures.Ablations.print_profile_shares ()
     | key -> (
         match List.find_opt (fun (k, _, _, _) -> k = key) all_series_figures with
         | Some (key, title, ylabel, f) ->

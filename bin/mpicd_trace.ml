@@ -60,6 +60,11 @@ let validate_chrome path =
     | None -> Error "no traceEvents member"
   in
   let cats = Hashtbl.create 8 and rank_pids = Hashtbl.create 8 in
+  (* flow pairing: every "s" id must meet exactly one "f" id and vice
+     versa; begin/end balance: "B" opens must be closed by "E" on the
+     same (pid, tid) row — a finished run exports no dangling spans. *)
+  let flow_s = Hashtbl.create 64 and flow_f = Hashtbl.create 64 in
+  let open_b = Hashtbl.create 16 in
   List.iter
     (fun ev ->
       let str m = Option.bind (Json.member m ev) Json.to_string in
@@ -67,6 +72,20 @@ let validate_chrome path =
       (match str "cat" with
       | Some c -> Hashtbl.replace cats c ()
       | None -> ());
+      (match (str "ph", num "id") with
+      | Some "s", Some id ->
+          Hashtbl.replace flow_s id (1 + Option.value ~default:0 (Hashtbl.find_opt flow_s id))
+      | Some "f", Some id ->
+          Hashtbl.replace flow_f id (1 + Option.value ~default:0 (Hashtbl.find_opt flow_f id))
+      | _ -> ());
+      (match (str "ph", num "pid", num "tid") with
+      | Some "B", Some pid, Some tid ->
+          Hashtbl.replace open_b (pid, tid)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt open_b (pid, tid)))
+      | Some "E", Some pid, Some tid ->
+          Hashtbl.replace open_b (pid, tid)
+            (Option.value ~default:0 (Hashtbl.find_opt open_b (pid, tid)) - 1)
+      | _ -> ());
       match (str "ph", num "pid") with
       | Some ("X" | "B" | "i"), Some pid when pid < 1000. ->
           Hashtbl.replace rank_pids pid ()
@@ -77,13 +96,41 @@ let validate_chrome path =
       (fun c -> not (Hashtbl.mem cats c))
       [ "p2p"; "proto"; "callback"; "fiber" ]
   in
+  let unpaired =
+    Hashtbl.fold
+      (fun id n acc ->
+        if Option.value ~default:0 (Hashtbl.find_opt flow_f id) <> n then
+          id :: acc
+        else acc)
+      flow_s []
+    @ Hashtbl.fold
+        (fun id _ acc -> if Hashtbl.mem flow_s id then acc else id :: acc)
+        flow_f []
+  in
+  let unbalanced =
+    Hashtbl.fold (fun row n acc -> if n <> 0 then row :: acc else acc) open_b []
+  in
   if missing <> [] then
     Error ("missing span categories: " ^ String.concat ", " missing)
   else if Hashtbl.length rank_pids < 2 then
     Error
       (Printf.sprintf "expected >= 2 rank tracks, found %d"
          (Hashtbl.length rank_pids))
-  else Ok (List.length evs, Hashtbl.length cats, Hashtbl.length rank_pids)
+  else if unpaired <> [] then
+    Error
+      (Printf.sprintf "%d unpaired flow event id(s), e.g. %g"
+         (List.length unpaired) (List.hd unpaired))
+  else if unbalanced <> [] then
+    let pid, tid = List.hd unbalanced in
+    Error
+      (Printf.sprintf "unbalanced B/E spans on %d row(s), e.g. pid=%g tid=%g"
+         (List.length unbalanced) pid tid)
+  else if Hashtbl.length flow_s = 0 then
+    Error "no flow events (expected message arrows from mseq joins)"
+  else
+    Ok
+      (List.length evs, Hashtbl.length cats, Hashtbl.length rank_pids,
+       Hashtbl.length flow_s)
 
 let run name meth reps out validate quiet =
   (match Registry.find name with
@@ -119,11 +166,12 @@ let run name meth reps out validate quiet =
           end;
           if validate then
             match validate_chrome trace_path with
-            | Ok (nev, ncat, nranks) ->
+            | Ok (nev, ncat, nranks, nflows) ->
                 if not quiet then
                   Printf.printf
-                    "validate: ok (%d events, %d categories, %d rank tracks)\n"
-                    nev ncat nranks
+                    "validate: ok (%d events, %d categories, %d rank tracks, \
+                     %d flow pairs)\n"
+                    nev ncat nranks nflows
             | Error msg ->
                 Printf.eprintf "validate: %s: %s\n" trace_path msg;
                 exit 1));
@@ -159,7 +207,8 @@ let cmd =
       & info [ "validate" ]
           ~doc:
             "Parse the emitted Chrome trace back and fail unless it has \
-             all four span categories and at least two rank tracks.")
+             all four span categories, at least two rank tracks, every \
+             flow event paired, and balanced B/E spans.")
   in
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only write files.")

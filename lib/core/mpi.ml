@@ -766,7 +766,12 @@ let wait r =
         else Obs.null_span
       in
       let u = Ucx.wait r.ucx_req in
-      Obs.span_end r.r_obs ~time:(Engine.now r.r_engine) sp;
+      let args =
+        match Ucx.request_seq r.ucx_req with
+        | -1 -> []
+        | m -> [ ("mseq", Obs.Int m) ]
+      in
+      Obs.span_end r.r_obs ~time:(Engine.now r.r_engine) ~args sp;
       finalize_once r u
 
 let waitall rs = List.map wait rs
@@ -822,9 +827,14 @@ let make_request ?span ?(force_raise = false) c ucx_req cleanup =
            leaves a finished trace. *)
         (match span with
         | Some sp ->
-            Obs.span_end c.w.obs ~time:(Engine.now c.w.engine)
-              ~args:[ ("len", Obs.Int u.len) ]
-              sp
+            let args =
+              ("len", Obs.Int u.len)
+              ::
+              (match Ucx.request_seq ucx_req with
+              | -1 -> []
+              | m -> [ ("mseq", Obs.Int m) ])
+            in
+            Obs.span_end c.w.obs ~time:(Engine.now c.w.engine) ~args sp
         | None -> ());
         cleanup u;
         match u.error with
@@ -919,12 +929,36 @@ let monitor_record c kind ~op_kind ~peer ~tag ~blocking buf (ureq : Ucx.request)
       in
       Monitor.add m op peek
 
+(* Coarse datatype label for trace spans: the buffer's root shape, not
+   the full tree.  Labels key the profiler's per-datatype aggregation
+   buckets, so they must be short and low-cardinality. *)
+let dt_label = function
+  | Bytes _ -> "bytes"
+  | Custom _ -> "custom"
+  | Typed { dt; _ } -> (
+      match Datatype.view dt with
+      | Datatype.V_predefined _ -> Datatype.to_string dt
+      | Datatype.V_contiguous _ -> "contig"
+      | Datatype.V_hvector _ -> "hvector"
+      | Datatype.V_hindexed _ -> "hindexed"
+      | Datatype.V_struct _ -> "struct"
+      | Datatype.V_resized _ -> "resized")
+
+(* Wire size of a buffer descriptor without touching callback state.
+   Custom types are opaque here — their query callbacks must not run
+   twice — so their size stays unknown (-1) until completion reports
+   ["len"]. *)
+let buffer_wire_bytes = function
+  | Bytes b -> Buf.length b
+  | Typed { dt; count; _ } -> Datatype.packed_size dt ~count
+  | Custom _ -> -1
+
 (* One "p2p" span per operation, open from post to completion (closed in
    the request finalizer, i.e. at wait/test time).  [nest:false]: the
    span can outlive the posting fiber's call stack, so it must not
    capture later same-track spans as children — but it still nests under
    whatever is open at post time (e.g. a barrier span). *)
-let op_span c ~blocking ~send ~peer ~tag =
+let op_span c ~blocking ~send ~peer ~tag buf =
   if Obs.enabled c.w.obs then
     let name =
       match (blocking, send) with
@@ -936,7 +970,13 @@ let op_span c ~blocking ~send ~peer ~tag =
     Some
       (Obs.span_begin c.w.obs ~time:(Engine.now c.w.engine)
          ~track:(my_world_rank c) ~cat:"p2p" ~nest:false
-         ~args:[ ("peer", Obs.Int peer); ("tag", Obs.Int tag) ]
+         ~args:
+           [
+             ("peer", Obs.Int peer);
+             ("tag", Obs.Int tag);
+             ("bytes", Obs.Int (buffer_wire_bytes buf));
+             ("dt", Obs.Str (dt_label buf));
+           ]
          name)
   else None
 
@@ -971,7 +1011,7 @@ let force_raise_of kind = kind_code kind = kind_code Internal0.Internal
 let isend_gen c kind ~blocking ~dst ~tag buf =
   check_dst c dst "isend";
   check_user_tag tag;
-  let span = op_span c ~blocking ~send:true ~peer:dst ~tag in
+  let span = op_span c ~blocking ~send:true ~peer:dst ~tag buf in
   let me = c.group.(c.c_rank) and peer = c.group.(dst) in
   let t64 = encode_tag ~src:me ~kind ~cid:c.cid ~utag:tag in
   let force_raise = force_raise_of kind in
@@ -997,7 +1037,7 @@ let isend_gen c kind ~blocking ~dst ~tag buf =
 
 let irecv_gen c kind ~blocking ?(source = any_source) ?(tag = any_tag) buf =
   if source <> any_source then check_dst c source "irecv";
-  let span = op_span c ~blocking ~send:false ~peer:source ~tag in
+  let span = op_span c ~blocking ~send:false ~peer:source ~tag buf in
   let me = c.group.(c.c_rank) in
   let source = if source = any_source then any_source else c.group.(source) in
   let t64, mask = recv_tag_mask ~kind ~cid:c.cid ~source ~tag in

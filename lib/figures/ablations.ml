@@ -211,6 +211,61 @@ let print_device () =
       [ "kernel"; "size"; "staged-host-pack"; "device-pack-staged"; "device-pack-direct" ]
     rows
 
+(* A8: where the time actually goes per transfer method, from the
+   wait-state profiler: pack-time share (pack + unpack phases plus
+   their callback time) and wait-time share of total rank time, plus
+   the dominant wait classes, all on one DDTBench kernel. *)
+let profile_shares ?(kernel = "NAS_MG_x") () =
+  let module Kernel = Mpicd_ddtbench.Kernel in
+  let module Profile = Mpicd_obs.Profile in
+  match Mpicd_ddtbench.Registry.find kernel with
+  | None -> (kernel, [])
+  | Some (module K : Kernel.KERNEL) ->
+      let k = (module K : Kernel.KERNEL) in
+      let methods =
+        [
+          ("reference", Some (Methods.k_reference k));
+          ("manual-pack", Some (Methods.k_manual k));
+          ("mpi-ddt", Some (Methods.k_ddt_direct k));
+          ("mpi-pack-ddt", Some (Methods.k_ddt_pack k));
+          ("custom-pack", Some (Methods.k_custom_pack k));
+          ( "custom-regions",
+            match Methods.k_custom_regions k () with
+            | None -> None
+            | Some _ ->
+                Some (fun () -> Option.get (Methods.k_custom_regions k ())) );
+        ]
+      in
+      ( K.name,
+        List.map
+          (fun (name, make) ->
+            match make with
+            | None -> [ name; "-"; "-"; "-"; "-"; "-" ]
+            | Some make ->
+                let r, p = H.pingpong_profiled ~reps ~bytes:K.wire_bytes make in
+                [
+                  name;
+                  Printf.sprintf "%.0f" r.H.bandwidth_mib_s;
+                  Printf.sprintf "%.1f%%" (100. *. Profile.pack_share p);
+                  Printf.sprintf "%.1f%%" (100. *. Profile.wait_share p);
+                  Printf.sprintf "%.1f"
+                    (Profile.wait_class_ns p Profile.Late_sender /. 1000.);
+                  Printf.sprintf "%.1f"
+                    (Profile.wait_class_ns p Profile.Rndv_stall /. 1000.);
+                ])
+          methods )
+
+let print_profile_shares () =
+  let kernel, rows = profile_shares () in
+  Report.print_kv_table
+    ~title:
+      (Printf.sprintf
+         "Ablation A8: per-method time attribution on %s (wait-state profiler)"
+         kernel)
+    ~header:
+      [ "method"; "MiB/s"; "pack share"; "wait share"; "late-sender us"; "rndv-stall us" ]
+    rows
+
 let print_objmsg_costs () =
   let bytes, rows = objmsg_costs () in
   Report.print_kv_table

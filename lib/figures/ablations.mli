@@ -31,4 +31,12 @@ val print_threading : unit -> unit
 val print_device : unit -> unit
 (** A7: §VI's accelerator-memory staging vs device pack kernels. *)
 
+val profile_shares : ?kernel:string -> unit -> string * string list list
+(** A8: per-method phase attribution from the wait-state profiler
+    ({!Mpicd_obs.Profile}) on one DDTBench kernel (default
+    [NAS_MG_x]): bandwidth, pack-time share, wait-time share and the
+    dominant wait classes.  Returns the kernel name and table rows. *)
+
+val print_profile_shares : unit -> unit
+
 val all : (string * string * string * (unit -> Report.series list)) list

@@ -3,6 +3,8 @@ module Engine = Mpicd_simnet.Engine
 module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
 module Mpi = Mpicd.Mpi
+module Obs = Mpicd_obs.Obs
+module Profile = Mpicd_obs.Profile
 
 type impl = {
   send : Mpi.comm -> dst:int -> tag:int -> unit;
@@ -80,3 +82,8 @@ let pingpong ?(config = Config.default) ?(warmup = 2) ?(reps = 10) ?obs ?faults
        else float_of_int bytes /. (one_way_ns /. 1e9) /. (1024. *. 1024.));
     stats;
   }
+
+let pingpong_profiled ?config ?warmup ?reps ?faults ~bytes make =
+  let obs = Obs.create () in
+  let result = pingpong ?config ?warmup ?reps ~obs ?faults ~bytes make in
+  (result, Profile.analyze obs)

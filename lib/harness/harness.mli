@@ -43,6 +43,20 @@ val pingpong :
     latency then includes retransmissions and recovery, and the result's
     [stats] carry the reliability counters. *)
 
+val pingpong_profiled :
+  ?config:Config.t ->
+  ?warmup:int ->
+  ?reps:int ->
+  ?faults:Mpicd_simnet.Fault.t ->
+  bytes:int ->
+  (unit -> impl) ->
+  result * Mpicd_obs.Profile.t
+(** [pingpong] with a fresh observability sink attached and the trace
+    run through {!Mpicd_obs.Profile.analyze}: the measurement result
+    (identical to the unprofiled run — attaching the sink never changes
+    the virtual clock) plus the wait-state / critical-path profile of
+    the whole run, warmup rounds included. *)
+
 (** {1 Cost-charging helpers for benchmark implementations}
 
     Benchmark code that does its own packing (the paper's

@@ -106,6 +106,48 @@ let chrome_trace obs =
            (Json.number (us i.i_time))
            (Json.quote i.i_cat) (Json.quote i.i_name) (args_json i.i_args)))
     (Obs.instants obs);
+  (* Flow events: join each message's send-side and recv-side p2p spans
+     by their "mseq" arg so Perfetto draws an arrow from the send's
+     start to the matching receive's end.  Only closed spans on both
+     sides produce a flow, so every "s" emitted here has its "f". *)
+  let mseq_of (sp : Obs.span) =
+    List.fold_left
+      (fun acc (k, v) ->
+        match (k, v) with "mseq", Obs.Int n when n >= 0 -> Some n | _ -> acc)
+      None sp.args
+  in
+  let sends = Hashtbl.create 64 and recvs = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Obs.span) ->
+      if sp.cat = "p2p" && not (Obs.is_open sp) then
+        match mseq_of sp with
+        | None -> ()
+        | Some m -> (
+            match sp.name with
+            | "send" | "isend" ->
+                if not (Hashtbl.mem sends m) then Hashtbl.add sends m sp
+            | "recv" | "irecv" ->
+                if not (Hashtbl.mem recvs m) then Hashtbl.add recvs m sp
+            | _ -> ()))
+    (Obs.spans obs);
+  Hashtbl.fold (fun m sp acc -> (m, sp) :: acc) sends []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (m, (snd_sp : Obs.span)) ->
+      match Hashtbl.find_opt recvs m with
+      | None -> ()
+      | Some (rcv_sp : Obs.span) ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"s\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"cat\":\"flow\",\"name\":\"msg\"}"
+               m (pid_of_track snd_sp.track)
+               (tid_of ~track:snd_sp.track ~cat:snd_sp.cat)
+               (Json.number (us snd_sp.t0)));
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"pid\":%d,\"tid\":%d,\"ts\":%s,\"cat\":\"flow\",\"name\":\"msg\"}"
+               m (pid_of_track rcv_sp.track)
+               (tid_of ~track:rcv_sp.track ~cat:rcv_sp.cat)
+               (Json.number (us rcv_sp.t1))));
   Buffer.add_string b "\n]}";
   Buffer.contents b
 
@@ -168,7 +210,7 @@ let timeline obs =
 
 (* --- metrics dumps --- *)
 
-let metrics_json mx =
+let metrics_json ?(buckets = false) mx =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{";
   List.iteri
@@ -185,20 +227,32 @@ let metrics_json mx =
           Buffer.add_string b
             (Printf.sprintf "{\"kind\":\"gauge\",\"value\":%s,\"max\":%s}"
                (Json.number value) (Json.number vmax))
-      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
+      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99; hbuckets }
+        ->
+          let bucket_field =
+            if not buckets then ""
+            else
+              Printf.sprintf ",\"buckets\":[%s]"
+                (String.concat ","
+                   (List.map
+                      (fun (lo, hi, n) ->
+                        Printf.sprintf "[%s,%s,%d]" (Json.number lo)
+                          (Json.number hi) n)
+                      hbuckets))
+          in
           Buffer.add_string b
             (Printf.sprintf
-               "{\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+               "{\"kind\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s%s}"
                count (Json.number sum) (Json.number mean) (Json.number vmin)
                (Json.number vmax) (Json.number p50) (Json.number p95)
-               (Json.number p99))))
+               (Json.number p99) bucket_field)))
     (Metrics.dump mx);
   Buffer.add_string b "\n}";
   Buffer.contents b
 
 let csv_num f = if Float.is_nan f then "" else Printf.sprintf "%g" f
 
-let metrics_csv mx =
+let metrics_csv ?(buckets = false) mx =
   let b = Buffer.create 4096 in
   Buffer.add_string b "name,kind,count,value,sum,mean,min,max,p50,p95,p99\n";
   List.iter
@@ -210,11 +264,19 @@ let metrics_csv mx =
           Buffer.add_string b
             (Printf.sprintf "%s,gauge,,%s,,,,%s,,,\n" name (csv_num value)
                (csv_num vmax))
-      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99 } ->
+      | Metrics.V_hist { count; sum; mean; vmin; vmax; p50; p95; p99; hbuckets }
+        ->
           Buffer.add_string b
             (Printf.sprintf "%s,histogram,%d,,%s,%s,%s,%s,%s,%s,%s\n" name count
                (csv_num sum) (csv_num mean) (csv_num vmin) (csv_num vmax)
-               (csv_num p50) (csv_num p95) (csv_num p99)))
+               (csv_num p50) (csv_num p95) (csv_num p99));
+          if buckets then
+            List.iter
+              (fun (lo, hi, n) ->
+                Buffer.add_string b
+                  (Printf.sprintf "%s,bucket,%d,,,,%s,%s,,,\n" name n
+                     (csv_num lo) (csv_num hi)))
+              hbuckets)
     (Metrics.dump mx);
   Buffer.contents b
 

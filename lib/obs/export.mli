@@ -10,13 +10,26 @@
 val chrome_trace : Obs.t -> string
 (** Closed spans become ["X"] complete events, still-open spans ["B"]
     begin events, instants ["i"] events; process/thread name metadata is
-    included.  Output is strict JSON ({!Json.parse} accepts it). *)
+    included.  Messages whose send-side and recv-side ["p2p"] spans are
+    both closed and carry a matching ["mseq"] arg additionally produce a
+    paired flow event (["s"] at the send's start, ["f"] with
+    [bp = "e"] at the receive's end) so Perfetto draws message arrows.
+    Output is strict JSON ({!Json.parse} accepts it). *)
 
 val timeline : Obs.t -> string
 (** Human-readable per-track listing, nesting shown by indentation. *)
 
-val metrics_json : Metrics.t -> string
-val metrics_csv : Metrics.t -> string
+val metrics_json : ?buckets:bool -> Metrics.t -> string
+(** With [~buckets:true] each histogram additionally carries a
+    ["buckets"] array of [[lo, hi, count]] triples (the non-empty
+    log-scale buckets, half-open value ranges, ascending) so external
+    tooling can re-aggregate the full distribution.  Default [false]. *)
+
+val metrics_csv : ?buckets:bool -> Metrics.t -> string
+(** With [~buckets:true] each histogram row is followed by one
+    [kind = "bucket"] row per non-empty bucket, with the bucket count in
+    the [count] column and its bounds in [min]/[max].  Default
+    [false]. *)
 
 val write_file : string -> string -> unit
 (** [write_file path contents] (truncating). *)

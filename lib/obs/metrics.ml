@@ -95,6 +95,14 @@ let representative = function
   | 0 -> 0.
   | i -> Float.pow 2. ((float_of_int i -. 0.5) /. 4.)
 
+(* Bucket [i]'s half-open value range [lo, hi).  Bucket 0 catches
+   everything below 1 (including negatives and NaN). *)
+let bucket_bounds = function
+  | 0 -> (0., 1.)
+  | i ->
+      ( Float.pow 2. (float_of_int (i - 1) /. 4.),
+        Float.pow 2. (float_of_int i /. 4.) )
+
 let observe h v =
   h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
@@ -137,6 +145,7 @@ type view =
       p50 : float;
       p95 : float;
       p99 : float;
+      hbuckets : (float * float * int) list;
     }
 
 let view_of = function
@@ -153,6 +162,14 @@ let view_of = function
           p50 = percentile h 50.;
           p95 = percentile h 95.;
           p99 = percentile h 99.;
+          hbuckets =
+            (let acc = ref [] in
+             for i = max_bucket downto 0 do
+               if h.buckets.(i) > 0 then
+                 let lo, hi = bucket_bounds i in
+                 acc := (lo, hi, h.buckets.(i)) :: !acc
+             done;
+             !acc);
         }
 
 let dump t =

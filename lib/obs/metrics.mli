@@ -56,6 +56,10 @@ type view =
       p50 : float;
       p95 : float;
       p99 : float;
+      hbuckets : (float * float * int) list;
+          (** Non-empty buckets as [(lo, hi, count)] with the half-open
+              value range [lo, hi), in increasing order.  Lets external
+              tooling re-aggregate the full distribution. *)
     }
 
 val dump : t -> (string * view) list

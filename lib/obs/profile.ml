@@ -1,0 +1,868 @@
+(* Offline Scalasca-style trace analyzer.  See profile.mli for the
+   attribution model, wait-state taxonomy and critical-path definition.
+
+   All arithmetic runs on an integer picosecond grid: float timestamps
+   are rounded exactly once on entry ([ps_of_ns], monotone), after which
+   every charge is an Int64 add.  That is what makes the conservation
+   property (phases sum to the window, per rank, exactly) testable as an
+   equality rather than a tolerance. *)
+
+type phase = Pack | Wire | Unpack | Wait | Callback | Other
+
+type wait_class =
+  | Late_sender
+  | Late_receiver
+  | Barrier_wait
+  | Rndv_stall
+  | Retransmit_stall
+  | Wait_other
+
+type phase_totals = {
+  pack : int64;
+  wire : int64;
+  unpack : int64;
+  wait : int64;
+  callback : int64;
+  other : int64;
+}
+
+type wait_totals = {
+  late_sender : int64;
+  late_receiver : int64;
+  barrier : int64;
+  rndv_stall : int64;
+  retransmit_stall : int64;
+  wait_other : int64;
+}
+
+type rank_profile = {
+  rank : int;
+  total_ps : int64;
+  phases : phase_totals;
+  waits : wait_totals;
+  cb_pack_ps : int64;
+  cb_unpack_ps : int64;
+  cp_phases : phase_totals;
+  cp_waits : wait_totals;
+}
+
+type t = {
+  window_ps : int64;
+  window_t0_ns : float;
+  ranks : rank_profile list;
+  messages_total : int;
+  messages_joined : int;
+  datatypes : (string * phase_totals) list;
+}
+
+let ps_of_ns f = Int64.of_float (Float.round (f *. 1000.))
+let ns_of_ps ps = Int64.to_float ps /. 1000.
+
+let phase_name = function
+  | Pack -> "pack"
+  | Wire -> "wire"
+  | Unpack -> "unpack"
+  | Wait -> "wait"
+  | Callback -> "callback"
+  | Other -> "other"
+
+let wait_class_name = function
+  | Late_sender -> "late_sender"
+  | Late_receiver -> "late_receiver"
+  | Barrier_wait -> "barrier"
+  | Rndv_stall -> "rndv_stall"
+  | Retransmit_stall -> "retransmit_stall"
+  | Wait_other -> "other"
+
+let phase_idx = function
+  | Pack -> 0
+  | Wire -> 1
+  | Unpack -> 2
+  | Wait -> 3
+  | Callback -> 4
+  | Other -> 5
+
+let wait_idx = function
+  | Late_sender -> 0
+  | Late_receiver -> 1
+  | Barrier_wait -> 2
+  | Rndv_stall -> 3
+  | Retransmit_stall -> 4
+  | Wait_other -> 5
+
+let all_phases = [ Pack; Wire; Unpack; Wait; Callback; Other ]
+
+let all_wait_classes =
+  [
+    Late_sender;
+    Late_receiver;
+    Barrier_wait;
+    Rndv_stall;
+    Retransmit_stall;
+    Wait_other;
+  ]
+
+let pt_of a =
+  {
+    pack = a.(0);
+    wire = a.(1);
+    unpack = a.(2);
+    wait = a.(3);
+    callback = a.(4);
+    other = a.(5);
+  }
+
+let wt_of a =
+  {
+    late_sender = a.(0);
+    late_receiver = a.(1);
+    barrier = a.(2);
+    rndv_stall = a.(3);
+    retransmit_stall = a.(4);
+    wait_other = a.(5);
+  }
+
+let pt_get pt = function
+  | Pack -> pt.pack
+  | Wire -> pt.wire
+  | Unpack -> pt.unpack
+  | Wait -> pt.wait
+  | Callback -> pt.callback
+  | Other -> pt.other
+
+let wt_get wt = function
+  | Late_sender -> wt.late_sender
+  | Late_receiver -> wt.late_receiver
+  | Barrier_wait -> wt.barrier
+  | Rndv_stall -> wt.rndv_stall
+  | Retransmit_stall -> wt.retransmit_stall
+  | Wait_other -> wt.wait_other
+
+let add a i d = a.(i) <- Int64.add a.(i) d
+
+(* --- span/instant arg accessors --- *)
+
+let mseq_of args =
+  List.fold_left
+    (fun acc (k, v) ->
+      match (k, v) with
+      | "mseq", Obs.Int n when n >= 0 -> Some n
+      | _ -> acc)
+    None args
+
+let dt_of args =
+  List.fold_left
+    (fun acc (k, v) ->
+      match (k, v) with "dt", Obs.Str s -> Some s | _ -> acc)
+    None args
+
+(* Fault instants that mean "this endpoint is stuck in wire-level
+   recovery" — anything overlapping a wait turns it into a
+   retransmit/backoff stall. *)
+let is_recovery_instant = function
+  | "retransmit" | "frag_drop" | "frag_corrupt" | "nack" | "delivery_timeout"
+  | "link_down" | "iov_fallback" | "rndv_timeout" ->
+      true
+  | _ -> false
+
+(* Sweep item: one span projected onto its rank's timeline.  Phase
+   priority decides which span owns an elementary interval when several
+   overlap (see profile.mli). *)
+type item = { ia : int64; ib : int64; prio : int; iphase : phase; isp : Obs.span }
+
+let item_of (sp : Obs.span) ~a ~b =
+  match sp.Obs.cat with
+  | "callback" -> Some { ia = a; ib = b; prio = 5; iphase = Callback; isp = sp }
+  | "proto" ->
+      let prio, iphase =
+        match sp.Obs.name with
+        | "pack" | "custom_pack" -> (4, Pack)
+        | "unpack" | "custom_unpack" -> (4, Unpack)
+        | "rndv" -> (2, Wire)
+        | _ -> (3, Wire)
+        (* wire, rts, nack, rel_xfer, handshake, future phases *)
+      in
+      Some { ia = a; ib = b; prio; iphase; isp = sp }
+  | "p2p" -> Some { ia = a; ib = b; prio = 1; iphase = Wait; isp = sp }
+  | _ -> None (* fault/resilience/other categories are transparent *)
+
+(* Per-rank elementary interval, the unit the critical-path walk
+   consumes.  [vpeer] is the cross-rank jump target for waits (-1 when
+   the wait has no joined peer). *)
+type iv = {
+  va : int64;
+  vb : int64;
+  vphase : phase;
+  vwait : wait_class;
+  vpeer : int;
+}
+
+let analyze obs =
+  let all_spans = Obs.spans obs in
+  let sid_tbl = Hashtbl.create 256 in
+  List.iter (fun (sp : Obs.span) -> Hashtbl.replace sid_tbl sp.sid sp) all_spans;
+  let spans =
+    List.filter
+      (fun (sp : Obs.span) ->
+        sp.track >= 0 && sp.cat <> "fiber" && not (Obs.is_open sp))
+      all_spans
+  in
+  let instants =
+    List.filter
+      (fun (i : Obs.instant) -> i.i_track >= 0 && i.i_cat <> "fiber")
+      (Obs.instants obs)
+  in
+  (* ranks and global window *)
+  let rank_set = Hashtbl.create 16 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  List.iter
+    (fun (sp : Obs.span) ->
+      Hashtbl.replace rank_set sp.track ();
+      if sp.t0 < !t_min then t_min := sp.t0;
+      if sp.t1 > !t_max then t_max := sp.t1)
+    spans;
+  List.iter
+    (fun (i : Obs.instant) ->
+      Hashtbl.replace rank_set i.i_track ();
+      if i.i_time < !t_min then t_min := i.i_time;
+      if i.i_time > !t_max then t_max := i.i_time)
+    instants;
+  let ranks =
+    Hashtbl.fold (fun r () acc -> r :: acc) rank_set [] |> List.sort compare
+  in
+  if ranks = [] || not (!t_max > !t_min) then
+    {
+      window_ps = 0L;
+      window_t0_ns = 0.;
+      ranks =
+        List.map
+          (fun rank ->
+            {
+              rank;
+              total_ps = 0L;
+              phases = pt_of (Array.make 6 0L);
+              waits = wt_of (Array.make 6 0L);
+              cb_pack_ps = 0L;
+              cb_unpack_ps = 0L;
+              cp_phases = pt_of (Array.make 6 0L);
+              cp_waits = wt_of (Array.make 6 0L);
+            })
+          ranks;
+      messages_total = 0;
+      messages_joined = 0;
+      datatypes = [];
+    }
+  else begin
+    let w0 = ps_of_ns !t_min and w1 = ps_of_ns !t_max in
+    let window_ps = Int64.sub w1 w0 in
+    (* --- message join tables --- *)
+    let send_tbl = Hashtbl.create 64 (* mseq -> send-side op span *)
+    and recv_tbl = Hashtbl.create 64 (* mseq -> recv-side op span *)
+    and match_tbl = Hashtbl.create 64 (* mseq -> earliest match time (ps) *)
+    and mseq_set = Hashtbl.create 64 in
+    List.iter
+      (fun (sp : Obs.span) ->
+        if sp.cat = "p2p" then
+          match mseq_of sp.args with
+          | None -> ()
+          | Some m -> (
+              Hashtbl.replace mseq_set m ();
+              match sp.name with
+              | "send" | "isend" ->
+                  if not (Hashtbl.mem send_tbl m) then Hashtbl.add send_tbl m sp
+              | "recv" | "irecv" ->
+                  if not (Hashtbl.mem recv_tbl m) then Hashtbl.add recv_tbl m sp
+              | _ -> ()))
+      spans;
+    (* recovery instants per track, and match instants per message *)
+    let fault_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (i : Obs.instant) ->
+        (match (i.i_cat, i.i_name) with
+        | "proto", "match" -> (
+            match mseq_of i.i_args with
+            | None -> ()
+            | Some m ->
+                Hashtbl.replace mseq_set m ();
+                let t = ps_of_ns i.i_time in
+                let best =
+                  match Hashtbl.find_opt match_tbl m with
+                  | Some prev -> min prev t
+                  | None -> t
+                in
+                Hashtbl.replace match_tbl m best)
+        | _ -> ());
+        if i.i_cat = "fault" && is_recovery_instant i.i_name then
+          let t = ps_of_ns i.i_time in
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt fault_tbl i.i_track)
+          in
+          Hashtbl.replace fault_tbl i.i_track (t :: prev))
+      instants;
+    let fault_overlap tr ~a ~b =
+      match Hashtbl.find_opt fault_tbl tr with
+      | None -> false
+      | Some ts -> List.exists (fun t -> t >= a && t < b) ts
+    in
+    let rec under_barrier sid =
+      if sid < 0 then false
+      else
+        match Hashtbl.find_opt sid_tbl sid with
+        | None -> false
+        | Some (sp : Obs.span) -> sp.name = "barrier" || under_barrier sp.parent
+    in
+    (* Classify one wait interval [a,b) owned by p2p span [owner] on
+       [rank]; returns the class and the peer to jump to on the critical
+       path (-1: stay on this rank). *)
+    let classify_wait ~rank ~a ~b (owner : Obs.span) =
+      let barrier = owner.name = "barrier" || under_barrier owner.parent in
+      match mseq_of owner.args with
+      | None -> ((if barrier then Barrier_wait else Wait_other), -1)
+      | Some m -> (
+          let send_sp = Hashtbl.find_opt send_tbl m
+          and recv_sp = Hashtbl.find_opt recv_tbl m in
+          let side =
+            match owner.name with
+            | "send" | "isend" -> `Send
+            | "recv" | "irecv" -> `Recv
+            | _ -> (
+                match (send_sp, recv_sp) with
+                | Some s, _ when s.track = rank -> `Send
+                | _, Some r when r.track = rank -> `Recv
+                | _ -> `Unknown)
+          in
+          let peer =
+            match side with
+            | `Send -> (
+                match recv_sp with Some r -> r.track | None -> -1)
+            | `Recv -> (
+                match send_sp with Some s -> s.track | None -> -1)
+            | `Unknown -> -1
+          in
+          let peer = if peer = rank then -1 else peer in
+          if barrier then (Barrier_wait, peer)
+          else if fault_overlap rank ~a ~b || (peer >= 0 && fault_overlap peer ~a ~b)
+          then (Retransmit_stall, peer)
+          else
+            match Hashtbl.find_opt match_tbl m with
+            | None -> (Wait_other, peer)
+            | Some mt -> (
+                match side with
+                | `Recv -> ((if a < mt then Late_sender else Rndv_stall), peer)
+                | `Send ->
+                    ((if a < mt then Late_receiver else Rndv_stall), peer)
+                | `Unknown -> (Wait_other, peer)))
+    in
+    (* Extra sweep boundaries: each joined message's match time lands on
+       both endpoints so waits split exactly at the match (that edge is
+       the late-sender/rendezvous-stall frontier). *)
+    let extra_bounds = Hashtbl.create 16 in
+    let push_bound tr t =
+      let prev = Option.value ~default:[] (Hashtbl.find_opt extra_bounds tr) in
+      Hashtbl.replace extra_bounds tr (t :: prev)
+    in
+    Hashtbl.iter
+      (fun m mt ->
+        (match Hashtbl.find_opt send_tbl m with
+        | Some (s : Obs.span) -> push_bound s.track mt
+        | None -> ());
+        match Hashtbl.find_opt recv_tbl m with
+        | Some (r : Obs.span) -> push_bound r.track mt
+        | None -> ())
+      match_tbl;
+    (* --- per-rank sweep --- *)
+    let rank_phases = Hashtbl.create 16
+    and rank_waits = Hashtbl.create 16
+    and rank_cb = Hashtbl.create 16
+    and rank_ivs = Hashtbl.create 16
+    and rank_last = Hashtbl.create 16 (* latest closed-span end, for CP start *)
+    and dt_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun rank ->
+        let items =
+          List.filter_map
+            (fun (sp : Obs.span) ->
+              if sp.track <> rank then None
+              else
+                let a = ps_of_ns sp.t0 and b = ps_of_ns sp.t1 in
+                if b <= a then None else item_of sp ~a ~b)
+            spans
+        in
+        let bounds =
+          List.concat
+            [
+              [ w0; w1 ];
+              List.concat_map (fun it -> [ it.ia; it.ib ]) items;
+              Option.value ~default:[] (Hashtbl.find_opt extra_bounds rank);
+            ]
+          |> List.filter (fun t -> t >= w0 && t <= w1)
+          |> List.sort_uniq Int64.compare
+        in
+        let items_sorted =
+          List.sort (fun x y -> Int64.compare x.ia y.ia) items
+        in
+        let phases = Array.make 6 0L
+        and waits = Array.make 6 0L
+        and cb = Array.make 2 0L
+        and ivs = ref [] in
+        let pending = ref items_sorted and active = ref [] in
+        let rec bounds_loop = function
+          | a :: (b :: _ as rest) ->
+              (* admit items starting at or before [a], expire the done *)
+              let rec admit () =
+                match !pending with
+                | it :: more when it.ia <= a ->
+                    pending := more;
+                    active := it :: !active;
+                    admit ()
+                | _ -> ()
+              in
+              admit ();
+              active := List.filter (fun it -> it.ib > a) !active;
+              let d = Int64.sub b a in
+              if d > 0L then begin
+                let top =
+                  List.fold_left
+                    (fun best it ->
+                      match best with
+                      | None -> Some it
+                      | Some bi ->
+                          if
+                            it.prio > bi.prio
+                            || (it.prio = bi.prio
+                               && (it.ia, it.isp.Obs.sid)
+                                  > (bi.ia, bi.isp.Obs.sid))
+                          then Some it
+                          else best)
+                    None !active
+                in
+                let innermost_p2p =
+                  List.fold_left
+                    (fun best it ->
+                      if it.prio <> 1 then best
+                      else
+                        match best with
+                        | None -> Some it
+                        | Some bi ->
+                            if
+                              (it.ia, it.isp.Obs.sid) > (bi.ia, bi.isp.Obs.sid)
+                            then Some it
+                            else best)
+                    None !active
+                in
+                let phase, wclass, peer =
+                  match top with
+                  | None -> (Other, Wait_other, -1)
+                  | Some it when it.prio = 1 ->
+                      let owner =
+                        match innermost_p2p with
+                        | Some o -> o.isp
+                        | None -> it.isp
+                      in
+                      let wc, peer = classify_wait ~rank ~a ~b owner in
+                      (Wait, wc, peer)
+                  | Some it -> (it.iphase, Wait_other, -1)
+                in
+                add phases (phase_idx phase) d;
+                if phase = Wait then add waits (wait_idx wclass) d;
+                (match top with
+                | Some it when phase = Callback -> (
+                    match it.isp.Obs.name with
+                    | "pack_cb" -> add cb 0 d
+                    | "unpack_cb" -> add cb 1 d
+                    | _ -> ())
+                | _ -> ());
+                (* per-datatype attribution: the innermost covering p2p
+                   op that carries a "dt" label *)
+                (match
+                   List.filter (fun it -> it.prio = 1) !active
+                   |> List.sort (fun x y ->
+                          compare (y.ia, y.isp.Obs.sid) (x.ia, x.isp.Obs.sid))
+                   |> List.find_opt (fun it -> dt_of it.isp.Obs.args <> None)
+                 with
+                | Some it ->
+                    let dt = Option.get (dt_of it.isp.Obs.args) in
+                    let arr =
+                      match Hashtbl.find_opt dt_tbl dt with
+                      | Some arr -> arr
+                      | None ->
+                          let arr = Array.make 6 0L in
+                          Hashtbl.add dt_tbl dt arr;
+                          arr
+                    in
+                    add arr (phase_idx phase) d
+                | None -> ());
+                ivs := { va = a; vb = b; vphase = phase; vwait = wclass; vpeer = peer } :: !ivs
+              end;
+              bounds_loop rest
+          | _ -> ()
+        in
+        bounds_loop bounds;
+        Hashtbl.replace rank_phases rank phases;
+        Hashtbl.replace rank_waits rank waits;
+        Hashtbl.replace rank_cb rank cb;
+        Hashtbl.replace rank_ivs rank
+          (Array.of_list (List.rev !ivs));
+        let last =
+          List.fold_left
+            (fun acc (sp : Obs.span) ->
+              if sp.track = rank then max acc (ps_of_ns sp.t1) else acc)
+            w0 spans
+        in
+        Hashtbl.replace rank_last rank last)
+      ranks;
+    (* --- critical path: backward walk from the window's end --- *)
+    let cp_phases = Hashtbl.create 16 and cp_waits = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        Hashtbl.replace cp_phases r (Array.make 6 0L);
+        Hashtbl.replace cp_waits r (Array.make 6 0L))
+      ranks;
+    let start_rank =
+      List.fold_left
+        (fun best r ->
+          match best with
+          | None -> Some r
+          | Some b ->
+              let lb = Hashtbl.find rank_last b and lr = Hashtbl.find rank_last r in
+              if lr > lb then Some r else best)
+        None ranks
+      |> Option.get
+    in
+    (* find the interval of [ivs] containing (t - epsilon): the last
+       interval with va < t.  The interval arrays tile [w0, w1]. *)
+    let find_iv (ivs : iv array) t =
+      let lo = ref 0 and hi = ref (Array.length ivs - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if ivs.(mid).va < t then lo := mid else hi := mid - 1
+      done;
+      ivs.(!lo)
+    in
+    let rank_mem = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace rank_mem r ()) ranks;
+    let cur_rank = ref start_rank and cur_t = ref w1 in
+    while !cur_t > w0 do
+      let ivs = Hashtbl.find rank_ivs !cur_rank in
+      if Array.length ivs = 0 then begin
+        (* no activity recorded: charge the remainder as idle *)
+        add (Hashtbl.find cp_phases !cur_rank) (phase_idx Other)
+          (Int64.sub !cur_t w0);
+        cur_t := w0
+      end
+      else begin
+        let iv = find_iv ivs !cur_t in
+        let seg = Int64.sub !cur_t iv.va in
+        add (Hashtbl.find cp_phases !cur_rank) (phase_idx iv.vphase) seg;
+        if iv.vphase = Wait then
+          add (Hashtbl.find cp_waits !cur_rank) (wait_idx iv.vwait) seg;
+        cur_t := iv.va;
+        if iv.vphase = Wait && iv.vpeer >= 0 && Hashtbl.mem rank_mem iv.vpeer
+        then cur_rank := iv.vpeer
+      end
+    done;
+    let messages_total = Hashtbl.length mseq_set in
+    let messages_joined =
+      Hashtbl.fold
+        (fun m () acc ->
+          if Hashtbl.mem send_tbl m && Hashtbl.mem recv_tbl m then acc + 1
+          else acc)
+        mseq_set 0
+    in
+    {
+      window_ps;
+      window_t0_ns = !t_min;
+      ranks =
+        List.map
+          (fun rank ->
+            let cb = Hashtbl.find rank_cb rank in
+            {
+              rank;
+              total_ps = window_ps;
+              phases = pt_of (Hashtbl.find rank_phases rank);
+              waits = wt_of (Hashtbl.find rank_waits rank);
+              cb_pack_ps = cb.(0);
+              cb_unpack_ps = cb.(1);
+              cp_phases = pt_of (Hashtbl.find cp_phases rank);
+              cp_waits = wt_of (Hashtbl.find cp_waits rank);
+            })
+          ranks;
+      messages_total;
+      messages_joined;
+      datatypes =
+        Hashtbl.fold (fun dt arr acc -> (dt, pt_of arr) :: acc) dt_tbl []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+    }
+  end
+
+(* --- aggregates --- *)
+
+let total_ns t =
+  ns_of_ps (Int64.mul (Int64.of_int (List.length t.ranks)) t.window_ps)
+
+let phase_ns t ph =
+  ns_of_ps
+    (List.fold_left
+       (fun acc r -> Int64.add acc (pt_get r.phases ph))
+       0L t.ranks)
+
+let wait_class_ns t wc =
+  ns_of_ps
+    (List.fold_left (fun acc r -> Int64.add acc (wt_get r.waits wc)) 0L t.ranks)
+
+let pack_share t =
+  let tot = total_ns t in
+  if tot <= 0. then 0.
+  else
+    let cb =
+      List.fold_left
+        (fun acc r -> Int64.add acc (Int64.add r.cb_pack_ps r.cb_unpack_ps))
+        0L t.ranks
+    in
+    (phase_ns t Pack +. phase_ns t Unpack +. ns_of_ps cb) /. tot
+
+let wait_share t =
+  let tot = total_ns t in
+  if tot <= 0. then 0. else phase_ns t Wait /. tot
+
+(* --- exports --- *)
+
+(* Exact decimal rendering of a ps quantity in ns (no float round
+   trip): the JSON stays faithful to the Int64 attribution. *)
+let ns_str ps = Printf.sprintf "%Ld.%03Ld" (Int64.div ps 1000L) (Int64.rem ps 1000L)
+
+let phases_json pt =
+  Printf.sprintf
+    "{\"pack\":%s,\"wire\":%s,\"unpack\":%s,\"wait\":%s,\"callback\":%s,\"other\":%s}"
+    (ns_str pt.pack) (ns_str pt.wire) (ns_str pt.unpack) (ns_str pt.wait)
+    (ns_str pt.callback) (ns_str pt.other)
+
+let waits_json wt =
+  Printf.sprintf
+    "{\"late_sender\":%s,\"late_receiver\":%s,\"barrier\":%s,\"rndv_stall\":%s,\"retransmit_stall\":%s,\"other\":%s}"
+    (ns_str wt.late_sender) (ns_str wt.late_receiver) (ns_str wt.barrier)
+    (ns_str wt.rndv_stall) (ns_str wt.retransmit_stall) (ns_str wt.wait_other)
+
+let pt_add a b =
+  {
+    pack = Int64.add a.pack b.pack;
+    wire = Int64.add a.wire b.wire;
+    unpack = Int64.add a.unpack b.unpack;
+    wait = Int64.add a.wait b.wait;
+    callback = Int64.add a.callback b.callback;
+    other = Int64.add a.other b.other;
+  }
+
+let wt_add a b =
+  {
+    late_sender = Int64.add a.late_sender b.late_sender;
+    late_receiver = Int64.add a.late_receiver b.late_receiver;
+    barrier = Int64.add a.barrier b.barrier;
+    rndv_stall = Int64.add a.rndv_stall b.rndv_stall;
+    retransmit_stall = Int64.add a.retransmit_stall b.retransmit_stall;
+    wait_other = Int64.add a.wait_other b.wait_other;
+  }
+
+let pt_zero =
+  { pack = 0L; wire = 0L; unpack = 0L; wait = 0L; callback = 0L; other = 0L }
+
+let wt_zero =
+  {
+    late_sender = 0L;
+    late_receiver = 0L;
+    barrier = 0L;
+    rndv_stall = 0L;
+    retransmit_stall = 0L;
+    wait_other = 0L;
+  }
+
+let pt_sum pts = List.fold_left pt_add pt_zero pts
+let wt_sum wts = List.fold_left wt_add wt_zero wts
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"mpicd-profile/1\"";
+  Buffer.add_string b
+    (Printf.sprintf ",\"window_ns\":%s,\"window_t0_ns\":%s" (ns_str t.window_ps)
+       (Json.number t.window_t0_ns));
+  Buffer.add_string b ",\"ranks\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rank\":%d,\"total_ns\":%s,\"phases\":%s,\"waits\":%s,\"cb_pack_ns\":%s,\"cb_unpack_ns\":%s,\"critical_path\":{\"phases\":%s,\"waits\":%s}}"
+           r.rank (ns_str r.total_ps) (phases_json r.phases)
+           (waits_json r.waits) (ns_str r.cb_pack_ps) (ns_str r.cb_unpack_ps)
+           (phases_json r.cp_phases) (waits_json r.cp_waits)))
+    t.ranks;
+  Buffer.add_string b "]";
+  let cp_pt = pt_sum (List.map (fun r -> r.cp_phases) t.ranks)
+  and cp_wt = wt_sum (List.map (fun r -> r.cp_waits) t.ranks) in
+  let cp_total =
+    Int64.add cp_pt.pack
+      (Int64.add cp_pt.wire
+         (Int64.add cp_pt.unpack
+            (Int64.add cp_pt.wait (Int64.add cp_pt.callback cp_pt.other))))
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"critical_path\":{\"total_ns\":%s,\"phases\":%s,\"waits\":%s}"
+       (ns_str cp_total) (phases_json cp_pt) (waits_json cp_wt));
+  Buffer.add_string b
+    (Printf.sprintf ",\"messages\":{\"total\":%d,\"joined\":%d}"
+       t.messages_total t.messages_joined);
+  Buffer.add_string b ",\"datatypes\":[";
+  List.iteri
+    (fun i (dt, pt) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"dt\":%s,\"phases\":%s}" (Json.quote dt)
+           (phases_json pt)))
+    t.datatypes;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pct part whole =
+  if Int64.compare whole 0L <= 0 then 0.
+  else 100. *. Int64.to_float part /. Int64.to_float whole
+
+let report ?(top = 5) t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "trace window: %.3f us, %d rank(s), %d message(s) (%d joined)\n"
+       (ns_of_ps t.window_ps /. 1000.)
+       (List.length t.ranks) t.messages_total t.messages_joined);
+  Buffer.add_string b
+    "\nper-rank phase attribution (% of rank time):\n\
+    \  rank      pack      wire    unpack      wait  callback     other\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %4d  %7.2f%%  %7.2f%%  %7.2f%%  %7.2f%%  %7.2f%%  %7.2f%%\n"
+           r.rank
+           (pct r.phases.pack r.total_ps)
+           (pct r.phases.wire r.total_ps)
+           (pct r.phases.unpack r.total_ps)
+           (pct r.phases.wait r.total_ps)
+           (pct r.phases.callback r.total_ps)
+           (pct r.phases.other r.total_ps)))
+    t.ranks;
+  let wt = wt_sum (List.map (fun r -> r.waits) t.ranks) in
+  let wait_total =
+    List.fold_left (fun acc r -> Int64.add acc r.phases.wait) 0L t.ranks
+  in
+  Buffer.add_string b "\nwait states (% of total wait time):\n";
+  List.iter
+    (fun wc ->
+      let v = wt_get wt wc in
+      if v > 0L then
+        Buffer.add_string b
+          (Printf.sprintf "  %-18s %10.3f us  %6.2f%%\n" (wait_class_name wc)
+             (ns_of_ps v /. 1000.) (pct v wait_total)))
+    all_wait_classes;
+  if wait_total = 0L then Buffer.add_string b "  (no wait time)\n";
+  let cp_pt = pt_sum (List.map (fun r -> r.cp_phases) t.ranks) in
+  Buffer.add_string b "\ncritical path (% of window):\n";
+  List.iter
+    (fun ph ->
+      let v = pt_get cp_pt ph in
+      if v > 0L then
+        Buffer.add_string b
+          (Printf.sprintf "  %-18s %10.3f us  %6.2f%%\n" (phase_name ph)
+             (ns_of_ps v /. 1000.) (pct v t.window_ps)))
+    all_phases;
+  Buffer.add_string b "\nper-rank critical-path share:\n";
+  List.iter
+    (fun r ->
+      let v =
+        Int64.add r.cp_phases.pack
+          (Int64.add r.cp_phases.wire
+             (Int64.add r.cp_phases.unpack
+                (Int64.add r.cp_phases.wait
+                   (Int64.add r.cp_phases.callback r.cp_phases.other))))
+      in
+      if v > 0L then
+        Buffer.add_string b
+          (Printf.sprintf "  rank %-4d %10.3f us  %6.2f%%\n" r.rank
+             (ns_of_ps v /. 1000.) (pct v t.window_ps)))
+    t.ranks;
+  (* top-N datatypes by attributed op time *)
+  let dt_cost (_, pt) =
+    Int64.add pt.pack
+      (Int64.add pt.wire
+         (Int64.add pt.unpack
+            (Int64.add pt.wait (Int64.add pt.callback pt.other))))
+  in
+  let dts =
+    List.sort (fun a b -> Int64.compare (dt_cost b) (dt_cost a)) t.datatypes
+  in
+  if dts <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\ntop %d datatypes by attributed time:\n"
+         (min top (List.length dts)));
+    List.iteri
+      (fun i ((dt, pt) as entry) ->
+        if i < top then
+          Buffer.add_string b
+            (Printf.sprintf
+               "  %-12s %10.3f us (pack %.3f us, wire %.3f us, wait %.3f us)\n"
+               dt
+               (ns_of_ps (dt_cost entry) /. 1000.)
+               (ns_of_ps (Int64.add pt.pack pt.callback) /. 1000.)
+               (ns_of_ps pt.wire /. 1000.)
+               (ns_of_ps pt.wait /. 1000.)))
+      dts
+  end;
+  Buffer.contents b
+
+(* Integer-ns weight for flamegraph-collapsed output; flamegraph.pl
+   wants integral sample counts. *)
+let fold_w ps = Int64.div (Int64.add ps 500L) 1000L
+
+let folded t =
+  let b = Buffer.create 4096 in
+  let line stack ps =
+    let w = fold_w ps in
+    if w > 0L then Buffer.add_string b (Printf.sprintf "%s %Ld\n" stack w)
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun ph ->
+          match ph with
+          | Wait ->
+              List.iter
+                (fun wc ->
+                  line
+                    (Printf.sprintf "rank %d;wait;%s" r.rank
+                       (wait_class_name wc))
+                    (wt_get r.waits wc))
+                all_wait_classes
+          | _ ->
+              line
+                (Printf.sprintf "rank %d;%s" r.rank (phase_name ph))
+                (pt_get r.phases ph))
+        all_phases)
+    t.ranks;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun ph ->
+          match ph with
+          | Wait ->
+              List.iter
+                (fun wc ->
+                  line
+                    (Printf.sprintf "critical-path;rank %d;wait;%s" r.rank
+                       (wait_class_name wc))
+                    (wt_get r.cp_waits wc))
+                all_wait_classes
+          | _ ->
+              line
+                (Printf.sprintf "critical-path;rank %d;%s" r.rank
+                   (phase_name ph))
+                (pt_get r.cp_phases ph))
+        all_phases)
+    t.ranks;
+  Buffer.contents b

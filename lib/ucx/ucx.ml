@@ -44,7 +44,15 @@ type error =
 
 type status = { len : int; tag : int64; error : error option }
 
-type request = { ivar : status Engine.Ivar.t; r_engine : Engine.t }
+type request = {
+  ivar : status Engine.Ivar.t;
+  r_engine : Engine.t;
+  mutable r_seq : int;
+      (* per-context message sequence number ("mseq") of the message this
+         request sends or received; -1 until known.  Purely diagnostic:
+         it joins send and receive spans across ranks in trace
+         analysis and never influences matching or timing. *)
+}
 
 type payload =
   | P_eager of Buf.t list  (* snapshot fragments *)
@@ -65,6 +73,7 @@ type envelope = {
   e_tag : int64;
   e_total : int;
   e_src : int;
+  e_seq : int;  (* context-wide message sequence number, for trace joins *)
   e_payload : payload;
   mutable e_unexpected_alloc : int;
       (* receiver bytes allocated to hold this envelope while unexpected *)
@@ -96,6 +105,7 @@ and context = {
   config : Config.t;
   stats : Stats.t;
   mutable next_worker : int;
+  mutable next_mseq : int;  (* message sequence allocator (see [e_seq]) *)
   mutable workers_list : worker list;  (* newest first; for cancellation *)
   channels : (int * int, float ref) Hashtbl.t;
       (* per (src,dst) pair: earliest next delivery time, for FIFO order *)
@@ -124,6 +134,7 @@ let create_context ~engine ~config ~stats =
     config;
     stats;
     next_worker = 0;
+    next_mseq = 0;
     workers_list = [];
     channels = Hashtbl.create 16;
     jitter = None;
@@ -401,7 +412,8 @@ let complete req status = Engine.Ivar.fill req.ivar status
 let complete_if_pending req status =
   if not (Engine.Ivar.is_filled req.ivar) then complete req status
 
-let make_request e = { ivar = Engine.Ivar.create (); r_engine = e }
+let make_request e = { ivar = Engine.Ivar.create (); r_engine = e; r_seq = -1 }
+let request_seq (req : request) = req.r_seq
 
 (* --- reliable delivery (engaged only when a fault plan is attached) ---
 
@@ -590,7 +602,7 @@ type xfer = {
    plan.  Must run in a fiber; returns once the last fragment has been
    serialized (the caller schedules delivery [x_lag] later and the
    cumulative ack one link latency after that). *)
-let reliable_transfer ctx fr ~src_id ~dst_id ~stream ~checksum =
+let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
   let e = ctx.engine in
   let l = link ctx in
   let plan = Fault.plan fr in
@@ -730,11 +742,11 @@ let reliable_transfer ctx fr ~src_id ~dst_id ~stream ~checksum =
           (Obs.span_complete ctx.obs ~track:src_id ~cat:"proto" ~t0:t_start
              ~t1:(Engine.now e +. !last_lag)
              ~args:
-               [
-                 ("bytes", Obs.Int (Buf.length stream));
-                 ("frags", Obs.Int (List.length frag_sizes));
-                 ("retx", Obs.Int !retx);
-               ]
+               (( "bytes", Obs.Int (Buf.length stream) )
+               :: ("frags", Obs.Int (List.length frag_sizes))
+               :: ("retx", Obs.Int !retx)
+               :: ("dst", Obs.Int dst_id)
+               :: (if mseq >= 0 then [ ("mseq", Obs.Int mseq) ] else []))
              "rel_xfer");
       Ok { x_lag = !last_lag; x_delivered = delivered; x_dirty = !dirty }
 
@@ -790,8 +802,8 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
           in
           let final =
             match
-              reliable_transfer ctx fr ~src_id:env.e_src ~dst_id:w.id ~stream
-                ~checksum
+              reliable_transfer ctx fr ~mseq:env.e_seq ~src_id:env.e_src
+                ~dst_id:w.id ~stream ~checksum
             with
             | Error _ as err -> err
             | Ok x when not x.x_dirty -> Ok (x, false)
@@ -812,8 +824,8 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
                 Engine.sleep e
                   (Config.alloc_time c size +. Config.memcpy_time c size);
                 match
-                  reliable_transfer ctx fr ~src_id:env.e_src ~dst_id:w.id
-                    ~stream ~checksum:true
+                  reliable_transfer ctx fr ~mseq:env.e_seq ~src_id:env.e_src
+                    ~dst_id:w.id ~stream ~checksum:true
                 with
                 | Error _ as err -> err
                 | Ok x2 -> Ok (x2, true))
@@ -854,6 +866,7 @@ let process_match w (pr : posted) (env : envelope) =
   let ctx = w.ctx in
   let e = ctx.engine in
   env.e_matched <- true;
+  pr.pr_req.r_seq <- env.e_seq;
   let capacity = recv_dt_capacity pr.pr_dt in
   let finish_recv ~delay status =
     Engine.at e ~delay (fun () -> complete_if_pending pr.pr_req status)
@@ -912,7 +925,12 @@ let process_match w (pr : posted) (env : envelope) =
                 let sp =
                   Obs.span_complete ctx.obs ~track:w.id ~cat:"proto" ~t0
                     ~t1:(t0 +. delay)
-                    ~args:[ ("bytes", Obs.Int env.e_total) ]
+                    ~args:
+                      [
+                        ("bytes", Obs.Int env.e_total);
+                        ("src", Obs.Int env.e_src);
+                        ("mseq", Obs.Int env.e_seq);
+                      ]
                     "unpack"
                 in
                 match pr.pr_dt with
@@ -987,7 +1005,11 @@ let process_match w (pr : posted) (env : envelope) =
                     Obs.span_complete ctx.obs ~track:w.id ~cat:"proto" ~t0
                       ~t1:(t0 +. duration)
                       ~args:
-                        [ ("bytes", Obs.Int size); ("src", Obs.Int env.e_src) ]
+                        [
+                          ("bytes", Obs.Int size);
+                          ("src", Obs.Int env.e_src);
+                          ("mseq", Obs.Int env.e_seq);
+                        ]
                       "rndv"
                   in
                   let hs_end = t0 +. l.rndv_handshake_ns +. l.rndv_reg_ns in
@@ -1052,7 +1074,12 @@ let deliver w env =
       if obs_on w.ctx then
         Obs.instant w.ctx.obs ~time:(Engine.now w.ctx.engine) ~track:w.id
           ~cat:"proto"
-          ~args:[ ("src", Obs.Int env.e_src); ("bytes", Obs.Int env.e_total) ]
+          ~args:
+            [
+              ("src", Obs.Int env.e_src);
+              ("bytes", Obs.Int env.e_total);
+              ("mseq", Obs.Int env.e_seq);
+            ]
           "match";
       process_match w pr env
   | None ->
@@ -1069,7 +1096,12 @@ let deliver w env =
       if obs_on w.ctx then begin
         let mx = Obs.metrics w.ctx.obs in
         Obs.instant w.ctx.obs ~time:env.e_queued_at ~track:w.id ~cat:"proto"
-          ~args:[ ("src", Obs.Int env.e_src); ("bytes", Obs.Int env.e_total) ]
+          ~args:
+            [
+              ("src", Obs.Int env.e_src);
+              ("bytes", Obs.Int env.e_total);
+              ("mseq", Obs.Int env.e_seq);
+            ]
           "unexpected";
         Metrics.inc (Metrics.counter mx "unexpected_total");
         Metrics.set
@@ -1132,7 +1164,12 @@ let ship ep ~after env =
     ignore
       (Obs.span_complete ctx.obs ~track:ep.ep_src.id ~cat:"proto"
          ~t0:(Engine.now e) ~t1:arrival
-         ~args:[ ("dst", Obs.Int ep.ep_dst.id); ("bytes", Obs.Int env.e_total) ]
+         ~args:
+           [
+             ("dst", Obs.Int ep.ep_dst.id);
+             ("bytes", Obs.Int env.e_total);
+             ("mseq", Obs.Int env.e_seq);
+           ]
          name)
   end;
   Engine.at e ~delay:(arrival -. Engine.now e) (fun () -> deliver ep.ep_dst env)
@@ -1148,8 +1185,8 @@ let ship_rts_reliable ep fr (env : envelope) (req : request) =
   let plan = Fault.plan fr in
   Engine.spawn e ~name:"rel_rts" ~track:ep.ep_src.id (fun () ->
       match
-        reliable_transfer ctx fr ~src_id:ep.ep_src.id ~dst_id:ep.ep_dst.id
-          ~stream:(Buf.create 0) ~checksum:true
+        reliable_transfer ctx fr ~mseq:env.e_seq ~src_id:ep.ep_src.id
+          ~dst_id:ep.ep_dst.id ~stream:(Buf.create 0) ~checksum:true
       with
       | Ok x ->
           ship ep ~after:x.x_lag env;
@@ -1192,6 +1229,7 @@ let ship_rts_reliable ep fr (env : envelope) (req : request) =
               e_tag = env.e_tag;
               e_total = 0;
               e_src = ep.ep_src.id;
+              e_seq = env.e_seq;
               e_payload = P_nack err;
               e_unexpected_alloc = 0;
               e_sent_at = Engine.now e;
@@ -1205,6 +1243,12 @@ let tag_send ep ~tag dt =
   let l = link ctx in
   let c = cpu ctx in
   let req = make_request e in
+  (* Allocate the message sequence number unconditionally (not only when
+     a sink is attached) so attaching observability never changes any
+     program-visible state. *)
+  let mseq = ctx.next_mseq in
+  ctx.next_mseq <- mseq + 1;
+  req.r_seq <- mseq;
   Engine.sleep e l.per_msg_overhead_ns;
   let total = send_dt_size dt in
   (match dt with
@@ -1222,6 +1266,7 @@ let tag_send ep ~tag dt =
           e_tag = tag;
           e_total = total;
           e_src = ep.ep_src.id;
+          e_seq = mseq;
           e_payload = P_rndv { r_dt = dt; r_request = req; r_done = false };
           e_unexpected_alloc = 0;
           e_sent_at = Engine.now e;
@@ -1273,7 +1318,12 @@ let tag_send ep ~tag dt =
                 let sp =
                   Obs.span_complete ctx.obs ~track:ep.ep_src.id ~cat:"proto"
                     ~t0:(t1 -. cpu_time) ~t1
-                    ~args:[ ("bytes", Obs.Int total) ]
+                    ~args:
+                      [
+                        ("bytes", Obs.Int total);
+                        ("dst", Obs.Int ep.ep_dst.id);
+                        ("mseq", Obs.Int mseq);
+                      ]
                     "pack"
                 in
                 tile_callbacks ctx ~track:ep.ep_src.id ~t0:(t1 -. cpu_time) ~t1
@@ -1287,6 +1337,7 @@ let tag_send ep ~tag dt =
                     e_tag = tag;
                     e_total = total;
                     e_src = ep.ep_src.id;
+                    e_seq = mseq;
                     e_payload = P_eager frags;
                     e_unexpected_alloc = 0;
                     e_sent_at = Engine.now e;
@@ -1304,7 +1355,7 @@ let tag_send ep ~tag dt =
                   (fun () ->
                     let stream = Buf.concat frags in
                     match
-                      reliable_transfer ctx fr ~src_id:ep.ep_src.id
+                      reliable_transfer ctx fr ~mseq ~src_id:ep.ep_src.id
                         ~dst_id:ep.ep_dst.id ~stream ~checksum:true
                     with
                     | Ok x ->
@@ -1313,6 +1364,7 @@ let tag_send ep ~tag dt =
                             e_tag = tag;
                             e_total = total;
                             e_src = ep.ep_src.id;
+                            e_seq = mseq;
                             e_payload = P_eager (reslice l x.x_delivered);
                             e_unexpected_alloc = 0;
                             e_sent_at = Engine.now e;
@@ -1331,6 +1383,7 @@ let tag_send ep ~tag dt =
                             e_tag = tag;
                             e_total = 0;
                             e_src = ep.ep_src.id;
+                            e_seq = mseq;
                             e_payload = P_nack err;
                             e_unexpected_alloc = 0;
                             e_sent_at = Engine.now e;
@@ -1348,6 +1401,7 @@ let tag_send ep ~tag dt =
                 e_tag = tag;
                 e_total = 0;
                 e_src = ep.ep_src.id;
+                e_seq = mseq;
                 e_payload = P_nack err;
                 e_unexpected_alloc = 0;
                 e_sent_at = Engine.now e;
@@ -1365,6 +1419,7 @@ let tag_send ep ~tag dt =
             e_tag = tag;
             e_total = total;
             e_src = ep.ep_src.id;
+            e_seq = mseq;
             e_payload = P_rndv { r_dt = dt; r_request = req; r_done = false };
             e_unexpected_alloc = 0;
             e_sent_at = Engine.now e;
@@ -1392,7 +1447,20 @@ let tag_recv w ~tag ~mask dt =
         else find (env :: acc) rest
   in
   (match find [] w.unexpected with
-  | Some env -> process_match w pr env
+  | Some env ->
+      (* An unexpected-queue hit is still a match event; record it so
+         trace analysis sees a match instant for every joined message. *)
+      if obs_on w.ctx then
+        Obs.instant w.ctx.obs ~time:(Engine.now w.ctx.engine) ~track:w.id
+          ~cat:"proto"
+          ~args:
+            [
+              ("src", Obs.Int env.e_src);
+              ("bytes", Obs.Int env.e_total);
+              ("mseq", Obs.Int env.e_seq);
+            ]
+          "match";
+      process_match w pr env
   | None ->
       w.posted <- w.posted @ [ pr ];
       if obs_on w.ctx then

@@ -125,6 +125,15 @@ val wait : request -> status
 val is_completed : request -> bool
 val peek : request -> status option
 
+val request_seq : request -> int
+(** The context-wide message sequence number ("mseq") of the message
+    this request sent or received, or [-1] if none was ever associated
+    (e.g. {!completed_request}, or a receive that never matched).  The
+    same mseq appears as an ["mseq"] arg on the transport's trace spans,
+    so offline analysis can join send- and receive-side spans of one
+    message across ranks.  Purely diagnostic: never affects matching or
+    timing. *)
+
 (** {1 Tagged communication} *)
 
 val tag_send : endpoint -> tag:int64 -> send_dt -> request

@@ -11,6 +11,9 @@ module Json = Mpicd_obs.Json
 module H = Mpicd_harness.Harness
 module Registry = Mpicd_ddtbench.Registry
 module Kernel = Mpicd_ddtbench.Kernel
+module Profile = Mpicd_obs.Profile
+module Fault = Mpicd_simnet.Fault
+module Engine = Mpicd_simnet.Engine
 
 let check_int = Alcotest.(check int)
 let check_float = Alcotest.(check (float 1e-9))
@@ -212,10 +215,13 @@ let test_chrome_trace_parse_back () =
           Alcotest.(check bool) "covers all spans and instants" true
             (List.length evs >= Obs.span_count obs + Obs.instant_count obs);
           let pids = Hashtbl.create 4 in
+          let flow_s = ref 0 and flow_f = ref 0 in
           List.iter
             (fun ev ->
               (match Option.bind (Json.member "ph" ev) Json.to_string with
               | Some ("X" | "B" | "i" | "M") -> ()
+              | Some "s" -> incr flow_s
+              | Some "f" -> incr flow_f
               | Some ph -> Alcotest.failf "unexpected phase %S" ph
               | None -> Alcotest.fail "event without ph");
               (match Option.bind (Json.member "dur" ev) Json.to_number with
@@ -226,7 +232,9 @@ let test_chrome_trace_parse_back () =
               | None -> ())
             evs;
           Alcotest.(check bool) "rank pids present" true
-            (Hashtbl.mem pids 0. && Hashtbl.mem pids 1.))
+            (Hashtbl.mem pids 0. && Hashtbl.mem pids 1.);
+          Alcotest.(check bool) "flow events present" true (!flow_s > 0);
+          check_int "flow starts pair with flow finishes" !flow_s !flow_f)
 
 let test_exporters_smoke () =
   let obs = traced_world () in
@@ -292,6 +300,267 @@ let test_zero_overhead () =
   Alcotest.(check bool) "identical stats" true
     (plain.H.stats = traced.H.stats)
 
+(* --- percentile accuracy bound (property) --- *)
+
+(* The documented contract: accuracy bounded by the log-bucket width
+   (one quarter-power-of-2 bucket, representative at its midpoint, so
+   relative error <= 2^(1/8) - 1 ~ 9.05%) and clamped to the observed
+   min/max.  Checked against the exact rank-selected sample. *)
+let prop_percentile_bound =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 200)
+           (map (fun e -> Float.pow 2. e) (float_bound_inclusive 40.)))
+        (float_bound_inclusive 100.))
+  in
+  QCheck.Test.make ~name:"obs: percentile honors the log-bucket bound"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (vs, p) ->
+         Printf.sprintf "n=%d p=%g" (List.length vs) p)
+       gen)
+    (fun (vs, p) ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "x" in
+      List.iter (Metrics.observe h) vs;
+      let sorted = List.sort compare vs in
+      let n = List.length vs in
+      let rank =
+        int_of_float (Float.max 1. (Float.round (p /. 100. *. float_of_int n)))
+      in
+      let exact = List.nth sorted (rank - 1) in
+      let got = Metrics.percentile h p in
+      let lo = List.hd sorted and hi = List.nth sorted (n - 1) in
+      if got < lo || got > hi then
+        QCheck.Test.fail_reportf "p%g = %g escapes observed [%g, %g]" p got lo
+          hi
+      else
+        let rel = Float.abs (got -. exact) /. exact in
+        if rel > 0.0906 then
+          QCheck.Test.fail_reportf "p%g = %g but exact sample is %g (rel %.4f)"
+            p got exact rel
+        else true)
+
+(* --- Json.number clamping round-trips through Json.parse --- *)
+
+let test_json_number_roundtrip () =
+  (match Json.parse (Json.number Float.nan) with
+  | Ok Json.Null -> ()
+  | Ok _ -> Alcotest.fail "NaN did not serialize to null"
+  | Error e -> Alcotest.failf "NaN output does not parse: %s" e);
+  List.iter
+    (fun (f, want) ->
+      match Json.parse (Json.number f) with
+      | Error e -> Alcotest.failf "%g output does not parse: %s" f e
+      | Ok j -> (
+          match Json.to_number j with
+          | Some v ->
+              check_float (Printf.sprintf "%g clamps to %g" f want) want v;
+              Alcotest.(check bool) "clamped value is finite" true
+                (Float.is_finite v)
+          | None -> Alcotest.failf "%g did not produce a number" f))
+    [ (Float.infinity, 1e308); (Float.neg_infinity, -1e308) ];
+  List.iter
+    (fun f ->
+      match Json.parse (Json.number f) with
+      | Error e -> Alcotest.failf "%.17g output does not parse: %s" f e
+      | Ok j -> (
+          match Json.to_number j with
+          | None -> Alcotest.failf "%.17g did not produce a number" f
+          | Some v ->
+              let err =
+                if f = 0. then Float.abs v
+                else Float.abs (v -. f) /. Float.abs f
+              in
+              if err > 1e-6 then
+                Alcotest.failf "%.17g round-trips to %.17g (rel %.2e)" f v err))
+    [ 0.; 1.; -2.5; 123456.; 1e14; -987654321.; 3.14159e20; 1e-9; -6.25e-3 ]
+
+(* --- the wait-state / critical-path profiler --- *)
+
+let sum_phases (pt : Profile.phase_totals) =
+  List.fold_left Int64.add 0L
+    [ pt.pack; pt.wire; pt.unpack; pt.wait; pt.callback; pt.other ]
+
+let sum_waits (wt : Profile.wait_totals) =
+  List.fold_left Int64.add 0L
+    [
+      wt.late_sender; wt.late_receiver; wt.barrier; wt.rndv_stall;
+      wt.retransmit_stall; wt.wait_other;
+    ]
+
+(* The conservation contract, as exact Int64 equalities: each rank's
+   phases tile its window, its wait classes tile its wait phase, and
+   the critical path tiles the window. *)
+let check_conserved label (p : Profile.t) =
+  let check_i64 = Alcotest.(check int64) in
+  List.iter
+    (fun (r : Profile.rank_profile) ->
+      check_i64
+        (Printf.sprintf "%s: rank %d phases tile the window" label r.rank)
+        r.total_ps (sum_phases r.phases);
+      check_i64
+        (Printf.sprintf "%s: rank %d wait classes tile the wait phase" label
+           r.rank)
+        r.phases.wait (sum_waits r.waits);
+      check_i64
+        (Printf.sprintf "%s: rank %d cp wait classes tile its cp wait" label
+           r.rank)
+        r.cp_phases.wait (sum_waits r.cp_waits))
+    p.ranks;
+  let cp_total =
+    List.fold_left
+      (fun acc (r : Profile.rank_profile) ->
+        Int64.add acc (sum_phases r.cp_phases))
+      0L p.ranks
+  in
+  check_i64 (label ^ ": critical path tiles the window") p.window_ps cp_total
+
+let test_profile_conservation () =
+  let p = Profile.analyze (traced_world ()) in
+  check_conserved "traced_world" p;
+  check_int "two ranks profiled" 2 (List.length p.Profile.ranks);
+  Alcotest.(check bool) "messages joined" true
+    (p.Profile.messages_joined > 0
+    && p.Profile.messages_joined <= p.Profile.messages_total);
+  Alcotest.(check bool) "datatype attribution present" true
+    (p.Profile.datatypes <> []);
+  (match Json.parse (Profile.to_json p) with
+  | Error e -> Alcotest.failf "profile json does not parse: %s" e
+  | Ok j -> (
+      match Option.bind (Json.member "schema" j) Json.to_string with
+      | Some "mpicd-profile/1" -> ()
+      | _ -> Alcotest.fail "profile json schema marker"));
+  (* and on a full figure-run kernel measurement *)
+  let kernel =
+    match Registry.find "NAS_MG_x" with
+    | Some k -> k
+    | None -> Alcotest.fail "NAS_MG_x kernel missing"
+  in
+  let bytes =
+    let (module K : Kernel.KERNEL) = kernel in
+    K.wire_bytes
+  in
+  let _, kp =
+    H.pingpong_profiled ~reps:2 ~bytes
+      (Mpicd_figures.Methods.k_custom_pack kernel)
+  in
+  check_conserved "NAS_MG_x custom-pack" kp;
+  Alcotest.(check bool) "kernel run spends time waiting" true
+    (Profile.wait_share kp > 0.)
+
+(* A deliberately late sender: both ranks start at t = 0, the receiver
+   posts immediately, every fragment from rank 0 suffers a large extra
+   in-flight delay (well under the retransmission timeout, so no
+   recovery instants fire).  The receiver's pre-match wait must be
+   classified late-sender and appear on its critical path. *)
+let test_late_sender_classified () =
+  let obs = Obs.create () in
+  let w = Mpi.create_world ~size:2 () in
+  Mpi.set_obs w obs;
+  let faults =
+    Fault.make ~seed:11
+      ~link:{ Fault.clean_link with delay_p = 1.0; delay_ns = 400_000. }
+      ~rto_ns:10_000_000. ~hb_period_ns:0. ()
+  in
+  Mpi.set_faults w (Some faults);
+  let n = 4096 in
+  let src = pattern n and dst = Buf.create n in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then Mpi.send comm ~dst:1 ~tag:0 (Mpi.Bytes src)
+      else ignore (Mpi.recv comm (Mpi.Bytes dst)));
+  let p = Profile.analyze obs in
+  check_conserved "late-sender scenario" p;
+  let r1 =
+    List.find (fun (r : Profile.rank_profile) -> r.rank = 1) p.Profile.ranks
+  in
+  Alcotest.(check bool) "receiver wait classified late-sender" true
+    (r1.waits.late_sender > 0L);
+  Alcotest.(check bool) "late-sender dominates the receiver's waits" true
+    (r1.waits.late_sender > r1.waits.rndv_stall
+    && r1.waits.late_sender > r1.waits.wait_other);
+  Alcotest.(check bool) "late-sender wait charged to receiver's critical path"
+    true
+    (r1.cp_waits.late_sender > 0L)
+
+(* Enriched instrumentation + running the analyzer must not move the
+   simulation, fault plans included: a detached faulted run, a traced
+   faulted run, and a traced re-run must agree bit-for-bit — and the
+   two analyses must be byte-identical (exact replay). *)
+let test_zero_overhead_faulted_replay () =
+  let kernel =
+    match Registry.find "NAS_MG_x" with
+    | Some k -> k
+    | None -> Alcotest.fail "NAS_MG_x kernel missing"
+  in
+  let make = Mpicd_figures.Methods.k_custom_pack kernel in
+  let bytes =
+    let (module K : Kernel.KERNEL) = kernel in
+    K.wire_bytes
+  in
+  let faults =
+    Fault.make ~seed:5
+      ~link:{ Fault.clean_link with drop_p = 0.02; corrupt_p = 0.01 }
+      ()
+  in
+  let plain = H.pingpong ~reps:3 ~faults ~bytes make in
+  let r1, p1 = H.pingpong_profiled ~reps:3 ~faults ~bytes make in
+  let r2, p2 = H.pingpong_profiled ~reps:3 ~faults ~bytes make in
+  check_float "tracing does not move the faulted latency" plain.H.latency_us
+    r1.H.latency_us;
+  Alcotest.(check bool) "tracing does not move the faulted stats" true
+    (plain.H.stats = r1.H.stats);
+  check_float "replay: identical latency" r1.H.latency_us r2.H.latency_us;
+  Alcotest.(check bool) "replay: identical stats" true
+    (r1.H.stats = r2.H.stats);
+  Alcotest.(check string) "replay: byte-identical profiles"
+    (Profile.to_json p1) (Profile.to_json p2);
+  check_conserved "faulted NAS_MG_x" p1
+
+(* --- metrics bucket table export --- *)
+
+let test_metrics_bucket_export () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  List.iter (Metrics.observe h) [ 1.; 1.5; 3.; 100.; 100.; 1e6 ];
+  (match Json.parse (Export.metrics_json ~buckets:true m) with
+  | Error e -> Alcotest.failf "bucketed metrics json: %s" e
+  | Ok j -> (
+      match
+        Option.bind (Json.member "lat" j) (fun l ->
+            Option.bind (Json.member "buckets" l) Json.to_list)
+      with
+      | None -> Alcotest.fail "no buckets array"
+      | Some bs ->
+          let total =
+            List.fold_left
+              (fun acc bk ->
+                match Json.to_list bk with
+                | Some [ lo; hi; n ] ->
+                    let lo = Option.get (Json.to_number lo)
+                    and hi = Option.get (Json.to_number hi)
+                    and n = Option.get (Json.to_number n) in
+                    Alcotest.(check bool) "bucket range ordered" true (lo < hi);
+                    acc + int_of_float n
+                | _ -> Alcotest.fail "bucket triple shape")
+              0 bs
+          in
+          check_int "bucket counts cover every observation" 6 total));
+  (* default stays bucket-free, so existing consumers see no change *)
+  (match Json.parse (Export.metrics_json m) with
+  | Error e -> Alcotest.failf "plain metrics json: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "no buckets by default" true
+        (Option.bind (Json.member "lat" j) (Json.member "buckets") = None));
+  let csv = Export.metrics_csv ~buckets:true m in
+  Alcotest.(check bool) "csv carries bucket rows" true
+    (List.exists
+       (fun line ->
+         String.length line > 4 && String.sub line 0 4 = "lat,"
+         && String.length line > 11 && String.sub line 4 7 = "bucket,")
+       (String.split_on_char '\n' csv))
+
 let suite =
   let tc = Alcotest.test_case in
   ( "obs",
@@ -306,4 +575,12 @@ let suite =
       tc "exporters smoke" `Quick test_exporters_smoke;
       tc "json parser" `Quick test_json_parser;
       tc "zero overhead when attached" `Quick test_zero_overhead;
+      QCheck_alcotest.to_alcotest prop_percentile_bound;
+      tc "json number clamping round-trips" `Quick test_json_number_roundtrip;
+      tc "profile conservation is exact" `Quick test_profile_conservation;
+      tc "late sender classified + on critical path" `Quick
+        test_late_sender_classified;
+      tc "zero overhead under faults + exact replay" `Quick
+        test_zero_overhead_faulted_replay;
+      tc "metrics bucket table export" `Quick test_metrics_bucket_export;
     ] )
