@@ -1,0 +1,187 @@
+(* Wall-clock checkpoint benchmark: plan-serialized snapshots vs the
+   naive alternative.
+
+   [Snapshot.encode] reuses the compiled pack-plan engine to serialize
+   a registered buffer, so a checkpoint costs one plan pack plus two
+   CRC-32 passes and elides the gaps of strided layouts.  The naive
+   checkpoint it displaces copies the buffer's full extent footprint
+   verbatim and checksums it — no layout knowledge, gaps included.
+   This measures the real host-CPU cost of both, plus the restore
+   (validate + plan unpack) latency.
+
+   Usage:
+     bench_ckpt.exe [--smoke] [--out FILE]
+
+   Writes a JSON report (default BENCH_CKPT.json) and exits nonzero if
+   - the contiguous snapshot is meaningfully slower than the naive
+     copy+CRC (there the plan degenerates to one memcpy and must not
+     regress), or
+   - a strided snapshot image is not smaller than the naive extent
+     image (the gap-elision guarantee). *)
+
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Crc32 = Mpicd_ucx.Crc32
+module Snapshot = Mpicd_restart.Snapshot
+
+let now = Monotonic_clock.now
+
+(* Median-of-reps wall time per call, in nanoseconds. *)
+let time_ns ~reps ~iters f =
+  f ();
+  f ();
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = now () in
+        for _ = 1 to iters do
+          f ()
+        done;
+        Int64.to_float (Int64.sub (now ()) t0) /. float_of_int iters)
+  in
+  Array.sort compare samples;
+  samples.(reps / 2)
+
+type shape = {
+  name : string;
+  dt : Dt.t;
+  count : int;
+  src : Buf.t;
+}
+
+let shape name dt ~count =
+  let n = max 1 (Dt.ub dt + ((count - 1) * Dt.extent dt)) in
+  let src = Buf.create n in
+  for i = 0 to n - 1 do
+    Buf.set_u8 src i ((i * 131 + 17) land 0xff)
+  done;
+  { name; dt; count; src }
+
+let shapes ~smoke =
+  let s = if smoke then 1 else 4 in
+  [
+    shape "contig" (Dt.contiguous (16384 * s) Dt.byte) ~count:(16 * s);
+    shape "vector"
+      (Dt.vector ~count:(256 * s) ~blocklength:4 ~stride:8 Dt.float64)
+      ~count:(8 * s);
+    shape "struct"
+      (Dt.resized ~lb:0 ~extent:64
+         (Dt.struct_ ~blocklengths:[| 3; 2; 1 |]
+            ~displacements_bytes:[| 0; 16; 40 |]
+            ~types:[| Dt.int32; Dt.float64; Dt.int64 |]))
+      ~count:(512 * s);
+  ]
+
+type row = {
+  r_name : string;
+  payload : int;  (* packed payload bytes in the snapshot *)
+  image : int;  (* full snapshot image, header included *)
+  naive : int;  (* naive image: extent footprint + 4-byte CRC *)
+  encode_ns : float;
+  naive_ns : float;
+  restore_ns : float;
+}
+
+let gb_per_s bytes ns = if ns > 0. then float_of_int bytes /. ns else 0.
+
+let bench ~reps ~iters { name; dt; count; src } =
+  let payload = Dt.packed_size dt ~count in
+  let image = Snapshot.encoded_size dt ~count in
+  let naive = Buf.length src + 4 in
+  let encode_ns =
+    time_ns ~reps ~iters (fun () ->
+        ignore (Snapshot.encode ~epoch:1 ~rank:0 ~cid:0 ~dt ~count ~src ()))
+  in
+  (* the layout-blind checkpoint: copy the whole footprint, checksum it *)
+  let naive_ns =
+    time_ns ~reps ~iters (fun () ->
+        let img = Buf.copy src in
+        ignore (Crc32.digest img))
+  in
+  let img = Snapshot.encode ~epoch:1 ~rank:0 ~cid:0 ~dt ~count ~src () in
+  let dst = Buf.create (Buf.length src) in
+  let restore_ns =
+    time_ns ~reps ~iters (fun () ->
+        match Snapshot.decode ~dt ~count ~dst img with
+        | Ok _ -> ()
+        | Error e -> failwith (Snapshot.error_to_string e))
+  in
+  { r_name = name; payload; image; naive; encode_ns; naive_ns; restore_ns }
+
+let json_of_row r =
+  Printf.sprintf
+    {|    { "name": %S, "payload_bytes": %d, "image_bytes": %d, "naive_bytes": %d,
+      "encode_ns": %.1f, "encode_gb_s": %.3f,
+      "naive_ns": %.1f, "naive_gb_s": %.3f,
+      "restore_ns": %.1f, "restore_gb_s": %.3f }|}
+    r.r_name r.payload r.image r.naive r.encode_ns
+    (gb_per_s r.payload r.encode_ns)
+    r.naive_ns
+    (gb_per_s r.naive r.naive_ns)
+    r.restore_ns
+    (gb_per_s r.payload r.restore_ns)
+
+let () =
+  let smoke = ref false and out = ref "BENCH_CKPT.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench_ckpt: unknown argument %S\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !smoke then 5 else 11 in
+  let iters = if !smoke then 5 else 10 in
+  let rows = List.map (bench ~reps ~iters) (shapes ~smoke:!smoke) in
+  let find n = List.find (fun r -> r.r_name = n) rows in
+  let contig = find "contig" and vector = find "vector" in
+  (* A contiguous snapshot is one memcpy plus the CRCs under both
+     schemes: the plan may win nothing there, but it must not lose.
+     2x of tolerance absorbs timer noise at smoke sizes (the snapshot
+     also stamps and checksums its 64-byte header). *)
+  let contig_ok = contig.encode_ns <= contig.naive_ns *. 2. in
+  (* Gap elision is deterministic: a strided image must be smaller
+     than the footprint the naive scheme persists. *)
+  let elision_ok = vector.image < vector.naive in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    {|{
+  "smoke": %b,
+  "reps": %d,
+  "iters": %d,
+  "shapes": [
+%s
+  ],
+  "guard": {
+    "contig_never_slower": %b,
+    "strided_image_smaller": %b,
+    "vector_image_bytes": %d,
+    "vector_naive_bytes": %d
+  }
+}
+|}
+    !smoke reps iters
+    (String.concat ",\n" (List.map json_of_row rows))
+    contig_ok elision_ok vector.image vector.naive;
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-8s %8dB image (naive %8dB)  encode %8.0f ns (%5.2f GB/s, naive %5.2f)  restore %8.0f ns\n"
+        r.r_name r.image r.naive r.encode_ns
+        (gb_per_s r.payload r.encode_ns)
+        (gb_per_s r.naive r.naive_ns)
+        r.restore_ns)
+    rows;
+  Printf.printf "guards: contig %s, strided image %s\n"
+    (if contig_ok then "ok" else "FAILED")
+    (if elision_ok then "smaller" else "NOT SMALLER");
+  if not (contig_ok && elision_ok) then begin
+    prerr_endline "bench_ckpt: regression guard failed";
+    exit 1
+  end

@@ -2,22 +2,31 @@
 
    Runs every protocol path (eager/rendezvous x contiguous/generic/iov)
    under a catalogue of fault plans at three fixed seeds, verifying
-   payload integrity after every delivery.  The same sweep replays
+   payload integrity after every delivery; a crash sweep over a
+   resilient collective; and a checkpoint/restart sweep crashing a rank
+   at every point of the epoch timeline and requiring byte-identical
+   convergence with the fault-free run (--ckpt runs it alone; --crashes
+   runs the collective crash sweep alone).  The same sweep replays
    identically on every machine — plans are pure data and all fault
    decisions come from the plan's own RNG stream (docs/FAULTS.md).
 
-   Run via `dune build @chaos` (part of `dune runtest`).  Exits
-   non-zero if any payload is damaged, a run deadlocks, or a fault-free
-   baseline reports reliability events (the zero-overhead guarantee). *)
+   Run via `dune build @chaos` (part of `dune runtest`).  Ends with a
+   per-scenario pass/fail summary table and exits non-zero if any
+   scenario records a failure: a damaged payload, a deadlocked run, a
+   fault-free baseline reporting reliability events (the zero-overhead
+   guarantee), or a recovered job that fails to converge. *)
 
 module Buf = Mpicd_buf.Buf
 module Engine = Mpicd_simnet.Engine
 module Stats = Mpicd_simnet.Stats
 module Fault = Mpicd_simnet.Fault
+module Obs = Mpicd_obs.Obs
 module Mpi = Mpicd.Mpi
 module Custom = Mpicd.Custom
 module Dt = Mpicd_datatype.Datatype
 module Coll = Mpicd_collectives.Collectives
+module Store = Mpicd_restart.Store
+module Restart = Mpicd_restart.Restart
 
 let seeds = [ 1; 2; 3 ]
 let iters = 10
@@ -29,6 +38,31 @@ let failf fmt =
       incr failures;
       Printf.printf "FAIL %s\n" msg)
     fmt
+
+(* Every sweep runs as a named scenario; the per-scenario failure
+   deltas feed the summary table, and any non-zero delta forces a
+   non-zero exit. *)
+let scenarios : (string * int) list ref = ref []
+
+let scenario name f =
+  let before = !failures in
+  (try f ()
+   with e -> failf "%s: raised %s" name (Printexc.to_string e));
+  scenarios := (name, !failures - before) :: !scenarios
+
+let summary () =
+  let rows = List.rev !scenarios in
+  Printf.printf "\n%-18s %s\n" "scenario" "result";
+  List.iter
+    (fun (name, fails) ->
+      Printf.printf "%-18s %s\n" name
+        (if fails = 0 then "PASS" else Printf.sprintf "FAIL (%d)" fails))
+    rows;
+  let bad = List.filter (fun (_, f) -> f > 0) rows in
+  Printf.printf "\n%s\n"
+    (if bad = [] then "chaos sweep: all scenarios passed"
+     else Printf.sprintf "chaos sweep: %d scenario(s) FAILED" (List.length bad));
+  exit (if bad = [] then 0 else 1)
 
 let pattern n =
   let b = Buf.create n in
@@ -284,105 +318,263 @@ let crash_stats_str (s : Stats.t) =
     s.Stats.retransmits s.Stats.failures_detected s.Stats.ops_cancelled
     s.Stats.comm_revokes s.Stats.comm_shrinks s.Stats.comm_agreements
 
+let crash_sweep_spec (name, spec) =
+  List.iter
+    (fun seed ->
+      let plan = plan_of ~seed spec in
+      let outcomes, stats = run_crash_cell ~plan in
+      check_crash_cell ~name ~seed ~plan outcomes;
+      (* exact replay: the same seed must reproduce the same
+         outcomes and the same event counts *)
+      let outcomes2, stats2 = run_crash_cell ~plan in
+      let render ocs =
+        String.concat "|"
+          (Array.to_list
+             (Array.map
+                (function
+                  | None -> "none" | Some oc -> crash_outcome_str oc)
+                ocs))
+      in
+      if render outcomes <> render outcomes2 then
+        failf "%s seed %d: replay diverged:\n  %s\n  %s" name seed
+          (render outcomes) (render outcomes2);
+      if crash_stats_str stats <> crash_stats_str stats2 then
+        failf "%s seed %d: replay counter mismatch: %s vs %s" name seed
+          (crash_stats_str stats) (crash_stats_str stats2);
+      let ok, gave =
+        Array.fold_left
+          (fun (ok, gave) -> function
+            | Some (Committed _) -> (ok + 1, gave)
+            | Some (Gave_up _) -> (ok, gave + 1)
+            | None -> (ok, gave))
+          (0, 0) outcomes
+      in
+      Printf.printf "%-12s %-6d ok=%d quit=%d %s\n" name seed ok gave
+        (crash_stats_str stats))
+    seeds
+
 let crash_sweep () =
   Printf.printf "%-12s %-6s %-10s %s\n" "plan" "seed" "outcome" "resilience";
   List.iter
-    (fun (name, spec) ->
-      List.iter
-        (fun seed ->
-          let plan = plan_of ~seed spec in
-          let outcomes, stats = run_crash_cell ~plan in
-          check_crash_cell ~name ~seed ~plan outcomes;
-          (* exact replay: the same seed must reproduce the same
-             outcomes and the same event counts *)
-          let outcomes2, stats2 = run_crash_cell ~plan in
-          let render ocs =
-            String.concat "|"
-              (Array.to_list
-                 (Array.map
-                    (function
-                      | None -> "none" | Some oc -> crash_outcome_str oc)
-                    ocs))
-          in
-          if render outcomes <> render outcomes2 then
-            failf "%s seed %d: replay diverged:\n  %s\n  %s" name seed
-              (render outcomes) (render outcomes2);
-          if crash_stats_str stats <> crash_stats_str stats2 then
-            failf "%s seed %d: replay counter mismatch: %s vs %s" name seed
-              (crash_stats_str stats) (crash_stats_str stats2);
-          let ok, gave =
-            Array.fold_left
-              (fun (ok, gave) -> function
-                | Some (Committed _) -> (ok + 1, gave)
-                | Some (Gave_up _) -> (ok, gave + 1)
-                | None -> (ok, gave))
-              (0, 0) outcomes
-          in
-          Printf.printf "%-12s %-6d ok=%d quit=%d %s\n" name seed ok gave
-            (crash_stats_str stats))
-        seeds)
+    (fun ((name, _) as cs) -> scenario ("crash:" ^ name) (fun () -> crash_sweep_spec cs))
     crash_specs
+
+(* --- checkpoint/restart sweep (--ckpt) ---
+
+   A 3-rank ring-exchange stencil runs under [Restart.run_job] with a
+   crash injected at every point of the epoch timeline: for each rank
+   and each inter-cut gap, the rank is crashed at two offsets inside
+   the window between consecutive epoch cuts (learned from a golden
+   instrumented run).  Checked per cell: the job completes through a
+   respawned replacement world, every replacement restores a
+   globally-complete epoch, re-execution raises no [Replay_diverged],
+   and the recovered run converges *byte-identically* to the fault-free
+   run — both the per-rank final application state and every snapshot
+   of the final epoch in the store (docs/RESILIENCE.md). *)
+
+let ckpt_size = 3
+let ckpt_epochs = 4
+let ckpt_offsets = [ 0.35; 0.65 ]
+let src_len dt ~count = max 1 (Dt.ub dt + ((count - 1) * Dt.extent dt))
+
+let mesh_app ~epochs ~finals =
+  let dt = Dt.vector ~count:4 ~blocklength:1 ~stride:2 Dt.float64 in
+  {
+    Restart.epochs;
+    init =
+      (fun rt ->
+        let c = Restart.comm rt in
+        let me = Mpi.rank c in
+        let grid = Buf.create (src_len dt ~count:1) in
+        for i = 0 to 3 do
+          Buf.set_f64 grid (16 * i) (float_of_int ((100 * me) + i))
+        done;
+        Restart.register rt ~name:"grid" ~dt ~count:1 grid);
+    step =
+      (fun rt ~epoch ->
+        let c = Restart.comm rt in
+        let me = Mpi.rank c and n = Mpi.size c in
+        let grid = List.assoc "grid" (Restart.registered rt) in
+        let right = (me + 1) mod n and left = (me - 1 + n) mod n in
+        Restart.send rt ~dst:right ~tag:4
+          (Mpi.Typed { dt; count = 1; base = grid });
+        let inb = Buf.create (src_len dt ~count:1) in
+        ignore
+          (Restart.recv rt ~source:left ~tag:4
+             (Mpi.Typed { dt; count = 1; base = inb }));
+        for i = 0 to 3 do
+          Buf.set_f64 grid (16 * i)
+            ((Buf.get_f64 grid (16 * i) *. 0.75)
+            +. (Buf.get_f64 inb (16 * i) *. 0.25)
+            +. float_of_int (epoch * (i + 1)));
+          if epoch = epochs then
+            Buf.set_f64 finals.(me) (8 * i) (Buf.get_f64 grid (16 * i))
+        done);
+  }
+
+let epoch_cut_times obs =
+  List.filter_map
+    (fun (i : Obs.instant) ->
+      if i.Obs.i_name = "epoch_complete" then
+        match List.assoc_opt "epoch" i.Obs.i_args with
+        | Some (Obs.Int e) -> Some (e, i.Obs.i_time)
+        | _ -> None
+      else None)
+    (Obs.instants obs)
+
+let ckpt_crash_cell ~golden ~store_g ~crash_rank ~gap ~frac ~crash_at =
+  let size = ckpt_size and epochs = ckpt_epochs in
+  let cell = Printf.sprintf "ckpt r%d gap%d@%.2f" crash_rank gap frac in
+  let finals = Array.init size (fun _ -> Buf.create 32) in
+  let store = Store.create () in
+  let plan =
+    Fault.make ~crashes:[ (crash_rank, crash_at) ] ~hb_period_ns:20_000. ()
+  in
+  let report =
+    Restart.run_job ~plan ~store ~job:"mesh" ~size
+      (mesh_app ~epochs ~finals)
+  in
+  if not report.Restart.completed then failf "%s: job did not complete" cell;
+  if report.Restart.worlds_used < 2 then
+    failf "%s: crash at %.0f never fired (%d world)" cell crash_at
+      report.Restart.worlds_used;
+  (match report.Restart.start_epochs with
+  | -1 :: rest ->
+      List.iter
+        (fun e ->
+          if e < 0 || e > epochs then
+            failf "%s: replacement restored bogus epoch %d" cell e)
+        rest
+  | _ -> failf "%s: first world did not start fresh" cell);
+  for r = 0 to size - 1 do
+    if not (Buf.equal golden.(r) finals.(r)) then
+      failf "%s: rank %d final state differs from fault-free run" cell r
+  done;
+  let prefix = Printf.sprintf "mesh/ckpt/e%04d/" epochs in
+  List.iter
+    (fun path ->
+      let a = Option.get (Store.read store_g path) in
+      match Store.read store path with
+      | Some b when Buf.equal a b -> ()
+      | Some _ -> failf "%s: %s differs from fault-free run" cell path
+      | None -> failf "%s: %s missing from recovered run" cell path)
+    (Store.list store_g ~prefix);
+  Printf.printf "%-22s worlds=%d restore=[%s]\n" cell
+    report.Restart.worlds_used
+    (String.concat ";"
+       (List.map string_of_int (List.tl report.Restart.start_epochs)))
+
+let ckpt_sweep () =
+  let size = ckpt_size and epochs = ckpt_epochs in
+  (* golden fault-free run, instrumented to learn the epoch timeline *)
+  let golden = Array.init size (fun _ -> Buf.create 32) in
+  let store_g = Store.create () in
+  let obs = Obs.create () in
+  let windows = ref [] in
+  scenario "ckpt:golden" (fun () ->
+      let report =
+        Restart.run_job ~obs ~store:store_g ~job:"mesh" ~size
+          (mesh_app ~epochs ~finals:golden)
+      in
+      if not report.Restart.completed then failf "ckpt golden: incomplete";
+      if report.Restart.worlds_used <> 1 then
+        failf "ckpt golden: %d worlds for a fault-free run"
+          report.Restart.worlds_used;
+      let times = epoch_cut_times obs in
+      let t_of e =
+        List.filter_map (fun (e', t) -> if e' = e then Some t else None) times
+      in
+      (* crash windows: between the last rank to finish cut g and the
+         first rank to start... conservatively, the first to finish cut
+         g+1 — anywhere in between, epoch g is the latest complete cut *)
+      for g = 0 to epochs - 1 do
+        let lo = List.fold_left Float.max neg_infinity (t_of g) in
+        let hi = List.fold_left Float.min infinity (t_of (g + 1)) in
+        if lo > 0. && hi > lo then windows := (g, lo, hi) :: !windows
+        else failf "ckpt golden: no crash window for gap %d" g
+      done);
+  Printf.printf "%-22s %s\n" "cell" "recovery";
+  List.iter
+    (fun (g, lo, hi) ->
+      scenario
+        (Printf.sprintf "ckpt:gap%d" g)
+        (fun () ->
+          for crash_rank = 0 to size - 1 do
+            List.iter
+              (fun frac ->
+                let crash_at = lo +. (frac *. (hi -. lo)) in
+                ckpt_crash_cell ~golden ~store_g ~crash_rank ~gap:g ~frac
+                  ~crash_at)
+              ckpt_offsets
+          done))
+    (List.sort compare !windows)
 
 let () =
   let only_crashes = Array.mem "--crashes" Sys.argv in
+  let only_ckpt = Array.mem "--ckpt" Sys.argv in
   if only_crashes then begin
     crash_sweep ();
-    Printf.printf "\n%s\n"
-      (if !failures = 0 then "crash sweep: all cells passed"
-       else Printf.sprintf "crash sweep: %d FAILURE(S)" !failures);
-    exit (if !failures = 0 then 0 else 1)
+    summary ()
+  end;
+  if only_ckpt then begin
+    ckpt_sweep ();
+    summary ()
   end;
   (* Baseline: no plan attached at all must report zero reliability
      events and perform zero reliability work. *)
-  List.iter
-    (fun (path, mk) ->
-      let w = Mpi.create_world ~size:2 () in
-      let send_buf, recv_buf, verify = mk () in
-      Mpi.run w (fun comm ->
-          if Mpi.rank comm = 0 then
-            for i = 1 to iters do
-              Mpi.send comm ~dst:1 ~tag:i (send_buf ())
-            done
-          else
-            for i = 1 to iters do
-              ignore (Mpi.recv comm ~source:0 ~tag:i (recv_buf ()));
-              if not (verify ()) then failf "baseline %s: payload damaged" path
-            done);
-      let s = Mpi.world_stats w in
-      if Stats.reliability_events s <> 0 then
-        failf "baseline %s: %d reliability events without a fault plan" path
-          (Stats.reliability_events s))
-    paths;
-  Printf.printf "baseline: zero reliability events on all %d paths\n\n"
-    (List.length paths);
+  scenario "baseline" (fun () ->
+      List.iter
+        (fun (path, mk) ->
+          let w = Mpi.create_world ~size:2 () in
+          let send_buf, recv_buf, verify = mk () in
+          Mpi.run w (fun comm ->
+              if Mpi.rank comm = 0 then
+                for i = 1 to iters do
+                  Mpi.send comm ~dst:1 ~tag:i (send_buf ())
+                done
+              else
+                for i = 1 to iters do
+                  ignore (Mpi.recv comm ~source:0 ~tag:i (recv_buf ()));
+                  if not (verify ()) then
+                    failf "baseline %s: payload damaged" path
+                done);
+          let s = Mpi.world_stats w in
+          if Stats.reliability_events s <> 0 then
+            failf "baseline %s: %d reliability events without a fault plan"
+              path
+              (Stats.reliability_events s))
+        paths;
+      Printf.printf "baseline: zero reliability events on all %d paths\n\n"
+        (List.length paths));
   Printf.printf "%-8s %-8s %-14s %6s %6s %6s %6s %6s %6s\n" "plan" "seed"
     "path" "retx" "drop" "corr" "dup" "flap" "fall";
   List.iter
     (fun (pname, spec) ->
-      List.iter
-        (fun seed ->
-          let plan = plan_of ~seed spec in
+      scenario ("matrix:" ^ pname) (fun () ->
           List.iter
-            (fun (path, mk) ->
-              let s = run_cell ~plan ~path mk in
-              (* a clean plan attached engages the reliable protocol
-                 (acks flow) but must do zero recovery work *)
-              if
-                pname = "clean"
-                && Stats.reliability_events s <> s.Stats.acks
-              then
-                failf "clean plan %s seed %d: recovery work on a clean link"
-                  path seed;
-              Printf.printf "%-8s %-8d %-14s %6d %6d %6d %6d %6d %6d\n" pname
-                seed path s.Stats.retransmits s.Stats.frags_dropped
-                s.Stats.frags_corrupted s.Stats.frags_duplicated
-                s.Stats.flap_waits s.Stats.iov_fallbacks)
-            paths)
-        seeds)
+            (fun seed ->
+              let plan = plan_of ~seed spec in
+              List.iter
+                (fun (path, mk) ->
+                  let s = run_cell ~plan ~path mk in
+                  (* a clean plan attached engages the reliable protocol
+                     (acks flow) but must do zero recovery work *)
+                  if
+                    pname = "clean"
+                    && Stats.reliability_events s <> s.Stats.acks
+                  then
+                    failf
+                      "clean plan %s seed %d: recovery work on a clean link"
+                      path seed;
+                  Printf.printf "%-8s %-8d %-14s %6d %6d %6d %6d %6d %6d\n"
+                    pname seed path s.Stats.retransmits s.Stats.frags_dropped
+                    s.Stats.frags_corrupted s.Stats.frags_duplicated
+                    s.Stats.flap_waits s.Stats.iov_fallbacks)
+                paths)
+            seeds))
     plan_specs;
   Printf.printf "\n";
   crash_sweep ();
-  Printf.printf "\n%s\n"
-    (if !failures = 0 then "chaos sweep: all cells passed"
-     else Printf.sprintf "chaos sweep: %d FAILURE(S)" !failures);
-  exit (if !failures = 0 then 0 else 1)
+  Printf.printf "\n";
+  ckpt_sweep ();
+  summary ()

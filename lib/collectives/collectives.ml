@@ -232,7 +232,8 @@ let process_failure = function
       true
   | _ -> false
 
-let resilient_allreduce_f64 ?max_attempts comm ~op data =
+let resilient_allreduce_f64 ?max_attempts ?(on_shrink = fun _ -> ()) comm ~op
+    data =
   let max_attempts =
     match max_attempts with Some m -> m | None -> Mpi.size comm + 2
   in
@@ -282,6 +283,7 @@ let resilient_allreduce_f64 ?max_attempts comm ~op data =
          on an undiminished group. *)
       Mpi.comm_revoke comm;
       let comm' = Mpi.comm_shrink comm in
+      on_shrink comm';
       attempt comm' (shrinks + 1) (attempts + 1)
     end
   in

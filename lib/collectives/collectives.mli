@@ -58,6 +58,7 @@ val allreduce_f64 :
 
 val resilient_allreduce_f64 :
   ?max_attempts:int ->
+  ?on_shrink:(Mpi.comm -> unit) ->
   Mpi.comm ->
   op:[ `Sum | `Max | `Min ] ->
   float array ->
@@ -75,7 +76,10 @@ val resilient_allreduce_f64 :
     [data] is the reduction over the members of the {e returned}
     communicator; note that a rank crashing {e after} the reduction
     completed leaves the committed result including its contribution,
-    exactly as in MPI.  Raises [Mpi_error (Peer_failed _)] at a caller
+    exactly as in MPI.  [on_shrink] is invoked with each replacement
+    communicator right after a shrink, so callers that anchor state to
+    the communicator (e.g. the checkpoint runtime in
+    [Mpicd_restart.Restart]) can re-anchor before the retry.  Raises [Mpi_error (Peer_failed _)] at a caller
     that is itself presumed dead, and re-raises the last error after
     [max_attempts] attempts (default: the initial group size + 2 —
     process failures shrink the group so only non-crash errors such as

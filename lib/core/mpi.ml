@@ -379,11 +379,12 @@ let any_tag = -1
 (* --- tag encoding ---
    bit layout of the 64-bit transport tag:
      [62..48] source rank  (15 bits)
-     [45..44] kind         (2 bits)
-     [43..0]  user tag     (44 bits) *)
+     [46..44] kind         (3 bits)
+     [43..38] communicator (6 bits)
+     [37..0]  user tag     (38 bits) *)
 
 module Internal0 = struct
-  type kind = User | Internal | Objmsg | Objmsg_aux
+  type kind = User | Internal | Objmsg | Objmsg_aux | Restart
 end
 
 let kind_code : Internal0.kind -> int = function
@@ -391,6 +392,7 @@ let kind_code : Internal0.kind -> int = function
   | Internal -> 1
   | Objmsg -> 2
   | Objmsg_aux -> 3
+  | Restart -> 4
 
 let src_shift = 48
 let kind_shift = 44
@@ -419,7 +421,7 @@ let check_user_tag tag =
 let recv_tag_mask ~kind ~cid ~source ~tag =
   let base_mask =
     Int64.logor
-      (Int64.shift_left 3L kind_shift)
+      (Int64.shift_left 7L kind_shift)
       (Int64.shift_left 0x3FL cid_shift)
   in
   let src_part, src_mask =
@@ -1235,8 +1237,13 @@ let comm_revoked c =
 let comm_revoke c =
   let w = c.w in
   let me = c.group.(c.c_rank) in
+  (* A rank already declared failed revokes only locally: a dead rank
+     cannot notify anyone, and it must not claim the one-shot broadcast
+     flag either — a survivor revoking later still owes its peers the
+     notification. *)
+  let alive = not (Ucx.is_failed w.ucx ~rank:me) in
   let first = not (Hashtbl.mem w.revoked c.cid) in
-  if first then begin
+  if first && alive then begin
     let t0 = Engine.now w.engine in
     Hashtbl.replace w.revoked c.cid t0;
     Stats.record_comm_revoke w.stats;
@@ -1246,13 +1253,12 @@ let comm_revoke c =
            ~t1:(t0 +. w.config.link.latency_ns)
            ~args:[ ("cid", Obs.Int c.cid) ]
            "revoke_propagation");
-    if not (Ucx.is_failed w.ucx ~rank:me) then
-      Array.iter
-        (fun peer ->
-          if peer <> me then
-            Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
-                deliver_revoke w ~cid:c.cid ~rank:peer))
-        c.group
+    Array.iter
+      (fun peer ->
+        if peer <> me then
+          Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
+              deliver_revoke w ~cid:c.cid ~rank:peer))
+      c.group
   end;
   deliver_revoke w ~cid:c.cid ~rank:me
 

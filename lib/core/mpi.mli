@@ -382,7 +382,12 @@ val comm_get_acked : comm -> int list
     messages (the multi-channel locking problem the paper discusses). *)
 
 module Internal : sig
-  type kind = User | Internal | Objmsg | Objmsg_aux
+  type kind = User | Internal | Objmsg | Objmsg_aux | Restart
+  (** [Restart] is the checkpoint/restart control channel (epoch
+      markers and logged-envelope traffic from the lib/restart
+      runtime).  Unlike [Internal], errors on this kind go through the
+      communicator's error handler like user traffic — the recovery
+      orchestrator observes failures as ordinary [Mpi_error]s. *)
 
   val send_k : comm -> kind -> dst:int -> tag:int -> buffer -> unit
   val recv_k : comm -> kind -> ?source:int -> ?tag:int -> buffer -> status

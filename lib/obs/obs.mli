@@ -21,7 +21,11 @@
     - category ["callback"]: individual pack/unpack callback
       invocations, tiled across their phase's modeled duration;
     - category ["fiber"]: scheduler fiber lifetimes plus
-      suspend/resume instants.
+      suspend/resume instants;
+    - category ["ckpt"]: checkpoint/restart activity from
+      [Mpicd_restart] (commit/restore/recovery spans; epoch-marker,
+      snapshot-completion, duplicate-suppression and log-replay
+      instants).
 
     Tracks are small ints: rank/worker ids for ranks ([>= 0]), negative
     fiber ids for engine-internal fibers. *)

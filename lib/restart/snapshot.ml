@@ -1,0 +1,158 @@
+module Buf = Mpicd_buf.Buf
+module Dt = Mpicd_datatype.Datatype
+module Plan = Mpicd_datatype.Plan
+module Crc32 = Mpicd_ucx.Crc32
+
+type meta = {
+  epoch : int;
+  rank : int;
+  cid : int;
+  count : int;
+  sig_crc : int32;
+  payload_len : int;
+}
+
+type error =
+  | Too_short of { need : int; got : int }
+  | Bad_magic of int32
+  | Bad_version of int
+  | Header_crc_mismatch
+  | Truncated_payload of { expected : int; got : int }
+  | Payload_crc_mismatch
+  | Signature_mismatch of { stored : int32; expected : int32 }
+  | Count_mismatch of { stored : int; expected : int }
+
+exception Corrupt_snapshot of error
+
+let pp_error ppf = function
+  | Too_short { need; got } ->
+      Format.fprintf ppf "snapshot too short: need %d bytes, got %d" need got
+  | Bad_magic m -> Format.fprintf ppf "bad snapshot magic 0x%08lx" m
+  | Bad_version v -> Format.fprintf ppf "unsupported snapshot version %d" v
+  | Header_crc_mismatch -> Format.fprintf ppf "snapshot header CRC mismatch"
+  | Truncated_payload { expected; got } ->
+      Format.fprintf ppf "truncated snapshot payload: expected %dB, got %dB"
+        expected got
+  | Payload_crc_mismatch -> Format.fprintf ppf "snapshot payload CRC mismatch"
+  | Signature_mismatch { stored; expected } ->
+      Format.fprintf ppf
+        "snapshot type-signature mismatch: stored 0x%08lx, decoding as 0x%08lx"
+        stored expected
+  | Count_mismatch { stored; expected } ->
+      Format.fprintf ppf "snapshot count mismatch: stored %d, decoding as %d"
+        stored expected
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_snapshot e ->
+        Some (Format.asprintf "Corrupt_snapshot: %a" pp_error e)
+    | _ -> None)
+
+let header_size = 64
+let magic = 0x4d434b50l (* "MCKP" *)
+let version = 1
+
+let predefined_code : Dt.predefined -> int = function
+  | Byte -> 0
+  | Char -> 1
+  | Int8 -> 2
+  | Uint8 -> 3
+  | Int16 -> 4
+  | Int32 -> 5
+  | Int64 -> 6
+  | Float32 -> 7
+  | Float64 -> 8
+
+(* Digest of the RLE type signature: one (code, run-length) record per
+   run.  Signature-equal types produce equal digests by construction
+   ([rle_signature] is canonical), however the layout tree was built. *)
+let signature_crc dt =
+  let rle = Dt.rle_signature dt in
+  let b = Buf.create (9 * List.length rle) in
+  List.iteri
+    (fun i (p, n) ->
+      Buf.set_u8 b (9 * i) (predefined_code p);
+      Buf.set_i64 b ((9 * i) + 1) (Int64.of_int n))
+    rle;
+  Crc32.digest b
+
+let encoded_size dt ~count = header_size + Dt.packed_size dt ~count
+
+let encode ?stats ~epoch ~rank ~cid ~dt ~count ~src () =
+  let plan = Plan.get ?stats dt in
+  let payload_len = Plan.packed_size plan ~count in
+  let b = Buf.create (header_size + payload_len) in
+  if payload_len > 0 then begin
+    let dst = Buf.sub b ~pos:header_size ~len:payload_len in
+    ignore (Plan.pack ?stats plan ~count ~src ~dst : int)
+  end;
+  Buf.set_i32 b 0 magic;
+  Buf.set_i32 b 4 (Int32.of_int version);
+  Buf.set_i64 b 8 (Int64.of_int epoch);
+  Buf.set_i64 b 16 (Int64.of_int rank);
+  Buf.set_i64 b 24 (Int64.of_int cid);
+  Buf.set_i64 b 32 (Int64.of_int count);
+  Buf.set_i32 b 40 (signature_crc dt);
+  Buf.set_i32 b 44 0l;
+  Buf.set_i64 b 48 (Int64.of_int payload_len);
+  Buf.set_i32 b 56 (Crc32.digest_sub b ~pos:header_size ~len:payload_len);
+  Buf.set_i32 b 60 (Crc32.digest_sub b ~pos:0 ~len:60);
+  b
+
+let read_meta b =
+  let got = Buf.length b in
+  if got < header_size then Error (Too_short { need = header_size; got })
+  else if Buf.get_i32 b 0 <> magic then Error (Bad_magic (Buf.get_i32 b 0))
+  else if Int32.to_int (Buf.get_i32 b 4) <> version then
+    Error (Bad_version (Int32.to_int (Buf.get_i32 b 4)))
+  else if Buf.get_i32 b 60 <> Crc32.digest_sub b ~pos:0 ~len:60 then
+    Error Header_crc_mismatch
+  else
+    Ok
+      {
+        epoch = Int64.to_int (Buf.get_i64 b 8);
+        rank = Int64.to_int (Buf.get_i64 b 16);
+        cid = Int64.to_int (Buf.get_i64 b 24);
+        count = Int64.to_int (Buf.get_i64 b 32);
+        sig_crc = Buf.get_i32 b 40;
+        payload_len = Int64.to_int (Buf.get_i64 b 48);
+      }
+
+let ( let* ) = Result.bind
+
+let decode ?stats ~dt ~count ~dst b =
+  let* m = read_meta b in
+  let plan = Plan.get ?stats dt in
+  let expected_len = Plan.packed_size plan ~count in
+  let got_payload = Buf.length b - header_size in
+  if m.payload_len > got_payload then
+    Error (Truncated_payload { expected = m.payload_len; got = got_payload })
+  else if
+    Buf.get_i32 b 56
+    <> Crc32.digest_sub b ~pos:header_size ~len:m.payload_len
+  then Error Payload_crc_mismatch
+  else
+    let expected_sig = signature_crc dt in
+    if m.sig_crc <> expected_sig then
+      Error
+        (Signature_mismatch { stored = m.sig_crc; expected = expected_sig })
+    else if m.count <> count then
+      Error (Count_mismatch { stored = m.count; expected = count })
+    else if m.payload_len <> expected_len then
+      (* signature and count match, so a length mismatch means the
+         header lies about the payload *)
+      Error (Truncated_payload { expected = expected_len; got = m.payload_len })
+    else begin
+      if m.payload_len > 0 then
+        Plan.unpack ?stats plan ~count
+          ~src:(Buf.sub b ~pos:header_size ~len:m.payload_len)
+          ~dst;
+      Ok m
+    end
+
+let decode_exn ?stats ~dt ~count ~dst b =
+  match decode ?stats ~dt ~count ~dst b with
+  | Ok m -> m
+  | Error e -> raise (Corrupt_snapshot e)

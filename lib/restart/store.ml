@@ -1,0 +1,34 @@
+module Buf = Mpicd_buf.Buf
+
+type t = { tbl : (string, Buf.t) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let write t path b = Hashtbl.replace t.tbl path (Buf.copy b)
+let read t path = Option.map Buf.copy (Hashtbl.find_opt t.tbl path)
+let mem t path = Hashtbl.mem t.tbl path
+let delete t path = Hashtbl.remove t.tbl path
+
+let list t ~prefix =
+  Hashtbl.fold
+    (fun path _ acc ->
+      if String.starts_with ~prefix path then path :: acc else acc)
+    t.tbl []
+  |> List.sort String.compare
+
+let files t = Hashtbl.length t.tbl
+let total_bytes t = Hashtbl.fold (fun _ b n -> n + Buf.length b) t.tbl 0
+let clear t = Hashtbl.reset t.tbl
+
+let get_exn t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some b -> b
+  | None -> raise Not_found
+
+let truncate t path ~len =
+  let b = get_exn t path in
+  let len = max 0 (min len (Buf.length b)) in
+  Hashtbl.replace t.tbl path (Buf.copy (Buf.sub b ~pos:0 ~len))
+
+let corrupt_bit t path ~pos ~bit =
+  let b = get_exn t path in
+  Buf.set_u8 b pos (Buf.get_u8 b pos lxor (1 lsl (bit land 7)))

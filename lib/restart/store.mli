@@ -1,0 +1,46 @@
+(** In-memory virtual filesystem for checkpoint images and message
+    logs.
+
+    The store is a host-side value, deliberately independent of any
+    world or engine: it survives the simulated "machine" that wrote it,
+    which is what lets the recovery orchestrator respawn a fresh world
+    (a simulated replacement job) and restore state checkpointed by the
+    previous one.  Paths are flat strings with ['/'] separators by
+    convention ([list] filters on a prefix).
+
+    Writes and reads copy, so later mutation of a caller's buffer can
+    never silently alter stored state.  [truncate] and [corrupt_bit]
+    exist for the fail-closed tests: they damage stored images the way
+    a torn or bit-rotted file would. *)
+
+module Buf = Mpicd_buf.Buf
+
+type t
+
+val create : unit -> t
+
+val write : t -> string -> Buf.t -> unit
+(** Stores a copy; overwrites. *)
+
+val read : t -> string -> Buf.t option
+(** Returns an independent copy. *)
+
+val mem : t -> string -> bool
+
+val delete : t -> string -> unit
+(** No-op when absent. *)
+
+val list : t -> prefix:string -> string list
+(** Paths with the given prefix, sorted. *)
+
+val files : t -> int
+val total_bytes : t -> int
+val clear : t -> unit
+
+(** {1 Damage injection (tests)} *)
+
+val truncate : t -> string -> len:int -> unit
+(** Keep only the first [len] bytes.  @raise Not_found if absent. *)
+
+val corrupt_bit : t -> string -> pos:int -> bit:int -> unit
+(** Flip one bit of the stored image.  @raise Not_found if absent. *)

@@ -28,7 +28,13 @@ type gpu = {
   gpu_piece_ns : float;
 }
 
-type t = { link : link; cpu : cpu; gpu : gpu; auto_normalize : bool }
+type t = {
+  link : link;
+  cpu : cpu;
+  gpu : gpu;
+  auto_normalize : bool;
+  retx_jitter : bool;
+}
 
 (* 100 Gb/s = 12.5 GB/s raw; ~11.5 GB/s effective after protocol
    headers -> 0.087 ns/B.  Base latency ~1.3 us as measured for small
@@ -86,6 +92,7 @@ let default =
     cpu = default_cpu;
     gpu = default_gpu;
     auto_normalize = false;
+    retx_jitter = false;
   }
 
 let wire_time (l : link) bytes = l.ns_per_byte *. float_of_int bytes
@@ -100,10 +107,10 @@ let pp ppf t =
      iov=%.0fns/entry(max %d) frag=%dB@,\
      cpu: memcpy=%.3fns/B alloc=%.0f+%.3fns/B packcb=%.0fns piece=%.1fns \
      ddtblock=%.0fns ddtnode=%.0fns objvisit=%.0fns@,\
-     auto_normalize=%b@]"
+     auto_normalize=%b retx_jitter=%b@]"
     t.link.latency_ns t.link.ns_per_byte t.link.eager_limit
     t.link.rndv_handshake_ns t.link.iov_entry_ns t.link.iov_max_entries
     t.link.frag_size t.cpu.memcpy_ns_per_byte t.cpu.alloc_base_ns
     t.cpu.alloc_ns_per_byte t.cpu.pack_cb_overhead_ns t.cpu.pack_piece_ns
     t.cpu.ddt_block_ns t.cpu.ddt_node_ns t.cpu.object_visit_ns
-    t.auto_normalize
+    t.auto_normalize t.retx_jitter

@@ -52,6 +52,15 @@ type t = {
           {!Mpicd_datatype.Normalize}d form of every datatype (TEMPI-style
           canonicalization); default [false] so baseline runs are
           bit-identical to the unnormalized engine *)
+  retx_jitter : bool;
+      (** when true, the reliable-delivery retransmit backoff applies
+          decorrelated jitter (AWS-style: each sleep is drawn uniformly
+          from [rto, 3 x previous sleep], capped at the deterministic
+          exponential schedule's ceiling) from a dedicated RNG stream
+          seeded by the fault plan, so concurrent retry storms
+          de-synchronize while a given (seed, plan) replay stays
+          deterministic; default [false] so fixed-seed replays are
+          bit-identical to the fixed-backoff engine *)
 }
 
 val default : t

@@ -39,6 +39,19 @@ type t = {
   mutable plan_cache_hits : int;
   mutable plan_cache_misses : int;
   mutable bounce_reuses : int;
+  (* checkpoint/restart counters: driven by the lib/restart runtime
+     (plan-serialized snapshots, sender-based message logging, recovery
+     rounds).  All stay 0 unless a checkpoint runtime is in use. *)
+  mutable checkpoints_taken : int;
+  mutable checkpoint_bytes : int;
+  mutable buffers_restored : int;
+  mutable msgs_logged : int;
+  mutable msgs_replayed : int;
+  mutable dups_suppressed : int;
+  mutable recoveries : int;
+  (* decorrelated-jitter draws on the retransmit backoff; stays 0
+     unless [Config.retx_jitter] is on *)
+  mutable jittered_backoffs : int;
 }
 
 let create () =
@@ -77,6 +90,14 @@ let create () =
     plan_cache_hits = 0;
     plan_cache_misses = 0;
     bounce_reuses = 0;
+    checkpoints_taken = 0;
+    checkpoint_bytes = 0;
+    buffers_restored = 0;
+    msgs_logged = 0;
+    msgs_replayed = 0;
+    dups_suppressed = 0;
+    recoveries = 0;
+    jittered_backoffs = 0;
   }
 
 let reset t =
@@ -113,7 +134,15 @@ let reset t =
   t.comm_agreements <- 0;
   t.plan_cache_hits <- 0;
   t.plan_cache_misses <- 0;
-  t.bounce_reuses <- 0
+  t.bounce_reuses <- 0;
+  t.checkpoints_taken <- 0;
+  t.checkpoint_bytes <- 0;
+  t.buffers_restored <- 0;
+  t.msgs_logged <- 0;
+  t.msgs_replayed <- 0;
+  t.dups_suppressed <- 0;
+  t.recoveries <- 0;
+  t.jittered_backoffs <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -165,6 +194,17 @@ let record_plan_hit t = t.plan_cache_hits <- t.plan_cache_hits + 1
 let record_plan_miss t = t.plan_cache_misses <- t.plan_cache_misses + 1
 let record_bounce_reuse t = t.bounce_reuses <- t.bounce_reuses + 1
 
+let record_checkpoint t ~bytes =
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  t.checkpoint_bytes <- t.checkpoint_bytes + bytes
+
+let record_restore t = t.buffers_restored <- t.buffers_restored + 1
+let record_msg_logged t = t.msgs_logged <- t.msgs_logged + 1
+let record_msg_replayed t = t.msgs_replayed <- t.msgs_replayed + 1
+let record_dup_suppressed t = t.dups_suppressed <- t.dups_suppressed + 1
+let record_recovery t = t.recoveries <- t.recoveries + 1
+let record_jittered_backoff t = t.jittered_backoffs <- t.jittered_backoffs + 1
+
 let snapshot t = { t with messages_sent = t.messages_sent }
 
 let diff ~after ~before =
@@ -204,6 +244,14 @@ let diff ~after ~before =
     plan_cache_hits = after.plan_cache_hits - before.plan_cache_hits;
     plan_cache_misses = after.plan_cache_misses - before.plan_cache_misses;
     bounce_reuses = after.bounce_reuses - before.bounce_reuses;
+    checkpoints_taken = after.checkpoints_taken - before.checkpoints_taken;
+    checkpoint_bytes = after.checkpoint_bytes - before.checkpoint_bytes;
+    buffers_restored = after.buffers_restored - before.buffers_restored;
+    msgs_logged = after.msgs_logged - before.msgs_logged;
+    msgs_replayed = after.msgs_replayed - before.msgs_replayed;
+    dups_suppressed = after.dups_suppressed - before.dups_suppressed;
+    recoveries = after.recoveries - before.recoveries;
+    jittered_backoffs = after.jittered_backoffs - before.jittered_backoffs;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -227,6 +275,10 @@ let resilience_events t =
   t.ops_cancelled + t.comm_revokes + t.comm_shrinks + t.comm_agreements
 
 let plan_events t = t.plan_cache_hits + t.plan_cache_misses + t.bounce_reuses
+
+let ckpt_events t =
+  t.checkpoints_taken + t.buffers_restored + t.msgs_logged + t.msgs_replayed
+  + t.dups_suppressed + t.recoveries
 
 let pp ppf t =
   Format.fprintf ppf
@@ -259,4 +311,12 @@ let pp ppf t =
   if plan_events t > 0 then
     Format.fprintf ppf "@,plans: cache_hits=%d cache_misses=%d bounce_reuses=%d"
       t.plan_cache_hits t.plan_cache_misses t.bounce_reuses;
+  (* Rendered only when a checkpoint runtime (or jitter) was in play, so
+     every pre-restart workload prints exactly as before. *)
+  if ckpt_events t > 0 || t.jittered_backoffs > 0 then
+    Format.fprintf ppf
+      "@,ckpt: taken=%d bytes=%d restored=%d logged=%d replayed=%d \
+       dups=%d recoveries=%d jittered=%d"
+      t.checkpoints_taken t.checkpoint_bytes t.buffers_restored t.msgs_logged
+      t.msgs_replayed t.dups_suppressed t.recoveries t.jittered_backoffs;
   Format.fprintf ppf "@]"

@@ -53,6 +53,25 @@ type t = {
   mutable bounce_reuses : int;
       (** eager/rendezvous bounce fragments served from the transport
           pool instead of a fresh allocation *)
+  (* Checkpoint/restart counters (see docs/RESILIENCE.md): driven by the
+     lib/restart runtime.  All remain 0 unless a checkpoint runtime is
+     in use. *)
+  mutable checkpoints_taken : int;
+      (** plan-serialized buffer snapshots written to the store *)
+  mutable checkpoint_bytes : int;
+      (** total snapshot bytes written (headers + packed payloads) *)
+  mutable buffers_restored : int;
+      (** registered buffers plan-decoded back from snapshots *)
+  mutable msgs_logged : int;
+      (** application envelopes recorded by the sender-based message log *)
+  mutable msgs_replayed : int;
+      (** re-executed sends verified byte-identical against the log *)
+  mutable dups_suppressed : int;
+      (** duplicate/stale envelopes discarded by the receive-side filter *)
+  mutable recoveries : int;  (** recovery rounds run by the orchestrator *)
+  mutable jittered_backoffs : int;
+      (** retransmit sleeps drawn with decorrelated jitter; 0 unless
+          [Config.retx_jitter] is on *)
 }
 
 val create : unit -> t
@@ -98,6 +117,22 @@ val record_comm_agreement : t -> unit
 val record_plan_hit : t -> unit
 val record_plan_miss : t -> unit
 val record_bounce_reuse : t -> unit
+
+(** {1 Checkpoint/restart events} (recorded by the lib/restart runtime;
+    see docs/RESILIENCE.md) *)
+
+val record_checkpoint : t -> bytes:int -> unit
+val record_restore : t -> unit
+val record_msg_logged : t -> unit
+val record_msg_replayed : t -> unit
+val record_dup_suppressed : t -> unit
+val record_recovery : t -> unit
+val record_jittered_backoff : t -> unit
+
+val ckpt_events : t -> int
+(** Sum of the checkpoint/restart counters (excluding
+    [jittered_backoffs], which belongs to the transport); 0 iff no
+    checkpoint runtime touched this world. *)
 
 val plan_events : t -> int
 (** Sum of the pack-plan counters; 0 iff no typed traffic used the

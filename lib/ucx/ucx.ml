@@ -116,6 +116,10 @@ and context = {
       (* [None] (the default) leaves every fault-free code path exactly
          as it was: the reliable-delivery protocol only engages when a
          plan is attached *)
+  mutable retx_rng : Mpicd_simnet.Rng.t option;
+      (* dedicated decorrelated-jitter stream for retransmit backoff
+         ([Config.retx_jitter]); separate from the fault-decision stream
+         so enabling jitter never perturbs drop/corrupt fates *)
   failed : (int, float) Hashtbl.t;  (* worker id -> detection time *)
   mutable any_failed : bool;  (* cheap guard for fail-fast checks *)
   mutable fail_listeners : (rank:int -> time:float -> unit) list;
@@ -141,6 +145,7 @@ let create_context ~engine ~config ~stats =
     trace = None;
     obs = Obs.null;
     faults = None;
+    retx_rng = None;
     failed = Hashtbl.create 8;
     any_failed = false;
     fail_listeners = [];
@@ -558,6 +563,14 @@ let spawn_detector ctx plan =
 
 let set_faults c p =
   c.faults <- Option.map Fault.start p;
+  (* The jitter stream reseeds with the plan so a given (plan, seed)
+     replay is deterministic even with jitter enabled.  XOR'd constant:
+     keeps it distinct from the fault-decision stream of the same seed. *)
+  c.retx_rng <-
+    (match p with
+    | Some plan when c.config.Config.retx_jitter ->
+        Some (Mpicd_simnet.Rng.create (plan.Fault.seed lxor 0x4a69_7474))
+    | _ -> None);
   match p with
   | Some plan when plan.Fault.crashes <> [] && plan.Fault.hb_period_ns > 0. ->
       spawn_detector c plan
@@ -613,6 +626,26 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
   let failure = ref None in
   let frag_sizes = wire_frag_sizes l (Buf.length stream) in
   let last_lag = ref l.latency_ns in
+  (* decorrelated-jitter state: previous backoff sleep of THIS transfer
+     (each transfer de-correlates independently, which is what breaks
+     synchronized retry storms across concurrent flows) *)
+  let prev_sleep = ref plan.Fault.rto_ns in
+  let backoff_sleep attempt =
+    match ctx.retx_rng with
+    | None -> Fault.rto plan ~attempt
+    | Some rng ->
+        (* sleep ~ U[rto, min(cap, 3 x previous)], after AWS's
+           "decorrelated jitter"; the cap is the ceiling of the
+           deterministic exponential schedule so jitter never waits
+           longer than the fixed backoff would at retry exhaustion *)
+        let base = plan.Fault.rto_ns in
+        let cap = Fault.rto plan ~attempt:plan.Fault.max_retries in
+        let hi = Float.min cap (Float.max (base +. 1.) (3. *. !prev_sleep)) in
+        let s = base +. Mpicd_simnet.Rng.float rng (hi -. base) in
+        prev_sleep := s;
+        Stats.record_jittered_backoff ctx.stats;
+        s
+  in
   let rec send_frag seq off len attempt =
     let now = Engine.now e in
     (* link flap: wait for the link to come back up *)
@@ -657,7 +690,7 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
                | `Drop -> Timeout { retries = attempt })
       end
       else begin
-        Engine.sleep e (Fault.rto plan ~attempt);
+        Engine.sleep e (backoff_sleep attempt);
         incr retx;
         Stats.record_retransmit ctx.stats;
         trace ctx "fault" "retransmit seq=%d attempt=%d %d->%d" seq

@@ -627,6 +627,85 @@ let test_eager_pack_failure_nacks_receiver () =
   check_bool "receiver completed (no deadlock)" true !receiver_done;
   check_int "nack counted" 1 stats.Stats.nacks
 
+(* --- retransmit backoff jitter (Config.retx_jitter) ---
+
+   Synchronized retry storms: concurrent flows whose fragments drop at
+   the same instant all retry after the same deterministic exponential
+   backoff, so their retransmits collide again and again.  With
+   [retx_jitter] on, each flow draws its sleep from U[rto, min(cap,
+   3 x prev)] on a dedicated RNG stream, de-synchronizing the retries
+   without perturbing the fault fates (drop/corrupt draws come from a
+   different stream, pinned by [test_fixed_seed_replay]). *)
+
+let jitter_retx_times ~jitter ~seed =
+  let config = { Config.default with Config.retx_jitter = jitter } in
+  let plan =
+    Fault.make ~seed
+      ~link:{ Fault.clean_link with drop_p = 0.3 }
+      ~rto_ns:5000. ~max_retries:8 ()
+  in
+  let w = Mpi.create_world ~config ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let obs = Obs.create () in
+  Mpi.set_obs w obs;
+  let flows = 8 and len = 512 in
+  let src = pattern len in
+  let dsts = Array.init flows (fun _ -> Buf.create len) in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then
+        List.init flows (fun i ->
+            Mpi.isend comm ~dst:1 ~tag:(i + 1) (Mpi.Bytes src))
+        |> Mpi.waitall |> ignore
+      else
+        List.init flows (fun i ->
+            Mpi.irecv comm ~source:0 ~tag:(i + 1) (Mpi.Bytes dsts.(i)))
+        |> Mpi.waitall |> ignore);
+  Array.iteri
+    (fun i d ->
+      if not (Buf.equal src d) then Alcotest.failf "flow %d: payload damaged" i)
+    dsts;
+  let times =
+    List.filter_map
+      (fun i -> if i.Obs.i_name = "retransmit" then Some i.Obs.i_time else None)
+      (Obs.instants obs)
+  in
+  (times, (Mpi.world_stats w).Stats.jittered_backoffs)
+
+(* Retransmits that follow another one within [window_ns]: the size of
+   the retry storm's synchronized core.  The FIFO channel serializes
+   fragment transmissions, so "simultaneous" retries of concurrent
+   flows land one serialization quantum apart, never at the exact same
+   instant — clustering, not equality, is the storm signature. *)
+let retx_storm ?(window_ns = 500.) times =
+  let sorted = List.sort compare times in
+  let rec count n = function
+    | a :: (b :: _ as rest) ->
+        count (if b -. a <= window_ns then n + 1 else n) rest
+    | _ -> n
+  in
+  count 0 sorted
+
+let test_retx_jitter_desync () =
+  let off_times, off_jit = jitter_retx_times ~jitter:false ~seed:33 in
+  let on_times, on_jit = jitter_retx_times ~jitter:true ~seed:33 in
+  check_int "jitter off: no jittered backoffs" 0 off_jit;
+  check_bool "jitter on: backoffs were jittered" true (on_jit > 0);
+  check_bool "retransmits happened in both runs" true
+    (off_times <> [] && on_times <> []);
+  let off_c = retx_storm off_times and on_c = retx_storm on_times in
+  check_bool "deterministic backoff synchronizes concurrent retries" true
+    (off_c >= 3);
+  check_bool "jitter de-synchronizes the retry storm" true (on_c < off_c)
+
+let test_retx_jitter_determinism () =
+  let a = jitter_retx_times ~jitter:true ~seed:33 in
+  check_bool "same seed, same jittered timeline" true
+    (a = jitter_retx_times ~jitter:true ~seed:33);
+  let b = jitter_retx_times ~jitter:false ~seed:33 in
+  check_bool "off path is deterministic too" true
+    (b = jitter_retx_times ~jitter:false ~seed:33);
+  check_bool "jitter changes the retransmit schedule" true (fst a <> fst b)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "faults",
@@ -654,4 +733,8 @@ let suite =
       tc "errhandler inherited by comm_split" `Quick test_errhandler_inherited_by_split;
       tc "iov corruption falls back once" `Quick test_iov_fallback_once;
       tc "eager pack failure nacks receiver" `Quick test_eager_pack_failure_nacks_receiver;
+      tc "retransmit jitter de-synchronizes retries" `Quick
+        test_retx_jitter_desync;
+      tc "retransmit jitter is deterministic per seed" `Quick
+        test_retx_jitter_determinism;
     ] )

@@ -24,4 +24,5 @@ let () =
       Test_check.suite;
       Test_faults.suite;
       Test_resilience.suite;
+      Test_restart.suite;
     ]
