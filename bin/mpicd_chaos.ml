@@ -10,6 +10,13 @@
    identically on every machine — plans are pure data and all fault
    decisions come from the plan's own RNG stream (docs/FAULTS.md).
 
+   --replay FILE re-executes a repro.json artifact written by
+   mpicd_explore: it restores any recorded mutation flags, runs the
+   artifact's fault plan against its workload twice, and requires the
+   execution render to match the recorded one byte-for-byte (exit 0
+   iff it does).  Counterexamples are ordinary fault plans, so replay
+   needs no machinery beyond the plan grammar itself.
+
    Run via `dune build @chaos` (part of `dune runtest`).  Ends with a
    per-scenario pass/fail summary table and exits non-zero if any
    scenario records a failure: a damaged payload, a deadlocked run, a
@@ -27,6 +34,8 @@ module Dt = Mpicd_datatype.Datatype
 module Coll = Mpicd_collectives.Collectives
 module Store = Mpicd_restart.Store
 module Restart = Mpicd_restart.Restart
+module Explore = Mpicd_explore_lib.Explore
+module Workloads = Mpicd_explore_lib.Workloads
 
 let seeds = [ 1; 2; 3 ]
 let iters = 10
@@ -509,7 +518,71 @@ let ckpt_sweep () =
           done))
     (List.sort compare !windows)
 
+(* --- repro replay (--replay FILE) --- *)
+
+let replay_die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "mpicd_chaos --replay: %s\n" msg;
+      exit 2)
+    fmt
+
+let replay_repro file =
+  let doc =
+    try
+      let ic = open_in_bin file in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    with Sys_error e -> replay_die "%s" e
+  in
+  let r =
+    match Explore.repro_of_json doc with
+    | Ok r -> r
+    | Error e -> replay_die "%s: %s" file e
+  in
+  let wl =
+    match Workloads.find r.Explore.rj_workload with
+    | Some wl -> wl
+    | None -> replay_die "%s: unknown workload %S" file r.Explore.rj_workload
+  in
+  if wl.Workloads.wl_size <> r.Explore.rj_size then
+    replay_die "%s: workload %s runs at size %d, artifact says %d" file
+      r.Explore.rj_workload wl.Workloads.wl_size r.Explore.rj_size;
+  List.iter
+    (function
+      | "revoke_oneshot" -> Mpi.Mutation.revoke_oneshot := true
+      | m -> replay_die "%s: unknown mutation flag %S" file m)
+    r.Explore.rj_mutations;
+  match Explore.replay wl r.Explore.rj_plan with
+  | Error e -> replay_die "not deterministic: %s" e
+  | Ok res ->
+      let render = res.Workloads.res_render in
+      let fp = Explore.fingerprint render in
+      if render = r.Explore.rj_render && fp = r.Explore.rj_fingerprint then begin
+        Printf.printf
+          "replay %s: PASS (workload %s, fingerprint %s, failure %s \
+           reproduced byte-identically)\n"
+          file r.Explore.rj_workload fp r.Explore.rj_failure;
+        exit 0
+      end
+      else begin
+        Printf.printf
+          "replay %s: FAIL — render diverged from artifact\n\
+           --- recorded (fingerprint %s)\n\
+           %s\n\
+           --- replayed (fingerprint %s)\n\
+           %s\n"
+          file r.Explore.rj_fingerprint r.Explore.rj_render fp render;
+        exit 1
+      end
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "--replay" :: file :: _ -> replay_repro file
+  | argv when List.mem "--replay" argv ->
+      replay_die "--replay needs a repro.json path"
+  | _ -> ());
   let only_crashes = Array.mem "--crashes" Sys.argv in
   let only_ckpt = Array.mem "--ckpt" Sys.argv in
   if only_crashes then begin

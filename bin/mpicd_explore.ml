@@ -1,0 +1,181 @@
+(* mpicd-explore: systematic fault-space exploration CLI.
+
+   Records a fault-free reference run of a workload, enumerates its
+   injection points, searches schedules of up to k simultaneous faults
+   (bounded-exhaustive with fingerprint pruning, or biased-random),
+   shrinks any counterexample to a locally minimal fault plan, verifies
+   byte-identical replay, and writes a repro.json artifact that
+   `mpicd_chaos --replay` re-executes exactly.
+
+   Exit codes: 0 = space swept clean (or self-check passed); 1 = a
+   counterexample was found, shrunk, replayed and written; 2 = internal
+   failure (reference run violating its oracle, diverging replay, or a
+   failed self-check).
+
+   --self-check re-seeds a historical comm_revoke regression behind
+   Mpi.Mutation.revoke_oneshot and requires the explorer to find it,
+   shrink it to at most 2 faults and replay it byte-identically — then
+   repeats the same bounded-exhaustive sweep with the bug off and
+   requires zero counterexamples.  This is the explorer's own test
+   that it can still catch the class of bug it exists for.
+
+   Run via `dune build @explore` (part of `dune runtest`). *)
+
+module Fault = Mpicd_simnet.Fault
+module Mpi = Mpicd.Mpi
+module Explore = Mpicd_explore_lib.Explore
+module Workloads = Mpicd_explore_lib.Workloads
+
+let usage =
+  "mpicd_explore [--workload NAME] [--k N] [--budget N] [--mode \
+   exhaustive|random] [--seed N] [--kinds a,b,...] [--out FILE] [--list] \
+   [--quiet] [--self-check]"
+
+let workload = ref "revoke-rescue"
+let k = ref 2
+let budget = ref 400
+let mode = ref Explore.Exhaustive
+let seed = ref 1
+let kinds = ref Explore.all_kinds
+let out = ref "repro.json"
+let quiet = ref false
+let self_check = ref false
+let list_workloads = ref false
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "mpicd_explore: %s\n" msg;
+      exit 2)
+    fmt
+
+let set_mode = function
+  | "exhaustive" -> mode := Explore.Exhaustive
+  | "random" -> mode := Explore.Random
+  | m -> die "unknown mode %S (want exhaustive or random)" m
+
+let set_kinds s =
+  kinds :=
+    String.split_on_char ',' s
+    |> List.map (fun name ->
+           match Explore.kind_of_string (String.trim name) with
+           | Some kd -> kd
+           | None -> die "unknown fault kind %S" name)
+
+let spec =
+  [
+    ("--workload", Arg.Set_string workload, "NAME workload to explore");
+    ("--k", Arg.Set_int k, "N max simultaneous faults (default 2)");
+    ("--budget", Arg.Set_int budget, "N max executions (default 400)");
+    ("--mode", Arg.String set_mode, "M exhaustive (default) or random");
+    ("--seed", Arg.Set_int seed, "N RNG seed for random mode (default 1)");
+    ( "--kinds",
+      Arg.String set_kinds,
+      "K,K,... crash,drop,corrupt,partition,straggle (default all)" );
+    ("--out", Arg.Set_string out, "FILE repro artifact path (default repro.json)");
+    ("--list", Arg.Set list_workloads, " list workloads and exit");
+    ("--quiet", Arg.Set quiet, " suppress progress output");
+    ("--self-check", Arg.Set self_check, " run the seeded-mutation self-check");
+  ]
+
+let say fmt =
+  Printf.ksprintf (fun msg -> if not !quiet then print_string msg) fmt
+
+let get_workload name =
+  match Workloads.find name with
+  | Some wl -> wl
+  | None ->
+      die "unknown workload %S (have: %s)" name
+        (String.concat ", "
+           (List.map (fun w -> w.Workloads.wl_name) Workloads.all))
+
+let sched_to_string sched =
+  String.concat " + " (List.map Explore.fault_id sched)
+
+let explore_once ~wl ~mutations =
+  let tl = Explore.record wl in
+  say "workload %s: %d injection points over [%.0f, %.0f] ns\n"
+    wl.Workloads.wl_name
+    (List.length tl.Explore.tl_points)
+    tl.Explore.tl_t0 tl.Explore.tl_t1;
+  let report =
+    Explore.search ~k:!k ~budget:!budget ~kinds:!kinds ~mode:!mode ~seed:!seed
+      wl tl
+  in
+  say "search: %d runs over %d points, %d fingerprint classes (%d pruned)%s\n"
+    report.Explore.rp_runs report.Explore.rp_points report.Explore.rp_classes
+    report.Explore.rp_pruned
+    (if report.Explore.rp_truncated then ", budget exhausted (truncated)"
+     else "");
+  match report.Explore.rp_cexs with
+  | [] ->
+      say "no counterexamples: fault space clean at k=%d\n" !k;
+      (report, None)
+  | c :: _ as all ->
+      say "%d counterexample(s); first: %s\n  %s\n" (List.length all)
+        (sched_to_string c.Explore.cex_sched)
+        (String.concat "\n  " c.Explore.cex_failures);
+      let shrunk = Explore.shrink wl c in
+      say "shrunk %d -> %d fault(s): %s\n"
+        (List.length c.Explore.cex_sched)
+        (List.length shrunk.Explore.cex_sched)
+        (sched_to_string shrunk.Explore.cex_sched);
+      (match Explore.replay wl shrunk.Explore.cex_plan with
+      | Error e -> die "shrunk counterexample is not deterministic: %s" e
+      | Ok res ->
+          if res.Workloads.res_render <> shrunk.Explore.cex_render then
+            die "shrunk counterexample render drifted between runs");
+      let json = Explore.repro_to_json ~wl ~mutations shrunk in
+      let oc = open_out !out in
+      output_string oc json;
+      close_out oc;
+      say "replay verified byte-identical; wrote %s\n" !out;
+      (report, Some shrunk)
+
+let run_self_check () =
+  let wl = get_workload "revoke-rescue" in
+  (* phase 1: bug on — the explorer must find, shrink and replay it *)
+  Mpi.Mutation.revoke_oneshot := true;
+  say "self-check phase 1: revoke_oneshot mutation ON\n";
+  let _, found = explore_once ~wl ~mutations:[ "revoke_oneshot" ] in
+  (match found with
+  | None ->
+      die "self-check: seeded revoke_oneshot bug was NOT found (k=%d, \
+           budget=%d)"
+        !k !budget
+  | Some c ->
+      let n = List.length c.Explore.cex_sched in
+      if n > 2 then
+        die "self-check: shrunk counterexample has %d faults (want <= 2): %s" n
+          (sched_to_string c.Explore.cex_sched);
+      say "self-check: bug found and shrunk to %d fault(s)\n" n);
+  (* phase 2: bug off — the identical sweep must come back clean *)
+  Mpi.Mutation.revoke_oneshot := false;
+  say "self-check phase 2: mutation OFF, same sweep must be clean\n";
+  let _, found = explore_once ~wl ~mutations:[] in
+  (match found with
+  | Some c ->
+      die "self-check: counterexample with mutation off: %s\n  %s"
+        (sched_to_string c.Explore.cex_sched)
+        (String.concat "\n  " c.Explore.cex_failures)
+  | None -> ());
+  say "self-check: PASS\n";
+  exit 0
+
+let () =
+  Arg.parse spec
+    (fun a -> die "unexpected argument %S" a)
+    usage;
+  if !list_workloads then begin
+    List.iter
+      (fun w ->
+        Printf.printf "%-14s size=%d  %s\n" w.Workloads.wl_name
+          w.Workloads.wl_size w.Workloads.wl_descr)
+      Workloads.all;
+    exit 0
+  end;
+  if !self_check then run_self_check ();
+  let wl = get_workload !workload in
+  match explore_once ~wl ~mutations:[] with
+  | _, None -> exit 0
+  | _, Some _ -> exit 1

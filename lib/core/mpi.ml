@@ -329,6 +329,7 @@ let set_trace w t = Ucx.set_trace w.ucx t
 let set_monitor w m = w.monitor <- m
 let set_faults w p = Ucx.set_faults w.ucx p
 let faults w = Ucx.faults w.ucx
+let set_fault_tap w f = Ucx.set_tap w.ucx f
 
 (* One sink observes every layer: MPI operations here, protocol phases
    in the transport, fiber scheduling in the engine. *)
@@ -1234,6 +1235,17 @@ let comm_revoked c =
    shared simulation, so unlike a payload it cannot be lost — which is
    exactly the guarantee ULFM demands of the revoke algorithm.
    Idempotent; a revoked communicator stays revoked. *)
+(* Test-only seeded-bug switches for the explorer's mutation
+   self-check (docs/FAULTS.md).  Every flag defaults to [false] and is
+   consulted nowhere else, so production behavior is identical while
+   they stay off. *)
+module Mutation = struct
+  (* Re-introduces the pre-PR-8 comm_revoke bug: a rank already
+     declared failed claims the one-shot broadcast flag it can never
+     honor, starving the survivors' revoke. *)
+  let revoke_oneshot = ref false
+end
+
 let comm_revoke c =
   let w = c.w in
   let me = c.group.(c.c_rank) in
@@ -1243,22 +1255,24 @@ let comm_revoke c =
      notification. *)
   let alive = not (Ucx.is_failed w.ucx ~rank:me) in
   let first = not (Hashtbl.mem w.revoked c.cid) in
-  if first && alive then begin
+  if first && (alive || !Mutation.revoke_oneshot) then begin
     let t0 = Engine.now w.engine in
     Hashtbl.replace w.revoked c.cid t0;
-    Stats.record_comm_revoke w.stats;
-    if Obs.enabled w.obs then
-      ignore
-        (Obs.span_complete w.obs ~track:me ~cat:"resilience" ~t0
-           ~t1:(t0 +. w.config.link.latency_ns)
-           ~args:[ ("cid", Obs.Int c.cid) ]
-           "revoke_propagation");
-    Array.iter
-      (fun peer ->
-        if peer <> me then
-          Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
-              deliver_revoke w ~cid:c.cid ~rank:peer))
-      c.group
+    if alive then begin
+      Stats.record_comm_revoke w.stats;
+      if Obs.enabled w.obs then
+        ignore
+          (Obs.span_complete w.obs ~track:me ~cat:"resilience" ~t0
+             ~t1:(t0 +. w.config.link.latency_ns)
+             ~args:[ ("cid", Obs.Int c.cid) ]
+             "revoke_propagation");
+      Array.iter
+        (fun peer ->
+          if peer <> me then
+            Engine.at w.engine ~delay:w.config.link.latency_ns (fun () ->
+                deliver_revoke w ~cid:c.cid ~rank:peer))
+        c.group
+    end
   end;
   deliver_revoke w ~cid:c.cid ~rank:me
 

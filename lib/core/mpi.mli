@@ -74,6 +74,26 @@ val set_faults : world -> Mpicd_simnet.Fault.t option -> unit
 val faults : world -> Mpicd_simnet.Fault.t option
 (** The currently attached fault plan, if any. *)
 
+val set_fault_tap :
+  world -> (Mpicd_simnet.Fault.probe -> unit) option -> unit
+(** Install (or clear) the explorer's probe tap on the attached plan's
+    runtime (see {!Mpicd_ucx.Ucx.set_tap}).  Call after {!set_faults};
+    no-op without a plan.  Taps observe, they never mutate simulation
+    state. *)
+
+(** Test-only seeded-bug switches used by the fault-space explorer's
+    mutation self-check (docs/FAULTS.md): each flag re-introduces one
+    historical bug so the explorer can prove it would have found it.
+    All default to [false]; leaving them off is bit-identical to not
+    having them. *)
+module Mutation : sig
+  val revoke_oneshot : bool ref
+  (** Pre-PR-8 {!comm_revoke} bug: a rank already declared failed
+      claims the one-shot broadcast flag it can never honor, starving
+      the survivors' revoke and hanging ranks blocked on alive peers
+      that abandoned the communication pattern. *)
+end
+
 val set_unpack_shuffle : world -> seed:int option -> unit
 (** Test knob: when set, unpack fragments of custom datatypes created
     with [~inorder:false] are presented out of order (the paper's

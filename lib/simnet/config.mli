@@ -61,6 +61,13 @@ type t = {
           de-synchronize while a given (seed, plan) replay stays
           deterministic; default [false] so fixed-seed replays are
           bit-identical to the fixed-backoff engine *)
+  retx_backoff_max_ns : float;
+      (** ceiling on a single retransmit-backoff sleep: the exponential
+          schedule [rto * backoff^attempt] (jittered or not) is clamped
+          to this value so long retry chains — straggler-stretched runs,
+          large [backoff] exponents — cannot balloon or overflow virtual
+          time; default [1e9] (1 s), far above any default schedule so
+          existing replays are bit-identical *)
 }
 
 val default : t

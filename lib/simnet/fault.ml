@@ -19,11 +19,30 @@ let clean_link =
     flap_down_ns = 0.;
   }
 
+type inject_kind = Inj_drop | Inj_corrupt
+
+type injection = {
+  inj_kind : inject_kind;
+  inj_src : int;
+  inj_dst : int;
+  inj_mseq : int;
+  inj_frag : int;
+}
+
+type partition = {
+  part_group : int list;
+  part_start_ns : float;
+  part_dur_ns : float;
+}
+
 type t = {
   seed : int;
   link : link_plan;
   overrides : ((int * int) * link_plan) list;
   crashes : (int * float) list;
+  injections : injection list;
+  partitions : partition list;
+  stragglers : (int * float) list;
   max_retries : int;
   rto_ns : float;
   backoff : float;
@@ -37,6 +56,9 @@ let default =
     link = clean_link;
     overrides = [];
     crashes = [];
+    injections = [];
+    partitions = [];
+    stragglers = [];
     max_retries = 8;
     rto_ns = 50_000.;
     backoff = 2.;
@@ -45,8 +67,9 @@ let default =
   }
 
 let make ?(seed = default.seed) ?(link = default.link) ?(overrides = [])
-    ?(crashes = []) ?(max_retries = default.max_retries)
-    ?(rto_ns = default.rto_ns) ?(backoff = default.backoff)
+    ?(crashes = []) ?(injections = []) ?(partitions = []) ?(stragglers = [])
+    ?(max_retries = default.max_retries) ?(rto_ns = default.rto_ns)
+    ?(backoff = default.backoff)
     ?(rndv_timeout_ns = default.rndv_timeout_ns)
     ?(hb_period_ns = default.hb_period_ns) () =
   {
@@ -54,6 +77,9 @@ let make ?(seed = default.seed) ?(link = default.link) ?(overrides = [])
     link;
     overrides;
     crashes;
+    injections;
+    partitions;
+    stragglers;
     max_retries;
     rto_ns;
     backoff;
@@ -94,11 +120,54 @@ let earliest_crashes t =
 let crash_time t ~rank =
   List.assoc_opt rank (earliest_crashes t)
 
+(* A partition cuts every link whose endpoints fall on opposite sides of
+   the group boundary; traffic inside the isolated group (and inside the
+   rest of the world) is untouched.  Partitions are deterministic drops,
+   not flap-style waits, so they burn retransmission attempts and stress
+   the backoff schedule the way a real cut would. *)
+let partitioned t ~src ~dst ~now =
+  t.partitions <> []
+  && List.exists
+       (fun p ->
+         now >= p.part_start_ns
+         && now < p.part_start_ns +. p.part_dur_ns
+         && List.mem src p.part_group <> List.mem dst p.part_group)
+       t.partitions
+
+(* Per-rank CPU slowdown factor; exactly [1.] when the rank is not a
+   straggler so fault-free arithmetic is bit-identical ([x *. 1. = x]). *)
+let straggle_factor t ~rank =
+  match List.assoc_opt rank t.stragglers with Some f -> f | None -> 1.
+
+let injected t ~src ~dst ~mseq ~frag =
+  if t.injections = [] then None
+  else
+    List.find_map
+      (fun i ->
+        if
+          i.inj_src = src && i.inj_dst = dst && i.inj_mseq = mseq
+          && i.inj_frag = frag
+        then Some i.inj_kind
+        else None)
+      t.injections
+
 type fate = {
   f_drop : bool;
   f_corrupt : bool;
   f_dup : bool;
   f_delay_ns : float;
+}
+
+type probe_kind = Pb_frag | Pb_ack
+
+type probe = {
+  pb_kind : probe_kind;
+  pb_src : int;
+  pb_dst : int;
+  pb_mseq : int;
+  pb_frag : int;
+  pb_len : int;
+  pb_time : float;
 }
 
 type runtime = {
@@ -107,12 +176,16 @@ type runtime = {
   r_crash : (int, float) Hashtbl.t;
       (* per-rank earliest crash time, precomputed at [start] so the
          per-fragment liveness check is O(1) instead of O(plan crashes) *)
+  mutable r_tap : (probe -> unit) option;
 }
 
 let start p =
   let r_crash = Hashtbl.create (List.length p.crashes) in
   List.iter (fun (r, t0) -> Hashtbl.replace r_crash r t0) (earliest_crashes p);
-  { r_plan = p; r_rng = Rng.create p.seed; r_crash }
+  { r_plan = p; r_rng = Rng.create p.seed; r_crash; r_tap = None }
+
+let set_tap r f = r.r_tap <- f
+let notify_tap r pb = match r.r_tap with None -> () | Some f -> f pb
 
 let plan r = r.r_plan
 
@@ -154,6 +227,19 @@ let to_string t =
   if l.flap_period_ns > 0. then
     addf ",flap=%g/%g" l.flap_period_ns l.flap_down_ns;
   List.iter (fun (r, at) -> addf ",crash=%d@%g" r at) t.crashes;
+  List.iter
+    (fun p ->
+      addf ",part=%s@%g+%g"
+        (String.concat "." (List.map string_of_int p.part_group))
+        p.part_start_ns p.part_dur_ns)
+    t.partitions;
+  List.iter (fun (r, f) -> addf ",straggle=%d@%g" r f) t.stragglers;
+  List.iter
+    (fun i ->
+      addf ",inj=%s:%d.%d.%d.%d"
+        (match i.inj_kind with Inj_drop -> "drop" | Inj_corrupt -> "corrupt")
+        i.inj_src i.inj_dst i.inj_mseq i.inj_frag)
+    t.injections;
   addf ",retries=%d" t.max_retries;
   addf ",rto=%g" t.rto_ns;
   addf ",backoff=%g" t.backoff;
@@ -229,6 +315,103 @@ let of_string s =
                       (String.sub v (j + 1) (String.length v - j - 1))
                   in
                   Ok { t with crashes = t.crashes @ [ (rank, at) ] })
+          | "part" -> (
+              (* part=R1.R2@START+DUR: ranks R1.R2... are cut off from
+                 the rest of the world during [START, START+DUR). *)
+              match String.index_opt v '@' with
+              | None -> err "fault plan: part expects GROUP@START+DUR, got %S" v
+              | Some j -> (
+                  let group_s = String.sub v 0 j in
+                  let win = String.sub v (j + 1) (String.length v - j - 1) in
+                  match String.index_opt win '+' with
+                  | None ->
+                      err "fault plan: part expects GROUP@START+DUR, got %S" v
+                  | Some k ->
+                      let* start =
+                        parse_float "part start" (String.sub win 0 k)
+                      in
+                      let* dur =
+                        parse_float "part duration"
+                          (String.sub win (k + 1) (String.length win - k - 1))
+                      in
+                      let members =
+                        String.split_on_char '.' group_s
+                        |> List.filter (fun m -> m <> "")
+                      in
+                      if members = [] then
+                        err "fault plan: part group is empty in %S" v
+                      else
+                        let* group =
+                          List.fold_left
+                            (fun acc m ->
+                              let* rs = acc in
+                              let* r = parse_int "part rank" m in
+                              Ok (rs @ [ r ]))
+                            (Ok []) members
+                        in
+                        Ok
+                          {
+                            t with
+                            partitions =
+                              t.partitions
+                              @ [
+                                  {
+                                    part_group = group;
+                                    part_start_ns = start;
+                                    part_dur_ns = dur;
+                                  };
+                                ];
+                          }))
+          | "straggle" -> (
+              match String.index_opt v '@' with
+              | None -> err "fault plan: straggle expects RANK@FACTOR, got %S" v
+              | Some j ->
+                  let* rank = parse_int "straggle rank" (String.sub v 0 j) in
+                  let* f =
+                    parse_float "straggle factor"
+                      (String.sub v (j + 1) (String.length v - j - 1))
+                  in
+                  if f < 1. then
+                    err "fault plan: straggle factor must be >= 1, got %g" f
+                  else
+                    Ok { t with stragglers = t.stragglers @ [ (rank, f) ] })
+          | "inj" -> (
+              match String.index_opt v ':' with
+              | None ->
+                  err "fault plan: inj expects KIND:SRC.DST.MSEQ.FRAG, got %S" v
+              | Some j -> (
+                  let* kind =
+                    match String.sub v 0 j with
+                    | "drop" -> Ok Inj_drop
+                    | "corrupt" -> Ok Inj_corrupt
+                    | k -> err "fault plan: unknown injection kind %S" k
+                  in
+                  let coords = String.sub v (j + 1) (String.length v - j - 1) in
+                  match String.split_on_char '.' coords with
+                  | [ s; d; m; f ] ->
+                      let* src = parse_int "inj src" s in
+                      let* dst = parse_int "inj dst" d in
+                      let* mseq = parse_int "inj mseq" m in
+                      let* frag = parse_int "inj frag" f in
+                      Ok
+                        {
+                          t with
+                          injections =
+                            t.injections
+                            @ [
+                                {
+                                  inj_kind = kind;
+                                  inj_src = src;
+                                  inj_dst = dst;
+                                  inj_mseq = mseq;
+                                  inj_frag = frag;
+                                };
+                              ];
+                        }
+                  | _ ->
+                      err
+                        "fault plan: inj expects KIND:SRC.DST.MSEQ.FRAG, got %S"
+                        v))
           | "retries" ->
               let* n = parse_int key v in
               if n < 0 then err "fault plan: retries must be >= 0"

@@ -32,6 +32,34 @@ type link_plan = {
 val clean_link : link_plan
 (** A perfectly reliable link (all probabilities and windows zero). *)
 
+(** A targeted single-shot fault: the first wire attempt of one exact
+    fragment of one exact message suffers the given kind.  The
+    injection-point coordinate [(src, dst, mseq, frag)] is stable across
+    runs because [mseq] is the context-wide message sequence number
+    allocated deterministically at send time — the explorer derives
+    these coordinates from a reference run's probe tap. *)
+type inject_kind = Inj_drop | Inj_corrupt
+
+type injection = {
+  inj_kind : inject_kind;
+  inj_src : int;  (** sending worker id *)
+  inj_dst : int;  (** receiving worker id *)
+  inj_mseq : int;  (** context-wide message sequence number *)
+  inj_frag : int;  (** fragment index within the message ([0]-based) *)
+}
+
+(** A network partition: the ranks in [part_group] are cut off from the
+    rest of the world during [[part_start_ns, part_start_ns +
+    part_dur_ns)]; fragments crossing the boundary in either direction
+    are dropped (and retried by the reliability protocol), links inside
+    either side are untouched.  The cut heals by itself when the window
+    closes. *)
+type partition = {
+  part_group : int list;
+  part_start_ns : float;
+  part_dur_ns : float;
+}
+
 type t = {
   seed : int;  (** seed of the dedicated fault-decision RNG stream *)
   link : link_plan;  (** default plan for every link *)
@@ -39,6 +67,14 @@ type t = {
       (** per-[(src, dst)] worker-pair overrides of [link] *)
   crashes : (int * float) list;
       (** [(rank, t)]: worker [rank] is dead from virtual time [t] on *)
+  injections : injection list;
+      (** targeted single-shot faults at exact injection points *)
+  partitions : partition list;  (** healing link-set cuts *)
+  stragglers : (int * float) list;
+      (** [(rank, factor)]: persistent CPU slowdown, [factor >= 1.];
+          the rank stays alive but all its compute (pack, unpack,
+          per-message overhead) takes [factor] times longer, stressing
+          heartbeat / rendezvous / backoff timeouts *)
   max_retries : int;  (** retransmission attempts per fragment *)
   rto_ns : float;  (** initial retransmission timeout *)
   backoff : float;  (** RTO multiplier per successive retry *)
@@ -63,6 +99,9 @@ val make :
   ?link:link_plan ->
   ?overrides:((int * int) * link_plan) list ->
   ?crashes:(int * float) list ->
+  ?injections:injection list ->
+  ?partitions:partition list ->
+  ?stragglers:(int * float) list ->
   ?max_retries:int ->
   ?rto_ns:float ->
   ?backoff:float ->
@@ -95,6 +134,20 @@ val earliest_crashes : t -> (int * float) list
 val crash_time : t -> rank:int -> float option
 (** Earliest crash time of [rank] under this plan, if it crashes. *)
 
+val partitioned : t -> src:int -> dst:int -> now:float -> bool
+(** Whether the [src -> dst] link is cut by an active partition at
+    [now] (exactly one endpoint inside the isolated group). *)
+
+val straggle_factor : t -> rank:int -> float
+(** The rank's CPU slowdown factor; exactly [1.] for non-stragglers, so
+    multiplying by it is bit-identical to not multiplying at all. *)
+
+val injected :
+  t -> src:int -> dst:int -> mseq:int -> frag:int -> inject_kind option
+(** The targeted fault registered for this exact fragment, if any.
+    Applies only to a fragment's first wire attempt; retransmissions
+    are never re-injected. *)
+
 (** {1 Runtime: plan + dedicated decision stream} *)
 
 (** The fate of one wire fragment.  Decisions are mutually independent;
@@ -106,12 +159,37 @@ type fate = {
   f_delay_ns : float;  (** extra in-flight latency, [0.] if none *)
 }
 
+(** One observed fault-injectable wire event, reported through the
+    probe tap of a reference run.  [(pb_src, pb_dst, pb_mseq, pb_frag)]
+    is the stable injection-point coordinate {!injection} targets;
+    [pb_time] anchors crash / partition candidate windows. *)
+type probe_kind = Pb_frag  (** first wire attempt of a data fragment *)
+  | Pb_ack  (** acknowledgement completing a reliable transfer *)
+
+type probe = {
+  pb_kind : probe_kind;
+  pb_src : int;
+  pb_dst : int;
+  pb_mseq : int;
+  pb_frag : int;  (** [-1] for {!Pb_ack} *)
+  pb_len : int;
+  pb_time : float;
+}
+
 type runtime
 (** A plan paired with its decision stream.  Two runtimes started from
     equal plans draw identical decision sequences. *)
 
 val start : t -> runtime
 val plan : runtime -> t
+
+val set_tap : runtime -> (probe -> unit) option -> unit
+(** Install (or clear) the probe tap.  The transport reports every
+    first-attempt fragment send and every completing ack through it;
+    taps observe, they must not mutate simulation state. *)
+
+val notify_tap : runtime -> probe -> unit
+(** Used by the transport; no-op when no tap is installed. *)
 
 val crashed_rt : runtime -> rank:int -> now:float -> bool
 (** O(1) equivalent of {!crashed}, answering from the per-rank earliest
@@ -133,9 +211,13 @@ val corrupt_bit : runtime -> len:int -> int * int
     ["seed=42,drop=0.05,corrupt=0.01,retries=8,rto=50000"].  Keys:
     [seed], [drop], [corrupt], [dup], [delay_p], [delay] (ns),
     [flap=PERIOD/DOWN] (ns), [crash=RANK\@TIME] (repeatable),
-    [retries], [rto] (ns), [backoff], [rndv_timeout] (ns), [hb] (ns,
-    the failure-detector heartbeat period).  Per-link overrides have no
-    string syntax; build them with {!make}. *)
+    [part=R1.R2\@START+DUR] (repeatable; ranks [R1.R2...] isolated
+    during [[START, START+DUR)]), [straggle=RANK\@FACTOR] (repeatable,
+    [FACTOR >= 1]), [inj=KIND:SRC.DST.MSEQ.FRAG] (repeatable,
+    [KIND in {drop, corrupt}]; targeted first-attempt fault at one
+    injection point), [retries], [rto] (ns), [backoff], [rndv_timeout]
+    (ns), [hb] (ns, the failure-detector heartbeat period).  Per-link
+    overrides have no string syntax; build them with {!make}. *)
 
 val of_string : string -> (t, string) result
 val to_string : t -> string

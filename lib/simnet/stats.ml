@@ -52,6 +52,11 @@ type t = {
   (* decorrelated-jitter draws on the retransmit backoff; stays 0
      unless [Config.retx_jitter] is on *)
   mutable jittered_backoffs : int;
+  (* explorer fault-model counters: deterministic partition cuts and
+     targeted single-shot injections; both stay 0 unless a plan with
+     partitions/injections is attached *)
+  mutable partition_drops : int;
+  mutable injections_fired : int;
 }
 
 let create () =
@@ -98,6 +103,8 @@ let create () =
     dups_suppressed = 0;
     recoveries = 0;
     jittered_backoffs = 0;
+    partition_drops = 0;
+    injections_fired = 0;
   }
 
 let reset t =
@@ -142,7 +149,9 @@ let reset t =
   t.msgs_replayed <- 0;
   t.dups_suppressed <- 0;
   t.recoveries <- 0;
-  t.jittered_backoffs <- 0
+  t.jittered_backoffs <- 0;
+  t.partition_drops <- 0;
+  t.injections_fired <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -204,6 +213,8 @@ let record_msg_replayed t = t.msgs_replayed <- t.msgs_replayed + 1
 let record_dup_suppressed t = t.dups_suppressed <- t.dups_suppressed + 1
 let record_recovery t = t.recoveries <- t.recoveries + 1
 let record_jittered_backoff t = t.jittered_backoffs <- t.jittered_backoffs + 1
+let record_partition_drop t = t.partition_drops <- t.partition_drops + 1
+let record_injection_fired t = t.injections_fired <- t.injections_fired + 1
 
 let snapshot t = { t with messages_sent = t.messages_sent }
 
@@ -252,6 +263,8 @@ let diff ~after ~before =
     dups_suppressed = after.dups_suppressed - before.dups_suppressed;
     recoveries = after.recoveries - before.recoveries;
     jittered_backoffs = after.jittered_backoffs - before.jittered_backoffs;
+    partition_drops = after.partition_drops - before.partition_drops;
+    injections_fired = after.injections_fired - before.injections_fired;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -269,7 +282,7 @@ let mean_iov_entries t =
 let reliability_events t =
   t.retransmits + t.frags_dropped + t.frags_corrupted + t.frags_duplicated
   + t.acks + t.nacks + t.iov_fallbacks + t.flap_waits + t.delivery_timeouts
-  + t.failures_detected
+  + t.failures_detected + t.partition_drops + t.injections_fired
 
 let resilience_events t =
   t.ops_cancelled + t.comm_revokes + t.comm_shrinks + t.comm_agreements
@@ -302,6 +315,10 @@ let pp ppf t =
       t.retransmits t.frags_dropped t.frags_corrupted t.frags_duplicated
       t.acks t.nacks t.iov_fallbacks t.flap_waits t.delivery_timeouts
       t.failures_detected;
+  (* Appended separately so plans without the explorer fault kinds
+     render exactly as before. *)
+  if t.partition_drops > 0 || t.injections_fired > 0 then
+    Format.fprintf ppf " parts=%d inj=%d" t.partition_drops t.injections_fired;
   if resilience_events t > 0 then
     Format.fprintf ppf
       "@,resilience: cancelled=%d revokes=%d shrinks=%d agreements=%d"

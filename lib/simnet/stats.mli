@@ -72,6 +72,12 @@ type t = {
   mutable jittered_backoffs : int;
       (** retransmit sleeps drawn with decorrelated jitter; 0 unless
           [Config.retx_jitter] is on *)
+  mutable partition_drops : int;
+      (** fragments dropped by an active network partition (counted in
+          addition to [frags_dropped]); 0 without a partition plan *)
+  mutable injections_fired : int;
+      (** targeted single-shot injections that hit their exact
+          [(src, dst, mseq, frag)] coordinate; 0 without injections *)
 }
 
 val create : unit -> t
@@ -102,6 +108,8 @@ val record_iov_fallback : t -> unit
 val record_flap_wait : t -> unit
 val record_delivery_timeout : t -> unit
 val record_failure_detected : t -> unit
+val record_partition_drop : t -> unit
+val record_injection_fired : t -> unit
 
 (** {1 Resilience events} (recorded by the ULFM-style layer;
     see docs/RESILIENCE.md) *)

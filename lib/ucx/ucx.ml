@@ -440,6 +440,15 @@ let fault_instant ctx ~track ~time name args =
     Metrics.inc (Metrics.counter (Obs.metrics ctx.obs) ("fault." ^ name))
   end
 
+(* Per-rank straggler slowdown: multiplies every CPU cost (posting
+   overhead, pack, unpack, staging) charged to [rank].  Exactly [1.]
+   without a plan or for non-stragglers, so the fault-free path is
+   bit-identical ([x *. 1. = x] in IEEE arithmetic). *)
+let straggle ctx rank =
+  match ctx.faults with
+  | None -> 1.
+  | Some fr -> Fault.straggle_factor (Fault.plan fr) ~rank
+
 (* --- process-failure detection and operation cancellation ---
 
    A crashed rank is *declared* failed either by the heartbeat detector
@@ -545,21 +554,42 @@ let try_cancel ctx (req : request) ~tag error =
    missing reply have had time to cross the link (two latencies).  The
    fiber walks the precomputed crash schedule and exits, so it never
    keeps the engine alive once every crash has been declared. *)
-let spawn_detector ctx plan =
-  let e = ctx.engine in
+(* A straggler is falsely declared failed when its probe reply cannot
+   cross the link within the reply budget of one heartbeat round: reply
+   time [factor * 2 * latency] against budget [period + 2 * latency] —
+   the classic slow-vs-dead ambiguity of timeout detectors.  Below that
+   threshold a straggler is never declared, which the partition /
+   straggler test oracles pin. *)
+let straggler_declared (l : Config.link) plan (factor : float) =
+  factor *. 2. *. l.latency_ns > plan.Fault.hb_period_ns +. (2. *. l.latency_ns)
+
+let detector_events ctx plan =
   let l = link ctx in
   let period = plan.Fault.hb_period_ns in
+  List.map
+    (fun (rank, t0) ->
+      let detect_at =
+        ((Float.floor (t0 /. period) +. 1.) *. period) +. (2. *. l.latency_ns)
+      in
+      (detect_at, rank))
+    (Fault.earliest_crashes plan)
+  @ List.filter_map
+      (fun (rank, factor) ->
+        if straggler_declared l plan factor then
+          Some (period +. (factor *. 2. *. l.latency_ns), rank)
+        else None)
+      plan.Fault.stragglers
+  |> List.sort compare
+
+let spawn_detector ctx events =
+  let e = ctx.engine in
   Engine.spawn e ~name:"fail_detector" (fun () ->
       List.iter
-        (fun (rank, t0) ->
-          let detect_at =
-            ((Float.floor (t0 /. period) +. 1.) *. period)
-            +. (2. *. l.latency_ns)
-          in
+        (fun (detect_at, rank) ->
           let now = Engine.now e in
           if detect_at > now then Engine.sleep e (detect_at -. now);
           notify_failure ctx ~rank)
-        (Fault.earliest_crashes plan))
+        events)
 
 let set_faults c p =
   c.faults <- Option.map Fault.start p;
@@ -572,9 +602,17 @@ let set_faults c p =
         Some (Mpicd_simnet.Rng.create (plan.Fault.seed lxor 0x4a69_7474))
     | _ -> None);
   match p with
-  | Some plan when plan.Fault.crashes <> [] && plan.Fault.hb_period_ns > 0. ->
-      spawn_detector c plan
+  | Some plan when plan.Fault.hb_period_ns > 0. -> (
+      match detector_events c plan with
+      | [] -> ()
+      | events -> spawn_detector c events)
   | _ -> ()
+
+(* Install the explorer's probe tap on the attached plan runtime; call
+   after [set_faults] (a later [set_faults] replaces the runtime and
+   drops the tap).  No-op without a plan. *)
+let set_tap c f =
+  match c.faults with Some fr -> Fault.set_tap fr f | None -> ()
 
 (* Wire-fragment lengths of a [total]-byte stream; control messages
    (total = 0) still occupy one zero-length fragment. *)
@@ -611,6 +649,14 @@ type xfer = {
          when [checksum] was false (zero-copy DMA path) *)
 }
 
+(* The deterministic backoff sleep before retransmission [attempt + 1]:
+   the plan's exponential schedule clamped at the config ceiling, so
+   straggler-stretched or large-exponent chains can't balloon (or
+   overflow to [infinity]) virtual time.  Pure so tests can pin the
+   clamp boundary exactly. *)
+let retx_backoff_ns (cfg : Config.t) plan ~attempt =
+  Float.min cfg.Config.retx_backoff_max_ns (Fault.rto plan ~attempt)
+
 (* Move [stream] from [src_id] to [dst_id] under the attached fault
    plan.  Must run in a fiber; returns once the last fragment has been
    serialized (the caller schedules delivery [x_lag] later and the
@@ -630,18 +676,20 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
      (each transfer de-correlates independently, which is what breaks
      synchronized retry storms across concurrent flows) *)
   let prev_sleep = ref plan.Fault.rto_ns in
+  let clamp_ns = ctx.config.Config.retx_backoff_max_ns in
   let backoff_sleep attempt =
     match ctx.retx_rng with
-    | None -> Fault.rto plan ~attempt
+    | None -> retx_backoff_ns ctx.config plan ~attempt
     | Some rng ->
         (* sleep ~ U[rto, min(cap, 3 x previous)], after AWS's
            "decorrelated jitter"; the cap is the ceiling of the
            deterministic exponential schedule so jitter never waits
            longer than the fixed backoff would at retry exhaustion *)
-        let base = plan.Fault.rto_ns in
-        let cap = Fault.rto plan ~attempt:plan.Fault.max_retries in
+        let base = Float.min clamp_ns plan.Fault.rto_ns in
+        let cap = retx_backoff_ns ctx.config plan ~attempt:plan.Fault.max_retries in
         let hi = Float.min cap (Float.max (base +. 1.) (3. *. !prev_sleep)) in
-        let s = base +. Mpicd_simnet.Rng.float rng (hi -. base) in
+        let s = base +. Mpicd_simnet.Rng.float rng (Float.max 0. (hi -. base)) in
+        let s = Float.min clamp_ns s in
         prev_sleep := s;
         Stats.record_jittered_backoff ctx.stats;
         s
@@ -663,7 +711,27 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
       Fault.crashed_rt fr ~rank:dst_id ~now
       || Fault.crashed_rt fr ~rank:src_id ~now
     in
+    (* The fate is always drawn first so the decision stream stays
+       aligned whether or not a targeted injection or partition
+       overrides it below. *)
     let fate = Fault.fate fr ~src:src_id ~dst:dst_id in
+    let injected =
+      if attempt = 0 then
+        Fault.injected plan ~src:src_id ~dst:dst_id ~mseq ~frag:seq
+      else None
+    in
+    let cut = Fault.partitioned plan ~src:src_id ~dst:dst_id ~now in
+    if attempt = 0 then
+      Fault.notify_tap fr
+        {
+          Fault.pb_kind = Fault.Pb_frag;
+          pb_src = src_id;
+          pb_dst = dst_id;
+          pb_mseq = mseq;
+          pb_frag = seq;
+          pb_len = len;
+          pb_time = now;
+        };
     let retry cause =
       if attempt >= plan.Fault.max_retries then begin
         Stats.record_delivery_timeout ctx.stats;
@@ -700,14 +768,33 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
         send_frag seq off len (attempt + 1)
       end
     in
-    if dead || fate.Fault.f_drop then begin
+    let f_drop =
+      fate.Fault.f_drop
+      || injected = Some Fault.Inj_drop
+      || (cut && not dead)
+    in
+    let f_corrupt = fate.Fault.f_corrupt || injected = Some Fault.Inj_corrupt in
+    if injected <> None then begin
+      Stats.record_injection_fired ctx.stats;
+      trace ctx "fault" "targeted injection mseq=%d frag=%d %d->%d" mseq seq
+        src_id dst_id;
+      fault_instant ctx ~track:src_id ~time:now "injection"
+        [ ("mseq", Obs.Int mseq); ("frag", Obs.Int seq) ]
+    end;
+    if dead || f_drop then begin
+      if cut && not dead && not fate.Fault.f_drop then begin
+        Stats.record_partition_drop ctx.stats;
+        trace ctx "fault" "partition cut %d->%d seq=%d" src_id dst_id seq;
+        fault_instant ctx ~track:src_id ~time:now "partition_drop"
+          [ ("seq", Obs.Int seq) ]
+      end;
       Stats.record_frag_drop ctx.stats;
       trace ctx "fault" "drop seq=%d %d->%d" seq src_id dst_id;
       fault_instant ctx ~track:src_id ~time:now "frag_drop"
         [ ("seq", Obs.Int seq) ];
       retry `Drop
     end
-    else if fate.Fault.f_corrupt && checksum && len > 0 then begin
+    else if f_corrupt && checksum && len > 0 then begin
       (* The fragment arrives with one bit flipped; its CRC32 no longer
          matches, so the receiver nacks and the sender retransmits. *)
       Stats.record_frag_corrupt ctx.stats;
@@ -731,7 +818,7 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
     else begin
       (* Delivered.  On non-checksummed (zero-copy DMA) paths a corrupt
          fate slips through into the receiver's copy. *)
-      if fate.Fault.f_corrupt && len > 0 then begin
+      if f_corrupt && len > 0 then begin
         Stats.record_frag_corrupt ctx.stats;
         let byte, bit = Fault.corrupt_bit fr ~len in
         Buf.set_u8 delivered (off + byte)
@@ -768,6 +855,16 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
   | None ->
       (* cumulative ack for the whole window *)
       Stats.record_ack ctx.stats;
+      Fault.notify_tap fr
+        {
+          Fault.pb_kind = Fault.Pb_ack;
+          pb_src = src_id;
+          pb_dst = dst_id;
+          pb_mseq = mseq;
+          pb_frag = -1;
+          pb_len = Buf.length stream;
+          pb_time = Engine.now e +. !last_lag;
+        };
       fault_instant ctx ~track:dst_id ~time:(Engine.now e +. !last_lag) "ack"
         [ ("bytes", Obs.Int (Buf.length stream)) ];
       if obs_on ctx then
@@ -817,6 +914,7 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
                 iov_cost ctx (List.length bufs)
             | Sd_contig _ -> 0.
           in
+          let cpu_send = cpu_send *. straggle ctx env.e_src in
           (match r.r_dt with
           | Sd_generic _ -> Stats.record_copy ctx.stats size
           | Sd_contig _ | Sd_iov _ -> ());
@@ -855,7 +953,8 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
                 (* the retry stages through a packed bounce buffer *)
                 Stats.record_copy ctx.stats size;
                 Engine.sleep e
-                  (Config.alloc_time c size +. Config.memcpy_time c size);
+                  ((Config.alloc_time c size +. Config.memcpy_time c size)
+                  *. straggle ctx env.e_src);
                 match
                   reliable_transfer ctx fr ~mseq:env.e_seq ~src_id:env.e_src
                     ~dst_id:w.id ~stream ~checksum:true
@@ -884,7 +983,7 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
               | exception Callback_error code ->
                   fail_both (Callback_failed code)
               | cpu_recv ->
-                  Engine.sleep e cpu_recv;
+                  Engine.sleep e (cpu_recv *. straggle ctx w.id);
                   complete_if_pending pr.pr_req
                     { len = size; tag = env.e_tag; error = None };
                   (* the sender completes when the final ack crosses back *)
@@ -951,6 +1050,9 @@ let process_match w (pr : posted) (env : envelope) =
         in
         match deposit ctx pr.pr_dt frags ~zcopy:false with
         | cpu_time ->
+            let sf = straggle ctx w.id in
+            let alloc_delay = alloc_delay *. sf in
+            let cpu_time = cpu_time *. sf in
             let delay = alloc_delay +. cpu_time in
             if obs_on ctx then begin
               let t0 = Engine.now e in
@@ -1282,7 +1384,7 @@ let tag_send ep ~tag dt =
   let mseq = ctx.next_mseq in
   ctx.next_mseq <- mseq + 1;
   req.r_seq <- mseq;
-  Engine.sleep e l.per_msg_overhead_ns;
+  Engine.sleep e (l.per_msg_overhead_ns *. straggle ctx ep.ep_src.id);
   let total = send_dt_size dt in
   (match dt with
   | Sd_iov bufs ->
@@ -1339,6 +1441,7 @@ let tag_send ep ~tag dt =
           | Sd_iov _ -> assert false
         with
         | (frags, ncb), cpu_time ->
+            let cpu_time = cpu_time *. straggle ctx ep.ep_src.id in
             Engine.sleep e cpu_time;
             trace ctx "send" "worker %d eager tag=%Lx %dB" ep.ep_src.id tag total;
             Stats.record_message ctx.stats ~eager:true ~wire_bytes:total;

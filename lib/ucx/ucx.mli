@@ -204,6 +204,25 @@ val set_faults : context -> Mpicd_simnet.Fault.t option -> unit
 val faults : context -> Mpicd_simnet.Fault.t option
 (** The currently attached fault plan, if any. *)
 
+val set_tap : context -> (Mpicd_simnet.Fault.probe -> unit) option -> unit
+(** Install (or clear) a probe tap on the attached plan's runtime: the
+    transport reports every first-attempt fragment send and every
+    completing ack through it, which is how the explorer enumerates the
+    injection points of a reference run.  Call {e after} {!set_faults}
+    (re-attaching a plan replaces the runtime and drops the tap); no-op
+    without a plan.  Taps observe — they must not mutate simulation
+    state. *)
+
+val retx_backoff_ns :
+  Mpicd_simnet.Config.t -> Mpicd_simnet.Fault.t -> attempt:int -> float
+(** The deterministic backoff sleep before retransmission
+    [attempt + 1]: the plan's exponential schedule
+    [rto_ns * backoff^attempt] clamped at
+    [Config.retx_backoff_max_ns].  This is exactly what the reliable
+    path sleeps when [Config.retx_jitter] is off (jittered sleeps are
+    clamped at the same ceiling), exposed pure so tests can pin the
+    clamp boundary. *)
+
 (** {1 Process-failure detection (ULFM building blocks)}
 
     A heartbeat liveness detector runs whenever the attached plan
@@ -213,7 +232,14 @@ val faults : context -> Mpicd_simnet.Fault.t option
     by [hb_period_ns + 2 * latency_ns] of virtual time.  Failure is
     also detected sooner, piggybacked on normal traffic, when the
     reliable protocol exhausts retries against a crashed peer.
-    Declaration is idempotent and recorded in
+    An extreme straggler whose probe reply cannot cross the link within
+    one heartbeat round — slowdown factor [f] with
+    [f * 2 * latency_ns > hb_period_ns + 2 * latency_ns] — is {e
+    falsely} declared failed at [hb_period_ns + f * 2 * latency_ns]
+    (the classic slow-vs-dead ambiguity of timeout detectors); below
+    that threshold a straggler is never declared.  Partitions never
+    trigger declarations: the detector walks the plan's schedule, not
+    the wire.  Declaration is idempotent and recorded in
     {!Stats}.[failures_detected], the ["fault.rank_failed"] counter and
     the ["failure_detect_latency_ns"] histogram.  See
     docs/RESILIENCE.md. *)

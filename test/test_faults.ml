@@ -80,11 +80,28 @@ let gen_plan =
       ]
   in
   let crash = map2 (fun r t -> (r, t)) (0 -- 7) ns in
+  let injection =
+    let* inj_kind = oneofl [ Fault.Inj_drop; Fault.Inj_corrupt ] in
+    let* inj_src = 0 -- 7 and* inj_dst = 0 -- 7 in
+    let* inj_mseq = 0 -- 30 and* inj_frag = 0 -- 4 in
+    return { Fault.inj_kind; inj_src; inj_dst; inj_mseq; inj_frag }
+  in
+  let partition =
+    let* part_group = list_size (1 -- 3) (0 -- 7) in
+    let* part_start_ns = ns0 and* part_dur_ns = ns in
+    return { Fault.part_group; part_start_ns; part_dur_ns }
+  in
+  let straggler =
+    map2 (fun r f -> (r, f)) (0 -- 7) (oneofl [ 1.; 1.5; 2.; 4.; 16. ])
+  in
   let* seed = 0 -- 10_000 in
   let* drop_p = prob and* corrupt_p = prob and* dup_p = prob in
   let* delay_p = prob and* delay_ns = ns0 in
   let* flap_period_ns, flap_down_ns = flap in
   let* crashes = list_size (0 -- 3) crash in
+  let* injections = list_size (0 -- 3) injection in
+  let* partitions = list_size (0 -- 2) partition in
+  let* stragglers = list_size (0 -- 2) straggler in
   let* max_retries = 0 -- 8 in
   let* rto_ns = ns in
   let* backoff = oneofl [ 1.; 1.5; 2.; 3. ] in
@@ -102,12 +119,61 @@ let gen_plan =
            flap_period_ns;
            flap_down_ns;
          }
-       ~crashes ~max_retries ~rto_ns ~backoff ~rndv_timeout_ns ~hb_period_ns
-       ())
+       ~crashes ~injections ~partitions ~stragglers ~max_retries ~rto_ns
+       ~backoff ~rndv_timeout_ns ~hb_period_ns ())
+
+(* Shrinker over the plan grammar: candidates keep to the same value
+   pools the generator draws from, so a shrunk counterexample is still
+   a plan the generator could have produced.  Order matters — structure
+   first (drop one scheduled fault), then probabilities, then knobs —
+   so qcheck reports the smallest plan that still fails. *)
+let shrink_plan (p : Fault.t) yield =
+  let drop_one xs k =
+    List.iteri (fun i _ -> k (List.filteri (fun j _ -> j <> i) xs)) xs
+  in
+  drop_one p.Fault.crashes (fun crashes -> yield { p with Fault.crashes });
+  drop_one p.Fault.injections (fun injections ->
+      yield { p with Fault.injections });
+  drop_one p.Fault.partitions (fun partitions ->
+      yield { p with Fault.partitions });
+  drop_one p.Fault.stragglers (fun stragglers ->
+      yield { p with Fault.stragglers });
+  let l = p.Fault.link in
+  if l.Fault.drop_p > 0. then
+    yield { p with Fault.link = { l with Fault.drop_p = 0. } };
+  if l.Fault.corrupt_p > 0. then
+    yield { p with Fault.link = { l with Fault.corrupt_p = 0. } };
+  if l.Fault.dup_p > 0. then
+    yield { p with Fault.link = { l with Fault.dup_p = 0. } };
+  if l.Fault.delay_p > 0. then
+    yield { p with Fault.link = { l with Fault.delay_p = 0. } };
+  if l.Fault.flap_period_ns > 0. then
+    yield
+      { p with Fault.link = { l with Fault.flap_period_ns = 0.; flap_down_ns = 0. } };
+  if p.Fault.max_retries > 0 then
+    yield { p with Fault.max_retries = p.Fault.max_retries / 2 };
+  if p.Fault.seed > 0 then yield { p with Fault.seed = p.Fault.seed / 2 };
+  if p.Fault.hb_period_ns > 0. then yield { p with Fault.hb_period_ns = 0. }
+
+(* The shrinker must preserve grammar-reachability: every candidate it
+   proposes still roundtrips through the plan string. *)
+let prop_shrink_stays_in_grammar =
+  QCheck.Test.make ~name:"faults: shrink candidates stay in the grammar"
+    ~count:200
+    (QCheck.make ~print:Fault.to_string gen_plan)
+    (fun p ->
+      let ok = ref true in
+      shrink_plan p (fun q ->
+          match Fault.of_string (Fault.to_string q) with
+          | Ok q' when q' = q -> ()
+          | _ -> ok := false);
+      !ok)
 
 let prop_plan_roundtrip =
   QCheck.Test.make ~name:"faults: of_string (to_string p) = p" ~count:500
-    (QCheck.make ~print:Fault.to_string gen_plan)
+    (QCheck.make ~print:Fault.to_string
+       ~shrink:shrink_plan
+       gen_plan)
     (fun p ->
       match Fault.of_string (Fault.to_string p) with
       | Ok q -> p = q
@@ -138,7 +204,81 @@ let test_malformed_plans () =
   expect_err "flap=1000" "PERIOD/DOWN";
   expect_err "flap=100/1000" "exceeds period";
   expect_err "retries=-1" "retries must be >= 0";
-  expect_err "backoff=0.5" "backoff must be >= 1"
+  expect_err "backoff=0.5" "backoff must be >= 1";
+  expect_err "inj=bogus:0.1.2.3" "unknown injection kind";
+  expect_err "inj=drop:0.1.2" "KIND:SRC.DST.MSEQ.FRAG";
+  expect_err "part=@100+5" "part group is empty";
+  expect_err "part=0@5" "GROUP@START+DUR";
+  expect_err "straggle=1@0.5" "straggle factor must be >= 1";
+  expect_err "straggle=1" "RANK@FACTOR"
+
+(* --- retransmit backoff clamp --- *)
+
+let test_backoff_clamp_boundary () =
+  let cfg = { Config.default with Config.retx_backoff_max_ns = 40_000. } in
+  let plan = Fault.make ~rto_ns:10_000. ~backoff:2. ~max_retries:6 () in
+  check_float "attempt 0 under ceiling" 10_000.
+    (Ucx.retx_backoff_ns cfg plan ~attempt:0);
+  check_float "attempt 1 under ceiling" 20_000.
+    (Ucx.retx_backoff_ns cfg plan ~attempt:1);
+  check_float "attempt 2 hits the ceiling exactly" 40_000.
+    (Ucx.retx_backoff_ns cfg plan ~attempt:2);
+  check_float "attempt 3 stays clamped" 40_000.
+    (Ucx.retx_backoff_ns cfg plan ~attempt:3);
+  (* the default ceiling is far above the default schedule, so existing
+     plans are bit-identical *)
+  let dflt = Fault.make () in
+  for a = 0 to dflt.Fault.max_retries do
+    check_float "default schedule unclamped" (Fault.rto dflt ~attempt:a)
+      (Ucx.retx_backoff_ns Config.default dflt ~attempt:a)
+  done
+
+(* One deterministic retransmit (targeted frag-0 drop) under a huge
+   rto: the clamp must pull the retransmit instant forward by exactly
+   the backoff it shaved off. *)
+let clamp_first_retx_time ~clamp =
+  let config = { Config.default with Config.retx_backoff_max_ns = clamp } in
+  let plan =
+    Fault.make ~rto_ns:100_000. ~max_retries:4
+      ~injections:
+        [
+          {
+            Fault.inj_kind = Fault.Inj_drop;
+            inj_src = 0;
+            inj_dst = 1;
+            inj_mseq = 0;
+            inj_frag = 0;
+          };
+        ]
+      ()
+  in
+  let w = Mpi.create_world ~config ~size:2 () in
+  Mpi.set_faults w (Some plan);
+  let obs = Obs.create () in
+  Mpi.set_obs w obs;
+  let len = 256 in
+  let src = pattern len and dst = Buf.create len in
+  Mpi.run w (fun comm ->
+      if Mpi.rank comm = 0 then Mpi.send comm ~dst:1 ~tag:1 (Mpi.Bytes src)
+      else ignore (Mpi.recv comm ~source:0 ~tag:1 (Mpi.Bytes dst)));
+  check_bool "payload intact" true (Buf.equal src dst);
+  check_int "exactly one injection fired" 1
+    (Mpi.world_stats w).Stats.injections_fired;
+  match
+    List.filter_map
+      (fun i -> if i.Obs.i_name = "retransmit" then Some i.Obs.i_time else None)
+      (Obs.instants obs)
+  with
+  | [ t ] -> t
+  | ts -> Alcotest.failf "expected one retransmit, saw %d" (List.length ts)
+
+let test_backoff_clamp_elapsed () =
+  let slow =
+    clamp_first_retx_time ~clamp:Config.default.Config.retx_backoff_max_ns
+  in
+  let fast = clamp_first_retx_time ~clamp:10_000. in
+  check_bool "clamp pulls the retransmit forward" true (fast < slow);
+  check_float "by exactly the shaved backoff" 90_000. (slow -. fast)
 
 let test_rto_backoff () =
   let p = Fault.make ~rto_ns:1000. ~backoff:2. () in
@@ -712,9 +852,12 @@ let suite =
     [
       tc "plan string roundtrip" `Quick test_plan_string_roundtrip;
       QCheck_alcotest.to_alcotest prop_plan_roundtrip;
+      QCheck_alcotest.to_alcotest prop_shrink_stays_in_grammar;
       tc "malformed plans are rejected with context" `Quick
         test_malformed_plans;
       tc "rto backoff" `Quick test_rto_backoff;
+      tc "backoff clamp boundary" `Quick test_backoff_clamp_boundary;
+      tc "backoff clamp shortens recovery" `Quick test_backoff_clamp_elapsed;
       tc "flap windows" `Quick test_flap_window;
       tc "crash schedule" `Quick test_crash_schedule;
       tc "fate stream determinism" `Quick test_fate_stream_determinism;
