@@ -1,0 +1,230 @@
+(* Wall-clock throughput benchmark of the simulation engine.
+
+   Two layers are measured:
+
+   - queue churn ("hold" pattern): pop the minimum event and push a
+     replacement at a later time, holding the number of live events
+     constant — the steady state of a large simulation.  The retained
+     reference binary heap ([Heap], the seed engine's queue, which
+     allocates an entry record, a float box and an option per push and
+     a tuple per pop) is run against the pooled calendar queue ([Evq],
+     the engine's current queue: O(1) push, allocation-free steady
+     state).  The hold level stands in for the rank count: a 1k-rank
+     workload keeps ~1k events live.
+
+   - whole-engine runs: [Harness.scale_allreduce] builds a 1024-rank
+     (and, full mode, 4096-rank) world, runs binomial-tree allreduces
+     over flat and fat-tree networks, and reports wall-clock events/sec
+     plus peak live events and pool hit rate.
+
+   Usage:
+     bench_sim.exe [--smoke] [--out FILE]
+
+   Writes a JSON report (default BENCH_SIM.json) and exits nonzero if
+   the pooled queue fails the >= 5x events/sec guard over the seed
+   binary heap at the 1k hold level. *)
+
+module Heap = Mpicd_simnet.Heap
+module Evq = Mpicd_simnet.Evq
+module Topology = Mpicd_simnet.Topology
+module Harness = Mpicd_harness.Harness
+
+let now = Monotonic_clock.now
+
+(* Median-of-reps wall time of [f ()], in nanoseconds. *)
+let time_ns ~reps f =
+  f ();
+  let samples =
+    Array.init reps (fun _ ->
+        let t0 = now () in
+        f ();
+        Int64.to_float (Int64.sub (now ()) t0))
+  in
+  Array.sort compare samples;
+  samples.(reps / 2)
+
+(* Deterministic delay stream shared by both queue variants (xorshift:
+   no division, so generator cost doesn't drown the queue cost). *)
+let lcg = ref 88172645463325252
+
+let reset_lcg () = lcg := 88172645463325252
+
+let next_delta () =
+  let s = !lcg in
+  let s = s lxor (s lsl 13) in
+  let s = s lxor (s lsr 7) in
+  let s = s lxor (s lsl 17) in
+  lcg := s;
+  float_of_int (1 + (s land 1023))
+
+let nop () = ()
+
+let churn_heap ~live ~ops =
+  reset_lcg ();
+  let h = Heap.create () in
+  let seq = ref 0 in
+  for _ = 1 to live do
+    incr seq;
+    Heap.push h ~time:(next_delta ()) ~seq:!seq nop
+  done;
+  for _ = 1 to ops do
+    match Heap.pop h with
+    | None -> assert false
+    | Some (time, _, f) ->
+        f ();
+        incr seq;
+        Heap.push h ~time:(time +. next_delta ()) ~seq:!seq f
+  done
+
+let churn_evq ~live ~ops =
+  reset_lcg ();
+  let q = Evq.create () in
+  let seq = ref 0 in
+  for _ = 1 to live do
+    incr seq;
+    Evq.push q ~time:(next_delta ()) ~seq:!seq nop
+  done;
+  for _ = 1 to ops do
+    let time = Evq.min_time q in
+    let f = Evq.pop_min q in
+    f ();
+    incr seq;
+    Evq.push q ~time:(time +. next_delta ()) ~seq:!seq f
+  done
+
+type queue_row = {
+  q_live : int;
+  q_ops : int;
+  heap_ns : float;
+  evq_ns : float;
+}
+
+let events_per_sec ops ns = if ns > 0. then float_of_int ops /. (ns /. 1e9) else 0.
+
+let q_speedup r = if r.evq_ns > 0. then r.heap_ns /. r.evq_ns else 0.
+
+let bench_queue ~reps ~ops live =
+  let heap_ns = time_ns ~reps (fun () -> churn_heap ~live ~ops) in
+  let evq_ns = time_ns ~reps (fun () -> churn_evq ~live ~ops) in
+  { q_live = live; q_ops = ops; heap_ns; evq_ns }
+
+let json_of_queue_row r =
+  Printf.sprintf
+    {|    { "live": %d, "ops": %d,
+      "heap": { "ns": %.0f, "events_per_sec": %.0f },
+      "evq": { "ns": %.0f, "events_per_sec": %.0f },
+      "speedup": %.3f }|}
+    r.q_live r.q_ops r.heap_ns
+    (events_per_sec r.q_ops r.heap_ns)
+    r.evq_ns
+    (events_per_sec r.q_ops r.evq_ns)
+    (q_speedup r)
+
+type engine_row = {
+  e_ranks : int;
+  e_topology : string;
+  e_wall_ns : float;
+  e_result : Harness.scale_result;
+}
+
+let bench_engine ~iters ~elems ~ranks topology =
+  let result = ref None in
+  let wall_ns =
+    time_ns ~reps:1 (fun () ->
+        result := Some (Harness.scale_allreduce ?topology ~iters ~elems ~ranks ()))
+  in
+  let r = Option.get !result in
+  { e_ranks = ranks; e_topology = r.Harness.topology; e_wall_ns = wall_ns; e_result = r }
+
+let json_of_engine_row e =
+  let r = e.e_result in
+  Printf.sprintf
+    {|    { "ranks": %d, "topology": %S, "wall_ms": %.1f,
+      "events": %d, "events_per_sec": %.0f, "pooled": %d, "max_live_events": %d,
+      "sim_time_ms": %.3f, "wall_per_sim_second": %.1f,
+      "congestion_events": %d, "congestion_wait_ms": %.3f, "checksum": %.1f }|}
+    e.e_ranks e.e_topology (e.e_wall_ns /. 1e6) r.Harness.events
+    (events_per_sec r.Harness.events e.e_wall_ns)
+    r.Harness.pooled r.Harness.max_live
+    (r.Harness.sim_time_ns /. 1e6)
+    (if r.Harness.sim_time_ns > 0. then e.e_wall_ns /. r.Harness.sim_time_ns
+     else 0.)
+    r.Harness.congestion_events
+    (r.Harness.congestion_wait_ns /. 1e6)
+    r.Harness.checksum
+
+let () =
+  let smoke = ref false and out = ref "BENCH_SIM.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: file :: rest ->
+        out := file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "bench_sim: unknown argument %S\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reps = if !smoke then 5 else 11 in
+  let ops = if !smoke then 200_000 else 2_000_000 in
+  let queue_rows = List.map (bench_queue ~reps ~ops) [ 1024; 4096 ] in
+  let engine_rows =
+    let iters = if !smoke then 1 else 4 and elems = if !smoke then 4 else 64 in
+    let at ranks =
+      [
+        bench_engine ~iters ~elems ~ranks None;
+        bench_engine ~iters ~elems ~ranks
+          (Some (Topology.fat_tree ~nranks:ranks ()));
+      ]
+    in
+    at 1024 @ (if !smoke then [] else at 4096)
+  in
+  let r1k = List.find (fun r -> r.q_live = 1024) queue_rows in
+  (* The tentpole guard: at the 1k-rank hold level the pooled calendar
+     queue must move events at >= 5x the seed binary heap's rate. *)
+  let guard_ok = q_speedup r1k >= 5.0 in
+  let oc = open_out !out in
+  Printf.fprintf oc
+    {|{
+  "smoke": %b,
+  "reps": %d,
+  "queue": [
+%s
+  ],
+  "engine": [
+%s
+  ],
+  "guard": {
+    "min_speedup_1k": 5.0,
+    "speedup_1k": %.3f,
+    "ok": %b
+  }
+}
+|}
+    !smoke reps
+    (String.concat ",\n" (List.map json_of_queue_row queue_rows))
+    (String.concat ",\n" (List.map json_of_engine_row engine_rows))
+    (q_speedup r1k) guard_ok;
+  close_out oc;
+  List.iter
+    (fun r ->
+      Printf.printf
+        "queue hold=%-5d heap %8.0f ev/s  evq %8.0f ev/s  (%.2fx)\n" r.q_live
+        (events_per_sec r.q_ops r.heap_ns)
+        (events_per_sec r.q_ops r.evq_ns)
+        (q_speedup r))
+    queue_rows;
+  List.iter
+    (fun e ->
+      Printf.printf
+        "engine ranks=%-5d %-9s %8.0f ev/s  peak_live=%d  wall=%.0f ms\n"
+        e.e_ranks e.e_topology
+        (events_per_sec e.e_result.Harness.events e.e_wall_ns)
+        e.e_result.Harness.max_live (e.e_wall_ns /. 1e6))
+    engine_rows;
+  Printf.printf "1k-hold speedup: %.2fx; guard (>=5x): %s\n" (q_speedup r1k)
+    (if guard_ok then "ok" else "FAIL");
+  if not guard_ok then exit 1

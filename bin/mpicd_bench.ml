@@ -10,6 +10,7 @@
 
 open Cmdliner
 module Config = Mpicd_simnet.Config
+module Topology = Mpicd_simnet.Topology
 module Report = Mpicd_harness.Report
 module H = Mpicd_harness.Harness
 module Figures = Mpicd_figures
@@ -237,7 +238,79 @@ let kernel_cmd =
        ~doc:"Run one DDTBench kernel under a configurable cost model.")
     Term.(const run $ config_term $ kernel_arg $ reps_arg $ faults_term)
 
+let scale_cmd =
+  let ranks_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "ranks" ] ~docv:"N" ~doc:"Communicator size.")
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "topology" ] ~docv:"KIND"
+          ~doc:
+            "Network model: $(b,switch), $(b,fattree) or $(b,dragonfly) \
+             (default: the flat infinitely-switched wire).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "iters" ] ~docv:"N" ~doc:"Allreduce rounds to run.")
+  in
+  let elems_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "elems" ] ~docv:"N" ~doc:"float64 elements per rank.")
+  in
+  let run config ranks topology iters elems =
+    if ranks < 1 then begin
+      Printf.eprintf "mpicd_bench scale: --ranks must be >= 1\n";
+      exit 2
+    end;
+    let topo =
+      match topology with
+      | None -> None
+      | Some s -> (
+          try Some (Topology.of_string s ~nranks:ranks)
+          with Invalid_argument msg ->
+            Printf.eprintf "mpicd_bench scale: %s\n" msg;
+            exit 2)
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = H.scale_allreduce ~config ?topology:topo ~iters ~elems ~ranks () in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Report.print_kv_table
+      ~title:
+        (Printf.sprintf "%d-rank allreduce x%d over %s" ranks iters r.H.topology)
+      ~header:[ "metric"; "value" ]
+      [
+        [ "virtual time (ms)"; Printf.sprintf "%.3f" (r.H.sim_time_ns /. 1e6) ];
+        [ "events scheduled"; string_of_int r.H.events ];
+        [ "events pooled"; string_of_int r.H.pooled ];
+        [ "peak live events"; string_of_int r.H.max_live ];
+        [ "congestion events"; string_of_int r.H.congestion_events ];
+        [
+          "congestion wait (ms)";
+          Printf.sprintf "%.3f" (r.H.congestion_wait_ns /. 1e6);
+        ];
+        [
+          "wall events/sec";
+          (if wall_s > 0. then
+             Printf.sprintf "%.0f" (float_of_int r.H.events /. wall_s)
+           else "-");
+        ];
+        [ "checksum"; Printf.sprintf "%.1f" r.H.checksum ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run a large-communicator allreduce over a modeled network topology.")
+    Term.(const run $ config_term $ ranks_arg $ topology_arg $ iters_arg
+          $ elems_arg)
+
 let () =
   let doc = "mpicd reproduction benchmarks" in
   let info = Cmd.info "mpicd_bench" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; kernel_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; figure_cmd; kernel_cmd; scale_cmd ]))

@@ -27,6 +27,7 @@ module Buf = Mpicd_buf.Buf
 module Engine = Mpicd_simnet.Engine
 module Stats = Mpicd_simnet.Stats
 module Fault = Mpicd_simnet.Fault
+module Topology = Mpicd_simnet.Topology
 module Obs = Mpicd_obs.Obs
 module Mpi = Mpicd.Mpi
 module Custom = Mpicd.Custom
@@ -518,6 +519,105 @@ let ckpt_sweep () =
           done))
     (List.sort compare !windows)
 
+(* --- scale sweep: thousand-rank collectives over a modeled network ---
+
+   Two scenarios at --ranks ranks (default 1024) over the --topology
+   network model (default fattree): a fault-free allreduce checked
+   against the closed-form sum, and a crash mid-allreduce recovered by
+   [Coll.resilient_allreduce_f64].  Both run twice and must replay
+   bit-identically — virtual time, event counts, congestion counters
+   and every rank's outcome. *)
+
+let scale_ranks = ref 1024
+let scale_topology = ref "fattree"
+
+let scale_allreduce_once () =
+  let n = !scale_ranks in
+  let topology = Topology.of_string !scale_topology ~nranks:n in
+  let w = Mpi.create_world ~topology ~size:n () in
+  let checksum = ref 0. in
+  Mpi.run w (fun comm ->
+      let me = Mpi.rank comm in
+      let data = [| float_of_int me; 1. |] in
+      Coll.allreduce_f64 comm ~op:`Sum data;
+      if me = 0 then checksum := data.(0));
+  let s = Mpi.world_stats w in
+  Printf.sprintf "sum=%.0f t=%.0f events=%d congestion=%d/%.0f" !checksum
+    (Engine.now (Mpi.world_engine w))
+    s.Stats.events_scheduled_total
+    (Topology.congestion_events topology)
+    (Topology.congestion_wait_ns topology)
+
+let scale_crash_once ~plan =
+  let n = !scale_ranks in
+  let topology = Topology.of_string !scale_topology ~nranks:n in
+  let w = Mpi.create_world ~topology ~size:n () in
+  Mpi.set_faults w (Some plan);
+  let engine = Mpi.world_engine w in
+  let outcomes = Array.make n "none" in
+  (try
+     Mpi.run w (fun comm ->
+         let me = Mpi.rank comm in
+         (* integer-valued contributions: tree-reduction order cannot
+            perturb the sums, so results compare exactly *)
+         let data = [| float_of_int (me + 1); float_of_int (2 * (me + 1)) |] in
+         match Coll.resilient_allreduce_f64 comm ~op:`Sum data with
+         | comm', shrinks ->
+             outcomes.(me) <-
+               Printf.sprintf "ok n=%d shrinks=%d sum=%.0f/%.0f t=%.0f"
+                 (Mpi.size comm') shrinks data.(0) data.(1) (Engine.now engine)
+         | exception Mpi.Mpi_error err ->
+             outcomes.(me) <-
+               Printf.sprintf "gave_up %s t=%.0f" (err_name err)
+                 (Engine.now engine))
+   with e -> failf "scale crash: run raised %s" (Printexc.to_string e));
+  (outcomes, Mpi.world_stats w)
+
+let scale_sweep () =
+  let n = !scale_ranks in
+  scenario "scale:allreduce" (fun () ->
+      let r1 = scale_allreduce_once () in
+      let expected = Printf.sprintf "sum=%.0f" (float_of_int (n * (n - 1) / 2)) in
+      if String.length r1 < String.length expected
+         || String.sub r1 0 (String.length expected) <> expected
+      then failf "scale allreduce: got %s, expected %s..." r1 expected;
+      let r2 = scale_allreduce_once () in
+      if r1 <> r2 then
+        failf "scale allreduce: replay diverged:\n  %s\n  %s" r1 r2;
+      Printf.printf "scale allreduce %d ranks over %s: %s\n" n !scale_topology
+        r1);
+  scenario "scale:crash" (fun () ->
+      let crash_rank = 3 in
+      let plan =
+        Fault.make
+          ~crashes:[ (crash_rank, 20_000.) ]
+          ~hb_period_ns:100_000. ~rto_ns:5_000. ()
+      in
+      let outcomes, stats = scale_crash_once ~plan in
+      (* survivors all commit the reduction over exactly the survivor
+         group; sums of 1..n minus the crashed rank's contribution *)
+      let survivors = n - 1 in
+      let sum1 = (n * (n + 1) / 2) - (crash_rank + 1) in
+      let want =
+        Printf.sprintf "ok n=%d shrinks=1 sum=%d/%d" survivors sum1 (2 * sum1)
+      in
+      Array.iteri
+        (fun r oc ->
+          if r <> crash_rank then
+            if
+              String.length oc < String.length want
+              || String.sub oc 0 (String.length want) <> want
+            then
+              failf "scale crash: rank %d outcome %S, expected %S..." r oc want)
+        outcomes;
+      let outcomes2, stats2 = scale_crash_once ~plan in
+      if outcomes <> outcomes2 then failf "scale crash: replay diverged";
+      if crash_stats_str stats <> crash_stats_str stats2 then
+        failf "scale crash: replay counter mismatch: %s vs %s"
+          (crash_stats_str stats) (crash_stats_str stats2);
+      Printf.printf "scale crash %d ranks over %s: rank0 %s  [%s]\n" n
+        !scale_topology outcomes.(0) (crash_stats_str stats))
+
 (* --- repro replay (--replay FILE) --- *)
 
 let replay_die fmt =
@@ -583,14 +683,39 @@ let () =
   | argv when List.mem "--replay" argv ->
       replay_die "--replay needs a repro.json path"
   | _ -> ());
+  (* --ranks / --topology parameterize the scale sweep *)
+  let rec scan = function
+    | "--ranks" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some r when r >= 2 -> scale_ranks := r
+        | _ ->
+            Printf.eprintf "mpicd_chaos: --ranks needs an integer >= 2\n";
+            exit 2);
+        scan rest
+    | "--topology" :: v :: rest ->
+        (try ignore (Topology.of_string v ~nranks:2)
+         with Invalid_argument msg ->
+           Printf.eprintf "mpicd_chaos: %s\n" msg;
+           exit 2);
+        scale_topology := v;
+        scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan (Array.to_list Sys.argv);
   let only_crashes = Array.mem "--crashes" Sys.argv in
   let only_ckpt = Array.mem "--ckpt" Sys.argv in
+  let only_scale = Array.mem "--scale" Sys.argv in
   if only_crashes then begin
     crash_sweep ();
     summary ()
   end;
   if only_ckpt then begin
     ckpt_sweep ();
+    summary ()
+  end;
+  if only_scale then begin
+    scale_sweep ();
     summary ()
   end;
   (* Baseline: no plan attached at all must report zero reliability
@@ -650,4 +775,6 @@ let () =
   crash_sweep ();
   Printf.printf "\n";
   ckpt_sweep ();
+  Printf.printf "\n";
+  scale_sweep ();
   summary ()

@@ -12,8 +12,12 @@ let op_move = 2 (* gather / scatter / allgather rounds *)
 let op_reduce = 3
 
 let tag_of ~seq ~op ~round =
-  if round >= 1024 then invalid_arg "Collectives: too many rounds";
-  (seq * 4096) + (op * 1024) + round
+  (* Rounds wrap modulo the 10-bit field: the ring allgather posts one
+     round per peer, so worlds past 1025 ranks reuse round tags — but
+     reuse happens in posting order on a single (src, dst, kind)
+     channel, where FIFO matching keeps it unambiguous.  For n <= 1025
+     the encoding is unchanged. *)
+  (seq * 4096) + (op * 1024) + (round land 1023)
 
 (* Failure protection shared by every collective.  The sequence number
    must already have been taken (so ranks that fail fast stay aligned

@@ -1,0 +1,34 @@
+(** Fixed-capacity bitsets over comm ranks.
+
+    The agreement protocol ([Mpi.comm_agree]/[Mpi.comm_shrink]) tracks
+    per-rank membership facts — who contributed, whose failure was
+    acknowledged, who is known dead.  Plain [int] bitmasks cap the
+    group at 62 ranks; these int-array bitsets remove the cap so
+    agreement scales to thousands of ranks (63 ranks per limb, zero
+    allocation per membership test). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+
+val full : int -> t
+(** [full n] has every member of [0 .. n-1] set. *)
+
+val capacity : t -> int
+(** The universe size [n] the set was created with. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val is_empty : t -> bool
+
+val union_into : t -> t -> unit
+(** [union_into dst src] sets [dst <- dst ∪ src].  Capacities must
+    match. @raise Invalid_argument otherwise. *)
+
+val inter_into : t -> t -> unit
+(** [inter_into dst src] sets [dst <- dst ∩ src].  Capacities must
+    match. @raise Invalid_argument otherwise. *)
+
+val of_list : int -> int list -> t
+(** [of_list n members] — members outside [0 .. n-1] raise. *)

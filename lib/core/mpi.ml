@@ -3,6 +3,7 @@ module Engine = Mpicd_simnet.Engine
 module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
 module Rng = Mpicd_simnet.Rng
+module Topology = Mpicd_simnet.Topology
 module Datatype = Mpicd_datatype.Datatype
 module Plan = Mpicd_datatype.Plan
 module Normalize = Mpicd_datatype.Normalize
@@ -132,17 +133,23 @@ type agree_slot = {
   s_group : int array;  (* comm rank -> world rank *)
   s_combine : int -> int -> int;
   s_shrink : bool;  (* completion allocates a cid and a survivor set *)
-  mutable s_acc : int;
-  mutable s_ack_acc : int;
-      (* AND of the contributors' acknowledged-failure masks: a failed
-         non-contributor raises [Peer_failed] at every caller unless
-         every contributor had acknowledged it — an agreed, hence
-         uniform, verdict (cf. ULFM MPI_Comm_agree) *)
-  mutable s_contrib : int;  (* bitmask of comm ranks that contributed *)
-  mutable s_result : (int * int) option;  (* (combined value, contrib mask) *)
+  mutable s_acc : int;  (* combined agreed value *)
+  s_ack_acc : Bitset.t;
+      (* intersection of the contributors' acknowledged-failure sets: a
+         failed non-contributor raises [Peer_failed] at every caller
+         unless every contributor had acknowledged it — an agreed,
+         hence uniform, verdict (cf. ULFM MPI_Comm_agree) *)
+  s_failed : Bitset.t;
+      (* shrink only: union of the contributors' observed-failure sets;
+         completion excludes these ranks from the survivor set *)
+  s_contrib : Bitset.t;  (* comm ranks that contributed *)
+  mutable s_result : int option;
+      (* combined value; [s_contrib]/[s_ack_acc] are frozen once set
+         (late contributors take the completed branch and never
+         mutate them) *)
   mutable s_new_cid : int;  (* shrink only; -1 until completion *)
   mutable s_survivors : int array;  (* shrink only; comm ranks, at completion *)
-  mutable s_waiters : (int * int) Engine.resumer list;
+  mutable s_waiters : int Engine.resumer list;
 }
 
 type world = {
@@ -151,7 +158,10 @@ type world = {
   stats : Stats.t;
   ucx : Ucx.context;
   workers : Ucx.worker array;
-  eps : Ucx.endpoint array array;  (* eps.(src).(dst) *)
+  eps : (int * int, Ucx.endpoint) Hashtbl.t;
+      (* (src, dst) -> endpoint, created on first use: a dense N^2
+         array is prohibitive at thousands of ranks, and most pairs
+         never talk (collectives are log- or ring-structured) *)
   mutable shuffle : Rng.t option;
   mutable next_cid : int;  (* communicator-id allocator (rank 0 side) *)
   mutable monitor : Monitor.t option;
@@ -232,7 +242,7 @@ let try_complete_slot w (slot : agree_slot) =
       let all = ref true in
       for i = 0 to n - 1 do
         if
-          slot.s_contrib land (1 lsl i) = 0
+          (not (Bitset.mem slot.s_contrib i))
           && not (Ucx.is_failed w.ucx ~rank:slot.s_group.(i))
         then all := false
       done;
@@ -245,14 +255,14 @@ let try_complete_slot w (slot : agree_slot) =
           let surv = ref [] in
           for i = n - 1 downto 0 do
             if
-              slot.s_acc land (1 lsl i) = 0
+              (not (Bitset.mem slot.s_failed i))
               && not (Ucx.is_failed w.ucx ~rank:slot.s_group.(i))
             then surv := i :: !surv
           done;
           slot.s_survivors <- Array.of_list !surv
         end
         else Stats.record_comm_agreement w.stats;
-        let r = (slot.s_acc, slot.s_contrib) in
+        let r = slot.s_acc in
         slot.s_result <- Some r;
         if Obs.enabled w.obs then
           Obs.instant w.obs ~time:(Engine.now w.engine) ~track:0
@@ -285,16 +295,22 @@ let handle_rank_failure w ~rank ~time =
     w.outstanding;
   Hashtbl.iter (fun _ slot -> try_complete_slot w slot) w.slots
 
-let create_world ?(config = Config.default) ~size () =
+let create_world ?(config = Config.default) ?topology ~size () =
   if size < 1 then invalid_arg "Mpi.create_world: size must be >= 1";
+  (match topology with
+  | Some topo when Topology.nranks topo < size ->
+      invalid_arg
+        (Printf.sprintf
+           "Mpi.create_world: topology has %d ranks but the world needs %d"
+           (Topology.nranks topo) size)
+  | _ -> ());
   let engine = Engine.create () in
   let stats = Stats.create () in
+  Engine.set_stats engine stats;
   let ucx = Ucx.create_context ~engine ~config ~stats in
+  Ucx.set_topology ucx topology;
   let workers = Array.init size (fun _ -> Ucx.create_worker ucx) in
-  let eps =
-    Array.init size (fun s ->
-        Array.init size (fun d -> Ucx.connect workers.(s) workers.(d)))
-  in
+  let eps = Hashtbl.create (4 * size) in
   let w =
     {
       engine;
@@ -319,6 +335,16 @@ let create_world ?(config = Config.default) ~size () =
   in
   Ucx.on_failure ucx (fun ~rank ~time -> handle_rank_failure w ~rank ~time);
   w
+
+(* Lazy endpoint cache: [Ucx.connect] is a pure pairing of workers, so
+   creating an endpoint on first use is deterministic. *)
+let endpoint w ~src ~dst =
+  match Hashtbl.find_opt w.eps (src, dst) with
+  | Some ep -> ep
+  | None ->
+      let ep = Ucx.connect w.workers.(src) w.workers.(dst) in
+      Hashtbl.add w.eps (src, dst) ep;
+      ep
 
 let world_engine w = w.engine
 let world_stats w = w.stats
@@ -1025,7 +1051,7 @@ let isend_gen c kind ~blocking ~dst ~tag buf =
       make_request ?span ~force_raise c req (fun _ -> ())
   | None ->
       let dt, cleanup = make_send_dt c buf in
-      let req = Ucx.tag_send c.w.eps.(me).(peer) ~tag:t64 dt in
+      let req = Ucx.tag_send (endpoint c.w ~src:me ~dst:peer) ~tag:t64 dt in
       monitor_record c kind ~op_kind:Monitor.Send ~peer ~tag ~blocking buf req;
       register_outstanding c.w
         {
@@ -1281,12 +1307,10 @@ let comm_revoke c =
    (or read) the combined result.  The virtual-time cost modeled after
    the ULFM agreement literature is two tree traversals.  Never blocks
    on a dead rank: the failure listener re-checks slots. *)
-let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack =
+let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack ~failed =
   let w = c.w in
   let me = c.group.(c.c_rank) in
   let n = size c in
-  if n > 62 then
-    invalid_arg "Mpi: agreement needs a communicator of at most 62 ranks";
   if Ucx.is_failed w.ucx ~rank:me then
     raise (Mpi_error (Peer_failed { peer = me }));
   let seq =
@@ -1312,8 +1336,9 @@ let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack =
             s_combine = combine;
             s_shrink = shrink;
             s_acc = init;
-            s_ack_acc = lnot 0;
-            s_contrib = 0;
+            s_ack_acc = Bitset.full n;
+            s_failed = Bitset.create n;
+            s_contrib = Bitset.create n;
             s_result = None;
             s_new_cid = -1;
             s_survivors = [||];
@@ -1327,8 +1352,9 @@ let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack =
   | Some _ -> ()  (* completed without us: we were presumed dead *)
   | None ->
       slot.s_acc <- combine slot.s_acc contribution;
-      slot.s_ack_acc <- slot.s_ack_acc land ack;
-      slot.s_contrib <- slot.s_contrib lor (1 lsl c.c_rank);
+      Bitset.inter_into slot.s_ack_acc ack;
+      Bitset.union_into slot.s_failed failed;
+      Bitset.add slot.s_contrib c.c_rank;
       try_complete_slot w slot);
   let result =
     match slot.s_result with
@@ -1355,18 +1381,16 @@ let agree_gen c ~opcode ~shrink ~init ~combine ~contribution ~ack =
    error verdict are derived from slot state frozen at completion, so
    they are uniform across all callers. *)
 let comm_agree c ~flags =
-  let ack_mask =
-    List.fold_left (fun m i -> m lor (1 lsl i)) 0 (comm_get_acked c)
-  in
-  let slot, (value, contrib) =
-    agree_gen c ~opcode:0 ~shrink:false ~init:(lnot 0) ~combine:( land )
-      ~contribution:flags ~ack:ack_mask
-  in
   let n = size c in
+  let ack_set = Bitset.of_list n (comm_get_acked c) in
+  let slot, value =
+    agree_gen c ~opcode:0 ~shrink:false ~init:(lnot 0) ~combine:( land )
+      ~contribution:flags ~ack:ack_set ~failed:(Bitset.create n)
+  in
   let unacked = ref [] in
   for i = n - 1 downto 0 do
-    if contrib land (1 lsl i) = 0 && slot.s_ack_acc land (1 lsl i) = 0 then
-      unacked := i :: !unacked
+    if (not (Bitset.mem slot.s_contrib i)) && not (Bitset.mem slot.s_ack_acc i)
+    then unacked := i :: !unacked
   done;
   (match !unacked with
   | [] -> ()
@@ -1382,13 +1406,14 @@ let comm_agree c ~flags =
 let comm_shrink c =
   let w = c.w in
   let me = c.group.(c.c_rank) in
-  let known = ref 0 in
+  let n = size c in
+  let known = Bitset.create n in
   Array.iteri
-    (fun i wr -> if Ucx.is_failed w.ucx ~rank:wr then known := !known lor (1 lsl i))
+    (fun i wr -> if Ucx.is_failed w.ucx ~rank:wr then Bitset.add known i)
     c.group;
   let slot, _ =
     agree_gen c ~opcode:1 ~shrink:true ~init:0 ~combine:( lor )
-      ~contribution:!known ~ack:(lnot 0)
+      ~contribution:0 ~ack:(Bitset.full n) ~failed:known
   in
   let survivors = slot.s_survivors in
   let new_cid = slot.s_new_cid in

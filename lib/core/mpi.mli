@@ -27,8 +27,21 @@ module Datatype = Mpicd_datatype.Datatype
 
 type world
 
-val create_world : ?config:Config.t -> size:int -> unit -> world
-(** A simulated cluster of [size] ranks (fully connected). *)
+val create_world :
+  ?config:Config.t ->
+  ?topology:Mpicd_simnet.Topology.t ->
+  size:int ->
+  unit ->
+  world
+(** A simulated cluster of [size] ranks.  Without [topology] (the
+    default) the network is a flat full mesh of independent wires —
+    bit-identical to every historical result.  With [topology] all
+    message payloads route over the topology's shared links with
+    congestion-aware serialization ({!Mpicd_simnet.Topology});
+    endpoints are created lazily so worlds of thousands of ranks
+    don't pay an N{^2} setup cost.
+    @raise Invalid_argument if the topology has fewer ranks than
+    [size]. *)
 
 val world_engine : world -> Engine.t
 val world_stats : world -> Stats.t

@@ -87,3 +87,56 @@ let pingpong_profiled ?config ?warmup ?reps ?faults ~bytes make =
   let obs = Obs.create () in
   let result = pingpong ?config ?warmup ?reps ~obs ?faults ~bytes make in
   (result, Profile.analyze obs)
+
+(* --- large-communicator workloads --- *)
+
+module Topology = Mpicd_simnet.Topology
+module Collectives = Mpicd_collectives.Collectives
+
+type scale_result = {
+  ranks : int;
+  topology : string;
+  sim_time_ns : float;
+  events : int;
+  pooled : int;
+  max_live : int;
+  congestion_events : int;
+  congestion_wait_ns : float;
+  checksum : float;
+}
+
+let scale_allreduce ?(config = Config.default) ?topology ?(iters = 1)
+    ?(elems = 8) ~ranks () =
+  if ranks < 1 then invalid_arg "Harness.scale_allreduce: ranks must be >= 1";
+  if iters < 1 then invalid_arg "Harness.scale_allreduce: iters must be >= 1";
+  let w = Mpi.create_world ~config ?topology ~size:ranks () in
+  let checksum = ref 0. in
+  Mpi.run w (fun comm ->
+      let me = Mpi.rank comm in
+      let data = Array.init elems (fun i -> float_of_int (me + i)) in
+      for _ = 1 to iters do
+        Collectives.allreduce_f64 comm ~op:`Sum data
+      done;
+      Collectives.barrier comm;
+      if me = 0 then checksum := data.(0));
+  let stats = Mpi.world_stats w in
+  {
+    ranks;
+    topology =
+      (match topology with
+      | None -> "flat"
+      | Some topo -> Topology.kind_name topo);
+    sim_time_ns = Engine.now (Mpi.world_engine w);
+    events = stats.Stats.events_scheduled_total;
+    pooled = stats.Stats.events_pooled_reuses;
+    max_live = stats.Stats.max_live_events;
+    congestion_events =
+      (match topology with
+      | None -> 0
+      | Some topo -> Topology.congestion_events topo);
+    congestion_wait_ns =
+      (match topology with
+      | None -> 0.
+      | Some topo -> Topology.congestion_wait_ns topo);
+    checksum = !checksum;
+  }

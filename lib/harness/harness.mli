@@ -57,6 +57,39 @@ val pingpong_profiled :
     the virtual clock) plus the wait-state / critical-path profile of
     the whole run, warmup rounds included. *)
 
+(** {1 Large-communicator workloads}
+
+    Scale runs exercise the engine and (optionally) a shared-link
+    topology with thousands of rank fibers; the paper's two-node
+    ping-pong methodology doesn't stress either. *)
+
+type scale_result = {
+  ranks : int;
+  topology : string;  (** ["flat"], ["switch"], ["fattree"], ["dragonfly"] *)
+  sim_time_ns : float;  (** virtual time at completion *)
+  events : int;  (** engine events scheduled over the whole run *)
+  pooled : int;  (** of those, served from the event-node pool *)
+  max_live : int;  (** peak simultaneously queued events *)
+  congestion_events : int;  (** sends that waited for a busy link *)
+  congestion_wait_ns : float;  (** total virtual time spent so waiting *)
+  checksum : float;  (** rank 0's [data.(0)] after the last allreduce *)
+}
+
+val scale_allreduce :
+  ?config:Config.t ->
+  ?topology:Mpicd_simnet.Topology.t ->
+  ?iters:int ->
+  ?elems:int ->
+  ranks:int ->
+  unit ->
+  scale_result
+(** Build a fresh [ranks]-rank world (over [topology] if given), run
+    [iters] (default 1) binomial-tree [allreduce_f64] sums of [elems]
+    (default 8) float64s per rank plus a closing barrier, and report
+    virtual time together with the engine/congestion counters.
+    Deterministic: same arguments, same result — bench drivers measure
+    host wall-clock around this call. *)
+
 (** {1 Cost-charging helpers for benchmark implementations}
 
     Benchmark code that does its own packing (the paper's

@@ -1,13 +1,20 @@
 module Obs = Mpicd_obs.Obs
+module Metrics = Mpicd_obs.Metrics
 
 type t = {
   mutable clock : float;
-  events : (unit -> unit) Heap.t;
+  events : (unit -> unit) Evq.t;
   mutable seq : int;
   mutable live : int;
   mutable suspended_names : (int * string) list;
   mutable fiber_ids : int;
   mutable obs : Obs.t;
+  mutable stats : Stats.t option;
+      (* engine-overhead accounting ([events_scheduled_total] etc.);
+         [None] (the default) keeps the hot path to one branch *)
+  mutable metric_handles : (Metrics.counter * Metrics.counter * Metrics.gauge) option;
+      (* cached (scheduled, pooled, live) handles: interned once at
+         [set_obs] so the per-event path never does a name lookup *)
 }
 
 exception Deadlock of string
@@ -21,22 +28,68 @@ type _ Effect.t +=
 let create () =
   {
     clock = 0.;
-    events = Heap.create ();
+    events = Evq.create ();
     seq = 0;
     live = 0;
     suspended_names = [];
     fiber_ids = 0;
     obs = Obs.null;
+    stats = None;
+    metric_handles = None;
   }
 
 let now t = t.clock
-let set_obs t o = t.obs <- o
+
+let set_obs t o =
+  t.obs <- o;
+  t.metric_handles <-
+    (if Obs.enabled o then begin
+       let m = Obs.metrics o in
+       Some
+         ( Metrics.counter m "events_scheduled_total",
+           Metrics.counter m "events_pooled_reuses",
+           Metrics.gauge m "live_events" )
+     end
+     else None)
+
+let set_stats t s = t.stats <- Some s
+
+(* Virtual-time hardening: a NaN delay would silently poison the clock
+   and every comparison downstream, so it is rejected at the door.
+   Negative finite delays are clamped to zero (the documented "yield"
+   semantics callers such as jittered channels rely on); [-infinity]
+   is rejected with NaN since clamping it would mask a real arithmetic
+   bug upstream. *)
+let check_delay ~who delay =
+  if Float.is_nan delay then invalid_arg (who ^ ": NaN delay")
+  else if delay = Float.neg_infinity then
+    invalid_arg (who ^ ": -infinity delay")
 
 let schedule t ~delay f =
+  check_delay ~who:"Engine.schedule" delay;
   t.seq <- t.seq + 1;
-  Heap.push t.events ~time:(t.clock +. Float.max 0. delay) ~seq:t.seq f
+  let reused_before = Evq.reuses t.events in
+  Evq.push t.events ~time:(t.clock +. Float.max 0. delay) ~seq:t.seq f;
+  (match t.stats with
+  | None -> ()
+  | Some s ->
+      Stats.record_event_scheduled s
+        ~reused:(Evq.reuses t.events > reused_before)
+        ~live:(Evq.size t.events));
+  match t.metric_handles with
+  | None -> ()
+  | Some (c_sched, c_pool, g_live) ->
+      Metrics.inc c_sched;
+      if Evq.reuses t.events > reused_before then Metrics.inc c_pool;
+      Metrics.set g_live (float_of_int (Evq.size t.events))
 
-let sleep t d = Effect.perform (Sleep (t, d))
+let sleep t d =
+  (* A fiber's sleep is always a duration it computed itself: negative
+     values are arithmetic bugs, not scheduling idioms, so they are
+     rejected rather than clamped (NaN likewise, via [schedule]). *)
+  if Float.is_nan d then invalid_arg "Engine.sleep: NaN duration"
+  else if d < 0. then invalid_arg "Engine.sleep: negative duration";
+  Effect.perform (Sleep (t, d))
 let suspend t register = Effect.perform (Suspend (t, register))
 
 let mark_suspended t id name =
@@ -107,25 +160,30 @@ let at t ~delay f = schedule t ~delay f
 let live_fibers t = t.live
 
 let run t =
+  (* Hot loop: non-allocating peek/pop (no option or tuple boxing) —
+     the engine itself allocates nothing per event in steady state. *)
   let rec loop () =
-    match Heap.pop t.events with
-    | None ->
-        if t.live > 0 then begin
-          let names =
-            t.suspended_names
-            |> List.map (fun (id, n) -> Printf.sprintf "%s#%d" n id)
-            |> String.concat ", "
-          in
-          raise
-            (Deadlock
-               (Printf.sprintf
-                  "simulation deadlock: %d fiber(s) still blocked [%s]"
-                  t.live names))
-        end
-    | Some (time, _seq, f) ->
-        t.clock <- Float.max t.clock time;
-        f ();
-        loop ()
+    if Evq.is_empty t.events then begin
+      if t.live > 0 then begin
+        let names =
+          t.suspended_names
+          |> List.map (fun (id, n) -> Printf.sprintf "%s#%d" n id)
+          |> String.concat ", "
+        in
+        raise
+          (Deadlock
+             (Printf.sprintf
+                "simulation deadlock: %d fiber(s) still blocked [%s]"
+                t.live names))
+      end
+    end
+    else begin
+      let time = Evq.min_time t.events in
+      let f = Evq.pop_min t.events in
+      if time > t.clock then t.clock <- time;
+      f ();
+      loop ()
+    end
   in
   loop ()
 

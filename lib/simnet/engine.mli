@@ -7,9 +7,26 @@
     it).  Every MPI rank in the simulated cluster is one fiber; network
     deliveries are plain scheduled events.
 
-    Determinism: events with equal timestamps run in scheduling order
-    (FIFO), so a simulation with the same inputs always produces the same
-    trace.  Wall-clock time never enters the model. *)
+    Determinism — the [(time, seq)] tie-break contract: every scheduled
+    event carries its target virtual time plus a strictly increasing
+    sequence number, and the event queue pops in [(time, seq)]
+    lexicographic order.  Events with equal timestamps therefore run in
+    scheduling order (FIFO), so a simulation with the same inputs always
+    produces the same trace — including at large scale, where float
+    accumulation makes exact timestamp collisions common (thousands of
+    ranks charging identical modeled costs land on bitwise-equal
+    times).  Correctness of every replay oracle in the tree rests on
+    this order being total; the event queue ({!Evq}) is pinned against
+    the reference binary heap ({!Heap}) by a differential property in
+    [test_simnet.ml].  Wall-clock time never enters the model.
+
+    Virtual-time hardening: NaN delays (and [-infinity]) are rejected
+    with [Invalid_argument] everywhere — a NaN timestamp would poison
+    every comparison downstream and silently break the total order.
+    {!sleep} additionally rejects negative durations (a fiber's sleep
+    is a duration it computed; negative means an arithmetic bug), while
+    {!at}/event scheduling clamp negative finite delays to zero, the
+    documented "yield" semantics jittered channels rely on. *)
 
 type t
 
@@ -24,9 +41,20 @@ val now : t -> float
 
 val set_obs : t -> Mpicd_obs.Obs.t -> unit
 (** Attach an observability sink: each fiber gets a ["fiber"]-category
-    lifetime span and suspend/resume instants.  Detached (the default,
-    {!Mpicd_obs.Obs.null}) costs one branch per site and records
-    nothing; attaching never perturbs timing or scheduling order. *)
+    lifetime span and suspend/resume instants, and the engine interns
+    [events_scheduled_total] / [events_pooled_reuses] counters plus a
+    [live_events] gauge in the sink's metrics registry (handles are
+    cached here, so the per-event path never does a name lookup).
+    Detached (the default, {!Mpicd_obs.Obs.null}) costs one branch per
+    site and records nothing; attaching never perturbs timing or
+    scheduling order. *)
+
+val set_stats : t -> Stats.t -> unit
+(** Attach a {!Stats} sink: every scheduled event updates
+    [events_scheduled_total], [events_pooled_reuses] and
+    [max_live_events], attributing engine overhead alongside the
+    transport counters.  Without a sink (the default) the per-event
+    cost is a single branch. *)
 
 val spawn : t -> ?name:string -> ?track:int -> (unit -> unit) -> unit
 (** [spawn t f] registers a fiber that starts at the current virtual
@@ -37,8 +65,9 @@ val spawn : t -> ?name:string -> ?track:int -> (unit -> unit) -> unit
 
 val sleep : t -> float -> unit
 (** [sleep t d] advances this fiber's clock by [d] ns.  Must be called
-    from inside a fiber.  Negative or zero durations yield (letting
-    same-time events interleave deterministically). *)
+    from inside a fiber.  Zero durations yield (letting same-time
+    events interleave deterministically).
+    @raise Invalid_argument on NaN or negative durations. *)
 
 type 'a resumer = 'a -> unit
 (** One-shot: calling a resumer twice raises [Invalid_argument]. *)

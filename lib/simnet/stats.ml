@@ -57,6 +57,12 @@ type t = {
      partitions/injections is attached *)
   mutable partition_drops : int;
   mutable injections_fired : int;
+  (* engine counters: event-queue traffic of the simulation engine
+     itself, for attributing scheduler overhead.  Populated only when a
+     Stats sink is attached to the engine ([Engine.set_stats]). *)
+  mutable events_scheduled_total : int;
+  mutable events_pooled_reuses : int;
+  mutable max_live_events : int;
 }
 
 let create () =
@@ -105,6 +111,9 @@ let create () =
     jittered_backoffs = 0;
     partition_drops = 0;
     injections_fired = 0;
+    events_scheduled_total = 0;
+    events_pooled_reuses = 0;
+    max_live_events = 0;
   }
 
 let reset t =
@@ -151,7 +160,10 @@ let reset t =
   t.recoveries <- 0;
   t.jittered_backoffs <- 0;
   t.partition_drops <- 0;
-  t.injections_fired <- 0
+  t.injections_fired <- 0;
+  t.events_scheduled_total <- 0;
+  t.events_pooled_reuses <- 0;
+  t.max_live_events <- 0
 
 let record_message t ~eager ~wire_bytes =
   t.messages_sent <- t.messages_sent + 1;
@@ -216,6 +228,11 @@ let record_jittered_backoff t = t.jittered_backoffs <- t.jittered_backoffs + 1
 let record_partition_drop t = t.partition_drops <- t.partition_drops + 1
 let record_injection_fired t = t.injections_fired <- t.injections_fired + 1
 
+let record_event_scheduled t ~reused ~live =
+  t.events_scheduled_total <- t.events_scheduled_total + 1;
+  if reused then t.events_pooled_reuses <- t.events_pooled_reuses + 1;
+  if live > t.max_live_events then t.max_live_events <- live
+
 let snapshot t = { t with messages_sent = t.messages_sent }
 
 let diff ~after ~before =
@@ -265,6 +282,12 @@ let diff ~after ~before =
     jittered_backoffs = after.jittered_backoffs - before.jittered_backoffs;
     partition_drops = after.partition_drops - before.partition_drops;
     injections_fired = after.injections_fired - before.injections_fired;
+    events_scheduled_total =
+      after.events_scheduled_total - before.events_scheduled_total;
+    events_pooled_reuses =
+      after.events_pooled_reuses - before.events_pooled_reuses;
+    (* like [peak_alloc_bytes]: a high-water mark, not a delta *)
+    max_live_events = after.max_live_events;
   }
 
 (* Derived metrics: memory amplification is how many bytes the CPU
@@ -336,4 +359,10 @@ let pp ppf t =
        dups=%d recoveries=%d jittered=%d"
       t.checkpoints_taken t.checkpoint_bytes t.buffers_restored t.msgs_logged
       t.msgs_replayed t.dups_suppressed t.recoveries t.jittered_backoffs;
+  (* Rendered only when the engine has a Stats sink attached
+     ([Engine.set_stats]), so every pre-existing workload prints exactly
+     as before. *)
+  if t.events_scheduled_total > 0 then
+    Format.fprintf ppf "@,engine: events=%d pooled=%d max_live=%d"
+      t.events_scheduled_total t.events_pooled_reuses t.max_live_events;
   Format.fprintf ppf "@]"

@@ -78,6 +78,18 @@ type t = {
   mutable injections_fired : int;
       (** targeted single-shot injections that hit their exact
           [(src, dst, mseq, frag)] coordinate; 0 without injections *)
+  (* Engine counters (see docs/PERFORMANCE.md, "Engine internals"):
+     event-queue traffic of the simulation engine, for attributing
+     scheduler overhead.  All remain 0 unless a Stats sink is attached
+     to the engine ([Engine.set_stats], done by [Mpi.create_world]). *)
+  mutable events_scheduled_total : int;
+      (** events pushed into the engine's queue (sleeps, resumptions,
+          deliveries, spawns) *)
+  mutable events_pooled_reuses : int;
+      (** pushes served from the event-node pool instead of a fresh
+          allocation; [total - reuses] is the engine's allocation count *)
+  mutable max_live_events : int;
+      (** high-water mark of simultaneously queued events *)
 }
 
 val create : unit -> t
@@ -128,6 +140,10 @@ val record_bounce_reuse : t -> unit
 
 (** {1 Checkpoint/restart events} (recorded by the lib/restart runtime;
     see docs/RESILIENCE.md) *)
+
+val record_event_scheduled : t -> reused:bool -> live:int -> unit
+(** One engine event pushed; [reused] if its node came from the pool,
+    [live] the queue depth after the push (feeds [max_live_events]). *)
 
 val record_checkpoint : t -> bytes:int -> unit
 val record_restore : t -> unit

@@ -1,0 +1,163 @@
+(* Link graphs with deterministic routing and per-link serialization
+   horizons.  See the interface for the model; the layout here packs
+   every directed link into one flat [busy] array:
+
+     [0 .. n-1]        rank up-links   (NIC -> first switch)
+     [n .. 2n-1]       rank down-links (last switch -> NIC)
+     [2n ..]           fabric links, per kind:
+       fat-tree:  leaf l up-port p   at 2n + l*uplinks + p
+                  leaf l down-port p at 2n + (nleaves + l)*uplinks + p
+       dragonfly: global link k of ordered group pair (gs, gd)
+                  at 2n + (gs*ngroups + gd)*global_links + k
+
+   Routes cross at most four links, so the serialize path is a handful
+   of array reads and writes — no per-message allocation. *)
+
+type kind =
+  | Switch
+  | Fat_tree of { leaf_arity : int; uplinks : int }
+  | Dragonfly of { group_size : int; global_links : int }
+
+type t = {
+  kind : kind;
+  nranks : int;
+  busy : float array;  (* per-link serialization horizon, virtual ns *)
+  mutable congestion_events : int;
+  mutable congestion_wait_ns : float;
+}
+
+let fabric_links kind ~nranks =
+  match kind with
+  | Switch -> 0
+  | Fat_tree { leaf_arity; uplinks } ->
+      let nleaves = (nranks + leaf_arity - 1) / leaf_arity in
+      2 * nleaves * uplinks
+  | Dragonfly { group_size; global_links } ->
+      let ngroups = (nranks + group_size - 1) / group_size in
+      ngroups * ngroups * global_links
+
+let create kind ~nranks =
+  if nranks < 1 then invalid_arg "Topology.create: nranks must be >= 1";
+  (match kind with
+  | Switch -> ()
+  | Fat_tree { leaf_arity; uplinks } ->
+      if leaf_arity < 1 || uplinks < 1 then
+        invalid_arg "Topology.create: fat-tree needs leaf_arity, uplinks >= 1"
+  | Dragonfly { group_size; global_links } ->
+      if group_size < 1 || global_links < 1 then
+        invalid_arg
+          "Topology.create: dragonfly needs group_size, global_links >= 1");
+  {
+    kind;
+    nranks;
+    busy = Array.make ((2 * nranks) + fabric_links kind ~nranks) 0.;
+    congestion_events = 0;
+    congestion_wait_ns = 0.;
+  }
+
+let switch ~nranks = create Switch ~nranks
+
+let fat_tree ?(leaf_arity = 16) ?(uplinks = 4) ~nranks () =
+  create (Fat_tree { leaf_arity; uplinks }) ~nranks
+
+let dragonfly ?(group_size = 32) ?(global_links = 2) ~nranks () =
+  create (Dragonfly { group_size; global_links }) ~nranks
+
+let of_string s ~nranks =
+  match String.lowercase_ascii s with
+  | "switch" -> switch ~nranks
+  | "fattree" | "fat-tree" | "fat_tree" -> fat_tree ~nranks ()
+  | "dragonfly" -> dragonfly ~nranks ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Topology.of_string: %S (expected switch, fattree or dragonfly)" s)
+
+let kind t = t.kind
+
+let kind_name t =
+  match t.kind with
+  | Switch -> "switch"
+  | Fat_tree _ -> "fattree"
+  | Dragonfly _ -> "dragonfly"
+
+let nranks t = t.nranks
+let links t = Array.length t.busy
+let congestion_events t = t.congestion_events
+let congestion_wait_ns t = t.congestion_wait_ns
+
+let reset_counters t =
+  t.congestion_events <- 0;
+  t.congestion_wait_ns <- 0.
+
+let check_rank t r who =
+  if r < 0 || r >= t.nranks then
+    invalid_arg
+      (Printf.sprintf "Topology: %s rank %d outside modeled set [0..%d]" who r
+         (t.nranks - 1))
+
+(* The route as up to four link ids ([-1] = unused slot) plus the
+   latency scale of its longest hop.  Pure in [(src, dst)]. *)
+let route t ~src ~dst =
+  let n = t.nranks in
+  let up = src and down = n + dst in
+  match t.kind with
+  | Switch -> (up, down, -1, -1, 1.)
+  | Fat_tree { leaf_arity; uplinks } ->
+      let ls = src / leaf_arity and ld = dst / leaf_arity in
+      if ls = ld then (up, down, -1, -1, 1.)
+      else
+        let nleaves = (n + leaf_arity - 1) / leaf_arity in
+        let port = (src + dst) mod uplinks in
+        let lup = (2 * n) + (ls * uplinks) + port in
+        let ldown = (2 * n) + ((nleaves + ld) * uplinks) + port in
+        (up, lup, ldown, down, 2.)
+  | Dragonfly { group_size; global_links } ->
+      let gs = src / group_size and gd = dst / group_size in
+      if gs = gd then (up, down, -1, -1, 1.)
+      else
+        let ngroups = (n + group_size - 1) / group_size in
+        let k = (src + dst) mod global_links in
+        let glob = (2 * n) + (((gs * ngroups) + gd) * global_links) + k in
+        (up, glob, down, -1, 3.)
+
+let path_hops t ~src ~dst =
+  check_rank t src "source";
+  check_rank t dst "destination";
+  if src = dst then 0
+  else
+    let _, _, l3, l4, _ = route t ~src ~dst in
+    2 + (if l3 >= 0 then 1 else 0) + if l4 >= 0 then 1 else 0
+
+let path_latency t ~latency_ns ~src ~dst =
+  check_rank t src "source";
+  check_rank t dst "destination";
+  if src = dst then latency_ns
+  else
+    let _, _, _, _, scale = route t ~src ~dst in
+    latency_ns *. scale
+
+let serialize t ~ns_per_byte ~src ~dst ~bytes ~now =
+  check_rank t src "source";
+  check_rank t dst "destination";
+  let ser = ns_per_byte *. float_of_int bytes in
+  if src = dst then ser
+  else begin
+    let l1, l2, l3, l4, _ = route t ~src ~dst in
+    let busy = t.busy in
+    let horizon = Float.max busy.(l1) busy.(l2) in
+    let horizon = if l3 >= 0 then Float.max horizon busy.(l3) else horizon in
+    let horizon = if l4 >= 0 then Float.max horizon busy.(l4) else horizon in
+    let start = Float.max now horizon in
+    let fin = start +. ser in
+    busy.(l1) <- fin;
+    busy.(l2) <- fin;
+    if l3 >= 0 then busy.(l3) <- fin;
+    if l4 >= 0 then busy.(l4) <- fin;
+    let wait = start -. now in
+    if wait > 0. then begin
+      t.congestion_events <- t.congestion_events + 1;
+      t.congestion_wait_ns <- t.congestion_wait_ns +. wait
+    end;
+    wait +. ser
+  end

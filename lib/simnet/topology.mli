@@ -1,0 +1,96 @@
+(** Topology-aware network model: link graphs, deterministic routing and
+    per-link bandwidth sharing.
+
+    The default transport model is a flat, infinitely-switched wire:
+    every message pays [latency_ns + wire_time] regardless of who else
+    is talking.  That hides exactly the effects that shift datatype
+    crossover points at scale — shared up-links, oversubscribed spines,
+    long global hops.  A [Topology.t] models the cluster as a graph of
+    half-duplex directed links, each with its own serialization horizon,
+    so concurrent transfers that share a link queue behind one another
+    (congestion-aware serialization) while disjoint paths proceed in
+    parallel.
+
+    Three families are provided:
+    - {b switch}: every rank hangs off one big crossbar.  Paths are
+      [NIC up-link -> NIC down-link]; congestion only arises on a
+      rank's own links (endpoint contention).
+    - {b fat-tree}: ranks are grouped [leaf_arity] per leaf switch with
+      [uplinks] up-ports per leaf.  Intra-leaf traffic stays local;
+      inter-leaf traffic crosses [leaf up-port -> spine -> leaf
+      down-port], chosen deterministically as [(src + dst) mod uplinks]
+      — an oversubscribed leaf therefore serializes its flows.
+    - {b dragonfly}: ranks are grouped [group_size] per group with
+      [global_links] long links per ordered group pair.  Inter-group
+      traffic pays an extra latency factor for the long hop and shares
+      the narrow global links.
+
+    Routing is a pure function of [(src, dst)], so a topology-attached
+    simulation is exactly as deterministic and replayable as a flat
+    one.  All state lives in per-link [busy_until] horizons: a transfer
+    starting at [now] begins serializing at [max now (busy of path)],
+    occupies every path link for its serialization time, and the caller
+    is charged the queueing wait plus the serialization.
+
+    Attaching a topology is opt-in ({!Mpicd_ucx.Ucx.set_topology});
+    with none attached every code path reduces to the flat model,
+    keeping existing virtual-time results bit-identical. *)
+
+type kind =
+  | Switch
+  | Fat_tree of { leaf_arity : int; uplinks : int }
+  | Dragonfly of { group_size : int; global_links : int }
+
+type t
+
+val create : kind -> nranks:int -> t
+(** @raise Invalid_argument on a non-positive rank count or degenerate
+    shape parameters. *)
+
+val switch : nranks:int -> t
+
+val fat_tree : ?leaf_arity:int -> ?uplinks:int -> nranks:int -> unit -> t
+(** Defaults: 16 ranks per leaf, 4 up-links per leaf (4:1
+    oversubscription). *)
+
+val dragonfly : ?group_size:int -> ?global_links:int -> nranks:int -> unit -> t
+(** Defaults: 32 ranks per group, 2 global links per ordered group
+    pair. *)
+
+val of_string : string -> nranks:int -> t
+(** Parse a CLI name: ["switch"], ["fattree"] or ["dragonfly"] (default
+    shape parameters).
+    @raise Invalid_argument on anything else. *)
+
+val kind : t -> kind
+val kind_name : t -> string
+val nranks : t -> int
+val links : t -> int
+(** Number of directed links in the graph. *)
+
+val path_hops : t -> src:int -> dst:int -> int
+(** Number of links the [(src, dst)] route crosses (0 for self-sends). *)
+
+val path_latency : t -> latency_ns:float -> src:int -> dst:int -> float
+(** Propagation latency of the route: [latency_ns] for local (same
+    switch / leaf / group) paths — identical to the flat model — scaled
+    up for spine crossings (2x) and dragonfly global hops (3x). *)
+
+val serialize :
+  t -> ns_per_byte:float -> src:int -> dst:int -> bytes:int -> now:float -> float
+(** [serialize t ~ns_per_byte ~src ~dst ~bytes ~now] claims every link
+    on the route from the time the last of them is free: returns
+    [wait + ser] where [ser = ns_per_byte * bytes] and [wait] is the
+    queueing delay behind transfers already occupying the path.
+    Advances each path link's horizon to [start + ser].  Self-sends
+    touch no links and return just [ser].
+    @raise Invalid_argument if [src] or [dst] is outside the modeled
+    rank set. *)
+
+val congestion_events : t -> int
+(** Transfers that had to wait behind a busy link. *)
+
+val congestion_wait_ns : t -> float
+(** Total queueing delay accumulated by {!serialize}. *)
+
+val reset_counters : t -> unit

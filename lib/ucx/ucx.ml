@@ -3,6 +3,7 @@ module Engine = Mpicd_simnet.Engine
 module Config = Mpicd_simnet.Config
 module Stats = Mpicd_simnet.Stats
 module Fault = Mpicd_simnet.Fault
+module Topology = Mpicd_simnet.Topology
 module Obs = Mpicd_obs.Obs
 module Metrics = Mpicd_obs.Metrics
 
@@ -128,6 +129,12 @@ and context = {
          the reliable protocol may still reference frags after deposit,
          so pooling there could perturb exact replays) *)
   mutable bounce_pool_len : int;
+  mutable topology : Topology.t option;
+      (* [None] (the default) is the flat wire: every path helper below
+         reduces exactly to [latency_ns] / [wire_time], so existing
+         virtual-time results are bit-identical.  With a topology
+         attached, message motion routes over its links and shares
+         their bandwidth *)
 }
 
 type endpoint = { ep_src : worker; ep_dst : worker }
@@ -151,12 +158,15 @@ let create_context ~engine ~config ~stats =
     fail_listeners = [];
     bounce_pool = [];
     bounce_pool_len = 0;
+    topology = None;
   }
 
 let engine c = c.engine
 let config c = c.config
 let stats c = c.stats
 let set_channel_jitter c j = c.jitter <- j
+let set_topology c topo = c.topology <- topo
+let topology c = c.topology
 let set_trace c t = c.trace <- t
 let set_obs c o = c.obs <- o
 let faults c = Option.map Fault.plan c.faults
@@ -243,6 +253,26 @@ let iov_cost c entries =
   let chunks = (entries + l.iov_max_entries - 1) / l.iov_max_entries in
   (float_of_int entries *. l.iov_entry_ns)
   +. (float_of_int (max 0 (chunks - 1)) *. l.per_msg_overhead_ns)
+
+(* Topology-aware path costs.  Every timing site that moves message
+   payload (or a control message standing in for one) between two
+   workers goes through these two helpers, so eager, rendezvous and
+   retransmitted traffic all route over the same links and congestion
+   composes with faults.  With no topology attached, both reduce
+   exactly to the flat formulas — [latency_ns] and [wire_time] — so
+   default-topology runs are bit-identical to the pre-topology
+   engine. *)
+let path_latency c ~src ~dst =
+  match c.topology with
+  | None -> (link c).latency_ns
+  | Some topo -> Topology.path_latency topo ~latency_ns:(link c).latency_ns ~src ~dst
+
+let path_serialize c ~src ~dst bytes =
+  match c.topology with
+  | None -> Config.wire_time (link c) bytes
+  | Some topo ->
+      Topology.serialize topo ~ns_per_byte:(link c).ns_per_byte ~src ~dst
+        ~bytes ~now:(Engine.now c.engine)
 
 (* --- bounce-buffer pool ---
 
@@ -671,7 +701,7 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
   let retx = ref 0 in
   let failure = ref None in
   let frag_sizes = wire_frag_sizes l (Buf.length stream) in
-  let last_lag = ref l.latency_ns in
+  let last_lag = ref (path_latency ctx ~src:src_id ~dst:dst_id) in
   (* decorrelated-jitter state: previous backoff sleep of THIS transfer
      (each transfer de-correlates independently, which is what breaks
      synchronized retry storms across concurrent flows) *)
@@ -804,7 +834,9 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
       Buf.set_u8 corrupted byte (Buf.get_u8 corrupted byte lxor (1 lsl bit));
       assert (Crc32.digest corrupted <> sent_crc);
       let fly =
-        Config.wire_time l len +. l.latency_ns +. fate.Fault.f_delay_ns
+        path_serialize ctx ~src:src_id ~dst:dst_id len
+        +. path_latency ctx ~src:src_id ~dst:dst_id
+        +. fate.Fault.f_delay_ns
       in
       Stats.record_nack ctx.stats;
       trace ctx "fault" "corrupt seq=%d %d->%d: crc mismatch, nack" seq src_id
@@ -812,7 +844,7 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
       fault_instant ctx ~track:dst_id ~time:(now +. fly) "nack"
         [ ("seq", Obs.Int seq) ];
       (* wait out the corrupted flight plus the nack's return leg *)
-      Engine.sleep e (fly +. l.latency_ns);
+      Engine.sleep e (fly +. path_latency ctx ~src:dst_id ~dst:src_id);
       retry `Corrupt
     end
     else begin
@@ -836,11 +868,13 @@ let reliable_transfer ctx fr ~mseq ~src_id ~dst_id ~stream ~checksum =
         fault_instant ctx ~track:dst_id ~time:now "dup_suppressed"
           [ ("seq", Obs.Int seq) ]
       end;
-      (* pipelined serialization: the sender occupies the wire for the
-         fragment's serialization time; the flight latency overlaps the
-         next fragment and is reported as [x_lag] for the last one *)
-      Engine.sleep e (Config.wire_time l len);
-      last_lag := l.latency_ns +. fate.Fault.f_delay_ns
+      (* pipelined serialization: the sender occupies the wire (every
+         link of the path, under a topology) for the fragment's
+         serialization time; the flight latency overlaps the next
+         fragment and is reported as [x_lag] for the last one *)
+      Engine.sleep e (path_serialize ctx ~src:src_id ~dst:dst_id len);
+      last_lag :=
+        path_latency ctx ~src:src_id ~dst:dst_id +. fate.Fault.f_delay_ns
     end
   in
   (let rec loop seq off = function
@@ -987,7 +1021,8 @@ let process_match_faulty w (pr : posted) (env : envelope) (r : rndv) fr =
                   complete_if_pending pr.pr_req
                     { len = size; tag = env.e_tag; error = None };
                   (* the sender completes when the final ack crosses back *)
-                  Engine.at e ~delay:l.latency_ns (fun () ->
+                  Engine.at e ~delay:(path_latency ctx ~src:w.id ~dst:env.e_src)
+                    (fun () ->
                       complete_if_pending r.r_request
                         { len = size; tag = env.e_tag; error = None }))))
 
@@ -1086,7 +1121,7 @@ let process_match w (pr : posted) (env : envelope) =
         let l = link ctx in
         let size = env.e_total in
         let wire =
-          Config.wire_time l size
+          path_serialize ctx ~src:env.e_src ~dst:w.id size
           +.
           match r.r_dt with
           | Sd_iov bufs -> iov_cost ctx (List.length bufs)
@@ -1316,7 +1351,6 @@ let ship ep ~after env =
 let ship_rts_reliable ep fr (env : envelope) (req : request) =
   let ctx = ep.ep_src.ctx in
   let e = ctx.engine in
-  let l = link ctx in
   let plan = Fault.plan fr in
   Engine.spawn e ~name:"rel_rts" ~track:ep.ep_src.id (fun () ->
       match
@@ -1359,7 +1393,7 @@ let ship_rts_reliable ep fr (env : envelope) (req : request) =
           | P_eager _ | P_nack _ -> ());
           complete_if_pending req { len = 0; tag = env.e_tag; error = Some err };
           (* poison the receiver so a posted receive completes too *)
-          ship ep ~after:l.latency_ns
+          ship ep ~after:(path_latency ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id)
             {
               e_tag = env.e_tag;
               e_total = 0;
@@ -1410,7 +1444,8 @@ let tag_send ep ~tag dt =
         }
       in
       (match ctx.faults with
-      | None -> ship ep ~after:l.latency_ns env
+      | None ->
+          ship ep ~after:(path_latency ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id) env
       | Some fr -> ship_rts_reliable ep fr env req)
   | Sd_contig _ | Sd_generic _ ->
       if total <= l.eager_limit then begin
@@ -1481,7 +1516,12 @@ let tag_send ep ~tag dt =
                     e_matched = false;
                   }
                 in
-                ship ep ~after:(l.latency_ns +. Config.wire_time l total) env;
+                ship ep
+                  ~after:
+                    (path_latency ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id
+                    +. path_serialize ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id
+                         total)
+                  env;
                 complete_if_pending req { len = total; tag; error = None }
             | Some fr ->
                 (* Reliable eager: fragments traverse the protocol and
@@ -1514,7 +1554,10 @@ let tag_send ep ~tag dt =
                     | Error err ->
                         complete_if_pending req
                           { len = 0; tag; error = Some err };
-                        ship ep ~after:l.latency_ns
+                        ship ep
+                          ~after:
+                            (path_latency ctx ~src:ep.ep_src.id
+                               ~dst:ep.ep_dst.id)
                           {
                             e_tag = tag;
                             e_total = 0;
@@ -1532,7 +1575,8 @@ let tag_send ep ~tag dt =
             (* A failed pack must not leave the peer's posted receive
                pending forever: notify it with a poison envelope. *)
             Stats.record_nack ctx.stats;
-            ship ep ~after:l.latency_ns
+            ship ep
+              ~after:(path_latency ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id)
               {
                 e_tag = tag;
                 e_total = 0;
@@ -1564,7 +1608,10 @@ let tag_send ep ~tag dt =
           }
         in
         (match ctx.faults with
-        | None -> ship ep ~after:l.latency_ns env
+        | None ->
+            ship ep
+              ~after:(path_latency ctx ~src:ep.ep_src.id ~dst:ep.ep_dst.id)
+              env
         | Some fr -> ship_rts_reliable ep fr env req)
       end);
   req

@@ -274,6 +274,21 @@ val try_cancel : context -> request -> tag:int64 -> error -> bool
     fibers for a cancelled request still run to completion on the
     virtual clock; their late completions are discarded. *)
 
+(** {1 Topology} *)
+
+val set_topology : context -> Mpicd_simnet.Topology.t option -> unit
+(** Attach a network topology: all message motion (eager payloads,
+    rendezvous transfers, retransmitted fragments, nack/poison control
+    messages) routes over its links, paying path-scaled latency and
+    sharing per-link bandwidth with concurrent transfers.  [None] (the
+    default) is the flat wire — every cost reduces exactly to
+    [latency_ns] / [wire_time], so detaching reproduces pre-topology
+    runs bit-identically.  Heartbeat probing and failure-detection
+    timing stay on the flat model (control plane).  Worker ids must lie
+    inside the topology's rank set. *)
+
+val topology : context -> Mpicd_simnet.Topology.t option
+
 (** {1 Test-only knobs} *)
 
 val set_channel_jitter : context -> (unit -> float) option -> unit

@@ -438,6 +438,236 @@ let prop_rng_int_in_range =
       done;
       !ok)
 
+(* Evq: the engine's calendar-queue event queue *)
+
+let test_evq_ordering () =
+  let q = Evq.create () in
+  Evq.push q ~time:3. ~seq:0 "c";
+  Evq.push q ~time:1. ~seq:1 "a";
+  Evq.push q ~time:2. ~seq:2 "b";
+  Alcotest.(check (float 0.)) "min_time" 1. (Evq.min_time q);
+  Alcotest.(check string) "first" "a" (Evq.pop_min q);
+  Alcotest.(check string) "second" "b" (Evq.pop_min q);
+  Alcotest.(check string) "third" "c" (Evq.pop_min q);
+  Alcotest.(check bool) "empty" true (Evq.is_empty q)
+
+let test_evq_fifo_ties () =
+  let q = Evq.create () in
+  for i = 0 to 9 do
+    Evq.push q ~time:5. ~seq:i i
+  done;
+  for i = 0 to 9 do
+    match Evq.pop q with
+    | Some (_, _, v) -> check_int "fifo order at equal time" i v
+    | None -> Alcotest.fail "empty"
+  done
+
+let test_evq_counters () =
+  let q = Evq.create () in
+  (* 300 pushes cross the initial 256-entry capacity once: every push
+     except the one that grew the arrays counts as a pool reuse *)
+  for i = 1 to 300 do
+    Evq.push q ~time:(float_of_int i) ~seq:i i
+  done;
+  check_int "pushes" 300 (Evq.pushes q);
+  check_int "max_live" 300 (Evq.max_live q);
+  check_int "reuses" 299 (Evq.reuses q);
+  for _ = 1 to 300 do
+    ignore (Evq.pop_min q)
+  done;
+  for i = 1 to 5 do
+    Evq.push q ~time:(float_of_int i) ~seq:(300 + i) i
+  done;
+  check_int "steady-state pushes all reuse" 304 (Evq.reuses q);
+  check_int "max_live unchanged by drain" 300 (Evq.max_live q)
+
+(* The tentpole correctness pin: over an arbitrary interleaving of
+   pushes and pops — with heavy timestamp ties and far-future outliers
+   that exercise the calendar's clamp path — Evq must produce exactly
+   the (time, seq, value) pop sequence of the reference binary heap. *)
+let prop_evq_matches_heap =
+  let time_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map float_of_int (int_bound 20);
+          float_bound_inclusive 1000.;
+          oneofl [ 1e13; 0.; 0.125 ];
+        ])
+  in
+  let ops_gen = QCheck.Gen.(list (pair bool time_gen)) in
+  let print_ops ops =
+    String.concat "; "
+      (List.map
+         (fun (push, t) -> if push then Printf.sprintf "push %g" t else "pop")
+         ops)
+  in
+  QCheck.Test.make ~name:"evq: pop order identical to reference heap"
+    ~count:300
+    (QCheck.make ~print:print_ops ops_gen)
+    (fun ops ->
+      let h = Heap.create () in
+      let q = Evq.create () in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        let want = Heap.pop h in
+        let got = Evq.pop q in
+        if got <> want then ok := false
+      in
+      List.iter
+        (fun (push, time) ->
+          if push then begin
+            incr seq;
+            Heap.push h ~time ~seq:!seq !seq;
+            Evq.push q ~time ~seq:!seq !seq
+          end
+          else pop_both ())
+        ops;
+      while not (Heap.is_empty h && Evq.is_empty q) do
+        pop_both ()
+      done;
+      !ok)
+
+(* Engine virtual-time hardening *)
+
+let test_sleep_rejects_bad_durations () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () ->
+      Alcotest.check_raises "NaN sleep"
+        (Invalid_argument "Engine.sleep: NaN duration") (fun () ->
+          Engine.sleep e Float.nan);
+      Alcotest.check_raises "negative sleep"
+        (Invalid_argument "Engine.sleep: negative duration") (fun () ->
+          Engine.sleep e (-1.)));
+  Engine.run e
+
+let test_schedule_rejects_poison_delays () =
+  let e = Engine.create () in
+  Alcotest.check_raises "NaN delay"
+    (Invalid_argument "Engine.schedule: NaN delay") (fun () ->
+      Engine.at e ~delay:Float.nan (fun () -> ()));
+  Alcotest.check_raises "-infinity delay"
+    (Invalid_argument "Engine.schedule: -infinity delay") (fun () ->
+      Engine.at e ~delay:Float.neg_infinity (fun () -> ()))
+
+let test_schedule_clamps_negative_delay () =
+  let e = Engine.create () in
+  let seen = ref Float.nan in
+  Engine.at e ~delay:(-5.) (fun () -> seen := Engine.now e);
+  Engine.run e;
+  check_float "negative delay runs at now" 0. !seen
+
+let test_engine_event_stats () =
+  let e = Engine.create () in
+  let s = Stats.create () in
+  Engine.set_stats e s;
+  Engine.spawn e (fun () ->
+      Engine.sleep e 1.;
+      Engine.sleep e 2.);
+  Engine.spawn e (fun () -> Engine.sleep e 1.5);
+  Engine.run e;
+  Alcotest.(check bool)
+    "events counted" true
+    (s.Stats.events_scheduled_total >= 3);
+  Alcotest.(check bool) "peak live tracked" true (s.Stats.max_live_events >= 1);
+  Alcotest.(check bool)
+    "pooled <= scheduled" true
+    (s.Stats.events_pooled_reuses <= s.Stats.events_scheduled_total)
+
+(* Topology *)
+
+let test_topology_switch_paths () =
+  let t = Topology.switch ~nranks:8 in
+  check_int "self-send crosses no links" 0 (Topology.path_hops t ~src:3 ~dst:3);
+  check_int "cross-switch is two links" 2 (Topology.path_hops t ~src:0 ~dst:5);
+  check_float "flat latency" 100.
+    (Topology.path_latency t ~latency_ns:100. ~src:0 ~dst:5)
+
+let test_topology_fattree_latency () =
+  let t = Topology.fat_tree ~nranks:64 () in
+  (* default shape: 16 ranks per leaf *)
+  check_float "intra-leaf latency matches flat" 100.
+    (Topology.path_latency t ~latency_ns:100. ~src:0 ~dst:1);
+  check_float "spine crossing pays 2x" 200.
+    (Topology.path_latency t ~latency_ns:100. ~src:0 ~dst:16)
+
+let test_topology_dragonfly_latency () =
+  let t = Topology.dragonfly ~nranks:64 () in
+  (* default shape: 32 ranks per group *)
+  check_float "intra-group latency matches flat" 100.
+    (Topology.path_latency t ~latency_ns:100. ~src:0 ~dst:1);
+  check_float "global hop pays 3x" 300.
+    (Topology.path_latency t ~latency_ns:100. ~src:0 ~dst:32)
+
+let test_topology_congestion () =
+  let t = Topology.switch ~nranks:8 in
+  let ser = Topology.serialize t ~ns_per_byte:1. ~src:0 ~dst:1 ~bytes:1000 ~now:0. in
+  check_float "uncontended transfer pays wire time" 1000. ser;
+  (* same source link, same instant: the second transfer queues *)
+  let blocked =
+    Topology.serialize t ~ns_per_byte:1. ~src:0 ~dst:2 ~bytes:1000 ~now:0.
+  in
+  check_float "contended transfer queues behind the first" 2000. blocked;
+  check_int "congestion event counted" 1 (Topology.congestion_events t);
+  check_float "queueing wait accumulated" 1000. (Topology.congestion_wait_ns t);
+  (* disjoint endpoints: no shared link, no wait *)
+  let free =
+    Topology.serialize t ~ns_per_byte:1. ~src:4 ~dst:5 ~bytes:1000 ~now:0.
+  in
+  check_float "disjoint path proceeds in parallel" 1000. free;
+  check_int "no extra congestion" 1 (Topology.congestion_events t);
+  Topology.reset_counters t;
+  check_int "counters reset" 0 (Topology.congestion_events t)
+
+let test_topology_deterministic () =
+  let run () =
+    let t = Topology.fat_tree ~nranks:64 () in
+    let acc = ref 0. in
+    for src = 0 to 63 do
+      for dst = 0 to 63 do
+        acc :=
+          !acc
+          +. Topology.serialize t ~ns_per_byte:0.5 ~src ~dst ~bytes:256
+               ~now:(float_of_int (src + dst))
+      done
+    done;
+    (!acc, Topology.congestion_events t, Topology.congestion_wait_ns t)
+  in
+  let a1, e1, w1 = run () in
+  let a2, e2, w2 = run () in
+  check_float "total cost replays bit-identical" a1 a2;
+  check_int "congestion events replay" e1 e2;
+  check_float "congestion wait replays" w1 w2
+
+let test_topology_of_string () =
+  check_int "switch parses" 8
+    (Topology.nranks (Topology.of_string "switch" ~nranks:8));
+  Alcotest.(check string)
+    "fattree parses" "fattree"
+    (Topology.kind_name (Topology.of_string "fattree" ~nranks:8));
+  Alcotest.(check string)
+    "dragonfly parses" "dragonfly"
+    (Topology.kind_name (Topology.of_string "dragonfly" ~nranks:8));
+  Alcotest.(check bool) "unknown name rejected" true
+    (try
+       ignore (Topology.of_string "torus" ~nranks:8);
+       false
+     with Invalid_argument _ -> true)
+
+let test_topology_validation () =
+  Alcotest.(check bool) "non-positive nranks rejected" true
+    (try
+       ignore (Topology.switch ~nranks:0);
+       false
+     with Invalid_argument _ -> true);
+  let t = Topology.switch ~nranks:4 in
+  Alcotest.(check bool) "out-of-range rank rejected" true
+    (try
+       ignore (Topology.serialize t ~ns_per_byte:1. ~src:0 ~dst:7 ~bytes:1 ~now:0.);
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   let tc = Alcotest.test_case in
   ( "simnet",
@@ -476,6 +706,23 @@ let suite =
         test_stats_diff_live_peak_carry_over;
       tc "stats derived metrics" `Quick test_stats_derived;
       tc "stats reset" `Quick test_stats_reset;
+      tc "evq ordering" `Quick test_evq_ordering;
+      tc "evq FIFO on ties" `Quick test_evq_fifo_ties;
+      tc "evq pool counters" `Quick test_evq_counters;
+      tc "sleep rejects NaN/negative" `Quick test_sleep_rejects_bad_durations;
+      tc "schedule rejects poison delays" `Quick
+        test_schedule_rejects_poison_delays;
+      tc "schedule clamps negative delay" `Quick
+        test_schedule_clamps_negative_delay;
+      tc "engine event stats" `Quick test_engine_event_stats;
+      tc "topology switch paths" `Quick test_topology_switch_paths;
+      tc "topology fat-tree latency" `Quick test_topology_fattree_latency;
+      tc "topology dragonfly latency" `Quick test_topology_dragonfly_latency;
+      tc "topology congestion" `Quick test_topology_congestion;
+      tc "topology deterministic" `Quick test_topology_deterministic;
+      tc "topology of_string" `Quick test_topology_of_string;
+      tc "topology validation" `Quick test_topology_validation;
       QCheck_alcotest.to_alcotest prop_heap_sorted;
       QCheck_alcotest.to_alcotest prop_rng_int_in_range;
+      QCheck_alcotest.to_alcotest prop_evq_matches_heap;
     ] )
